@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation for the paper's §9.1 future-work optimization:
+ * "tracking which live variables are statically guaranteed to have
+ * been previously spilled but not yet overwritten, which will allow
+ * us to forgo re-spilling registers." Measures how much of the
+ * spill traffic and instrumented kernel time the optimization
+ * recovers across the heaviest pass (after every register write).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "handlers/value_profiler.h"
+
+using namespace sassi;
+using namespace sassi::bench;
+using namespace sassi::handlers;
+
+namespace {
+
+struct Variant
+{
+    uint64_t kernelProxy = 0;
+    uint64_t spillStores = 0;
+};
+
+Variant
+runVariant(const workloads::SuiteEntry &entry, bool elide)
+{
+    auto w = entry.make();
+    simt::Device dev;
+    w->setup(dev);
+    core::SassiRuntime rt(dev);
+    core::InstrumentOptions opts = ValueProfiler::options();
+    opts.elideRedundantSpills = elide;
+    rt.instrument(opts);
+    ValueProfiler profiler(dev, rt);
+    RunOutcome out = runAll(*w, dev);
+    fatal_if(!out.last.ok() || !out.verified, "%s failed (%s)",
+             entry.name.c_str(), elide ? "elide" : "baseline");
+    Variant v;
+    v.kernelProxy = out.total.kernelTimeProxy();
+    for (const auto &k : dev.module().kernels) {
+        for (const auto &ins : k.code) {
+            if (ins.spillFill && ins.op == sass::Opcode::STL)
+                ++v.spillStores;
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::cout << "=== Ablation: §9.1 redundant-spill elision (value "
+                 "profiling pass) ===\n\n";
+    Table table({"Benchmark", "Static spill stores (base)",
+                 "Static spill stores (elide)", "Spills removed %",
+                 "Kernel proxy elide/base"});
+    double sum_ratio = 0;
+    int rows = 0;
+    for (const auto &entry : workloads::table1Suite()) {
+        Variant base = runVariant(entry, false);
+        Variant elide = runVariant(entry, true);
+        double removed =
+            100.0 * (1.0 - static_cast<double>(elide.spillStores) /
+                               static_cast<double>(base.spillStores));
+        double ratio = static_cast<double>(elide.kernelProxy) /
+                       static_cast<double>(base.kernelProxy);
+        sum_ratio += ratio;
+        ++rows;
+        table.addRow({
+            entry.name,
+            std::to_string(base.spillStores),
+            std::to_string(elide.spillStores),
+            fmtDouble(removed, 1),
+            fmtDouble(ratio, 3),
+        });
+    }
+    printResults(table, std::cout);
+    std::cout << "\nMean instrumented-kernel-time ratio: "
+              << fmtDouble(sum_ratio / rows, 3)
+              << " (the fraction of CS3's overhead the paper's "
+                 "proposed optimization would recover)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Figure 7 (paper §6.2): the distribution (PMF) of
+ * unique 32B cache lines requested per warp memory instruction, for
+ * the address-divergent applications, measured with the Figure 6
+ * handler.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "handlers/memdiv_profiler.h"
+
+using namespace sassi;
+using namespace sassi::bench;
+using namespace sassi::handlers;
+
+int
+main()
+{
+    setVerbose(false);
+    std::cout << "=== Figure 7: PMF of unique cachelines (32B) per "
+                 "warp memory instruction ===\n"
+              << "(histo stands in for mri-gridding; see DESIGN.md)\n"
+              << "Buckets are the fraction of thread-level accesses "
+                 "issued from warps requesting N unique lines.\n\n";
+
+    Table table({"Benchmark", "N=1", "N=2", "3-4", "5-8", "9-16",
+                 "17-31", "N=32 (fully diverged)", "mean N"});
+
+    for (const auto &entry : workloads::fig7Suite()) {
+        auto w = entry.make();
+        simt::Device dev;
+        w->setup(dev);
+        core::SassiRuntime rt(dev);
+        rt.instrument(MemDivProfiler::options());
+        MemDivProfiler profiler(dev, rt);
+        RunOutcome out = runAll(*w, dev);
+        fatal_if(!out.last.ok() || !out.verified, "%s failed",
+                 entry.name.c_str());
+
+        DivergencePmf pmf = profiler.pmf();
+        auto bucket = [&](int lo, int hi) {
+            double sum = 0;
+            for (int n = lo; n <= hi; ++n)
+                sum += pmf.byThreadAccesses[static_cast<size_t>(n - 1)];
+            return fmtDouble(100.0 * sum, 1);
+        };
+        table.addRow({
+            entry.name,
+            bucket(1, 1),
+            bucket(2, 2),
+            bucket(3, 4),
+            bucket(5, 8),
+            bucket(9, 16),
+            bucket(17, 31),
+            bucket(32, 32),
+            fmtDouble(pmf.meanUniqueLines, 1),
+        });
+    }
+
+    printResults(table, std::cout);
+    std::cout << "\nExpected shape (paper): bfs variants show broad "
+                 "data-dependent divergence; spmv spreads with the "
+                 "dataset; miniFE-CSR is dominated by fully diverged "
+                 "accesses (~73% in the paper) while miniFE-ELL "
+                 "concentrates at low N.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Table 2 (paper §7.2): dynamic and static percentages
+ * of constant register bits and scalar register writes, measured
+ * with the Figure 9 handler after every register-writing
+ * instruction.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "handlers/value_profiler.h"
+
+using namespace sassi;
+using namespace sassi::bench;
+using namespace sassi::handlers;
+
+int
+main()
+{
+    setVerbose(false);
+    std::cout << "=== Table 2: value profiling — constant bits and "
+                 "scalar writes ===\n\n";
+
+    Table table({"Suite", "Benchmark", "Dyn const bits %",
+                 "Dyn scalar %", "Static const bits %",
+                 "Static scalar %"});
+
+    for (const auto &entry : workloads::fullSuite()) {
+        if (entry.suite == "Quickstart")
+            continue;
+        auto w = entry.make();
+        simt::Device dev;
+        w->setup(dev);
+        core::SassiRuntime rt(dev);
+        rt.instrument(ValueProfiler::options());
+        ValueProfiler profiler(dev, rt);
+        RunOutcome out = runAll(*w, dev);
+        fatal_if(!out.last.ok() || !out.verified, "%s failed",
+                 entry.name.c_str());
+
+        ValueSummary s = profiler.summarize();
+        table.addRow({
+            entry.suite,
+            entry.name,
+            fmtDouble(s.dynamicConstBitsPct, 0),
+            fmtDouble(s.dynamicScalarPct, 0),
+            fmtDouble(s.staticConstBitsPct, 0),
+            fmtDouble(s.staticScalarPct, 0),
+        });
+    }
+
+    printResults(table, std::cout);
+    std::cout << "\nExpected shape (paper): most benchmarks waste a "
+                 "large fraction of register bits (constant bits "
+                 "typically 20-70%) and have substantial scalar "
+                 "fractions (up to ~76%), motivating register-file "
+                 "compression and scalarization studies.\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CUDA-flavored device intrinsics available inside handlers.
+ *
+ * The paper's handlers are "straight CUDA code" (§3.2) and lean on
+ * warp-wide primitives: __ballot, __popc, __ffs, __shfl, __all, and
+ * atomics on device memory (Figures 3, 4, 6, 9). These functions
+ * provide the same surface for C++ handlers. The warp-wide ones
+ * synchronize all active lanes through the fiber scheduler — every
+ * active lane must reach the intrinsic (the usual CUDA convergence
+ * requirement; §9.3 notes the analogous restriction on
+ * syncthreads).
+ *
+ * Atomics and dev* accessors operate on simulated device global
+ * memory addressed by the 64-bit addresses Device::malloc returns.
+ */
+
+#ifndef SASSI_CORE_INTRINSICS_H
+#define SASSI_CORE_INTRINSICS_H
+
+#include <cstdint>
+
+#include "util/bitops.h"
+
+namespace sassi::cuda {
+
+/** Warp width. */
+constexpr int warpSize = 32;
+
+/// @name Warp-synchronous primitives (must be called convergently)
+/// @{
+
+/**
+ * Evaluate pred on every active lane; @return a mask whose Nth bit
+ * is set iff lane N's pred was non-zero.
+ */
+uint32_t ballot(int pred);
+
+/** @return non-zero when pred is non-zero on every active lane. */
+int all(int pred);
+
+/** @return non-zero when pred is non-zero on any active lane. */
+int any(int pred);
+
+/** @return src_lane's value of var (own value if src is inactive). */
+uint32_t shfl(uint32_t var, int src_lane);
+
+/** Float overload of shfl. */
+float shflF(float var, int src_lane);
+
+/// @}
+
+/// @name Pure bit intrinsics
+/// @{
+
+/** Population count. */
+inline int
+popc(uint32_t v)
+{
+    return sassi::popc(v);
+}
+
+/** Find-first-set (1-based; 0 when empty), CUDA __ffs. */
+inline int
+ffs(uint32_t v)
+{
+    return sassi::ffs(v);
+}
+
+/// @}
+
+/// @name Atomics on device global memory
+/// @{
+
+uint32_t atomicAdd32(uint64_t addr, uint32_t v);
+uint64_t atomicAdd64(uint64_t addr, uint64_t v);
+uint32_t atomicAnd32(uint64_t addr, uint32_t v);
+uint64_t atomicAnd64(uint64_t addr, uint64_t v);
+uint32_t atomicOr32(uint64_t addr, uint32_t v);
+uint64_t atomicOr64(uint64_t addr, uint64_t v);
+uint32_t atomicMax32(uint64_t addr, uint32_t v);
+uint32_t atomicCAS32(uint64_t addr, uint32_t compare, uint32_t v);
+uint64_t atomicCAS64(uint64_t addr, uint64_t compare, uint64_t v);
+uint32_t atomicExch32(uint64_t addr, uint32_t v);
+
+/// @}
+
+/// @name Plain device-memory access from handlers
+/// @{
+
+uint32_t devLoad32(uint64_t addr);
+uint64_t devLoad64(uint64_t addr);
+void devStore32(uint64_t addr, uint32_t v);
+void devStore64(uint64_t addr, uint64_t v);
+
+/// @}
+
+/** CUDA __isGlobal: whether a generic address is in global memory. */
+bool isGlobal(int64_t addr);
+
+} // namespace sassi::cuda
+
+#endif // SASSI_CORE_INTRINSICS_H

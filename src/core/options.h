@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Instrumentation options: the "where" and the "what".
+ *
+ * The paper (§3.1-3.2) drives these through ptxas command-line
+ * arguments: where to insert instrumentation (before all
+ * instructions, or instruction classes: control transfers, memory
+ * operations, calls, register reads/writes; after all instructions
+ * other than branches and jumps; basic block headers; kernel entries
+ * and exits) and what information to extract and pass to the
+ * handler (memory addresses, conditional branch information,
+ * register information).
+ */
+
+#ifndef SASSI_CORE_OPTIONS_H
+#define SASSI_CORE_OPTIONS_H
+
+#include <cstdint>
+#include <string>
+
+namespace sassi::core {
+
+/** Site-selection and parameter-extraction options for one pass. */
+struct InstrumentOptions
+{
+    /// @name Where: before-instruction site classes
+    /// @{
+    bool beforeAll = false;         //!< Every instruction.
+    bool beforeMem = false;         //!< Memory operations.
+    bool beforeControl = false;     //!< Control-transfer instructions.
+    bool beforeCondBranch = false;  //!< Guarded branches only.
+    bool beforeCall = false;        //!< Call instructions.
+    bool beforeRegReads = false;    //!< Instructions reading GPRs.
+    bool beforeRegWrites = false;   //!< Instructions writing GPRs.
+    /// @}
+
+    /// @name Where: after-instruction site classes
+    /// (Branches and jumps are never given after-sites, §3.1.)
+    /// @{
+    bool afterAll = false;
+    bool afterMem = false;
+    bool afterRegWrites = false;
+    /// @}
+
+    /// @name Where: structural sites
+    /// @{
+    bool kernelEntry = false;
+    bool kernelExit = false;
+    bool blockHeaders = false;
+    /// @}
+
+    /// @name What: parameter blocks to materialize
+    /// @{
+    bool memoryInfo = false;   //!< SASSIMemoryParams at memory ops.
+    bool branchInfo = false;   //!< SASSICondBranchParams at branches.
+    bool registerInfo = false; //!< SASSIRegisterParams.
+    /// @}
+
+    /**
+     * Modeled cost of the handler body in warp instructions per
+     * call. The injected spill/param/call sequence is real SASS and
+     * costs its true instruction count; the handler body is host C++
+     * standing in for CUDA compiled with -maxrregcount=16, so its
+     * cost is charged explicitly (see DESIGN.md).
+     */
+    uint32_t handlerCostInstrs = 40;
+
+    /**
+     * Do not instrument SASSI-synthetic instructions. Always true in
+     * the real tool; exposed for tests.
+     */
+    bool skipSynthetic = true;
+
+    /**
+     * Registers the handler may clobber (the -maxrregcount the
+     * handler was compiled with). 16 is the CUDA ABI minimum the
+     * paper imposes (§3.2); the ablation bench sweeps this to show
+     * why the cap matters.
+     */
+    int handlerRegCap = 16;
+
+    /**
+     * Ablation: spill every caller-saved register instead of only
+     * the live ones — what a binary instrumentation tool without
+     * the compiler's liveness information must do (§10.1).
+     */
+    bool naiveSpillAll = false;
+
+    /**
+     * The optimization the paper sketches as future work (§9.1):
+     * "tracking which live variables are statically guaranteed to
+     * have been previously spilled but not yet overwritten, which
+     * will allow us to forgo re-spilling registers." Spills go to a
+     * persistent per-thread region (local bytes [0, 0x80)) instead
+     * of the transient frame, and within a basic block a register
+     * already saved and not redefined since is not re-spilled.
+     * Fills still always run (the handler clobbers the window).
+     */
+    bool elideRedundantSpills = false;
+
+    /**
+     * Graphics-shader support (paper §9.5): shaders maintain no
+     * stack, so SASSI allocates and initializes one at kernel entry
+     * before any injected ABI call can run. "Aside from stack
+     * management, the mechanics of setting up a CUDA ABI-compliant
+     * call from a graphics shader remain unchanged."
+     */
+    bool manageStack = false;
+
+    /** @return a ptxas-style flag string describing the options. */
+    std::string describe() const;
+};
+
+} // namespace sassi::core
+
+#endif // SASSI_CORE_OPTIONS_H

@@ -1,0 +1,80 @@
+#include "core/params.h"
+
+#include "util/logging.h"
+
+namespace sassi::core {
+
+namespace {
+
+/** Generic address of a register's spill slot at this site. */
+uint64_t
+spillSlotAddr(simt::Executor *exec, simt::Warp *warp, int lane,
+              uint64_t frame_addr, const SiteInfo *site, int r)
+{
+    if (site->persistentSpills) {
+        // The elide-redundant-spills optimization keeps spills in a
+        // per-thread persistent region at local offset 0.
+        return exec->localWindowAddr(*warp, lane) +
+               static_cast<uint64_t>(frame::PersistBase + 4 * r);
+    }
+    return frame_addr + static_cast<uint64_t>(frame::gprSpillSlot(r));
+}
+
+} // namespace
+
+uint32_t
+SASSIRegisterParams::GetRegValue(SASSIGPRRegInfo info) const
+{
+    sass::RegId r = info.reg;
+    if (r < 32 && (site_->spillMask >> r) & 1u) {
+        return static_cast<uint32_t>(exec_->readGeneric(
+            spillSlotAddr(exec_, warp_, lane_, frame_, site_, r), 4));
+    }
+    return warp_->reg(lane_, r);
+}
+
+void
+SASSIRegisterParams::SetRegValue(SASSIGPRRegInfo info, uint32_t value) const
+{
+    sass::RegId r = info.reg;
+    if (r < 32 && (site_->spillMask >> r) & 1u) {
+        // The epilogue's fill will move the modified value into the
+        // register file — the paper's state-corruption mechanism.
+        exec_->writeGeneric(
+            spillSlotAddr(exec_, warp_, lane_, frame_, site_, r),
+            value, 4);
+        return;
+    }
+    warp_->setReg(lane_, r, value);
+}
+
+bool
+SASSIRegisterParams::GetPredValue(int pred) const
+{
+    return (static_cast<uint32_t>(read32(frame::PRSpill)) >> pred) & 1u;
+}
+
+void
+SASSIRegisterParams::SetPredValue(int pred, bool value) const
+{
+    uint32_t bits = static_cast<uint32_t>(read32(frame::PRSpill));
+    if (value)
+        bits |= 1u << pred;
+    else
+        bits &= ~(1u << pred);
+    write32(frame::PRSpill, static_cast<int32_t>(bits));
+}
+
+bool
+SASSIRegisterParams::GetCCValue() const
+{
+    return (static_cast<uint32_t>(read32(frame::CCSpill)) & 0x80u) != 0;
+}
+
+void
+SASSIRegisterParams::SetCCValue(bool value) const
+{
+    write32(frame::CCSpill, value ? 0x80 : 0x00);
+}
+
+} // namespace sassi::core

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Handler-visible parameter classes: SASSIBeforeParams,
+ * SASSIMemoryParams, SASSICondBranchParams, SASSIRegisterParams,
+ * SASSIAfterParams.
+ *
+ * These mirror the paper's Figure 2(b)/2(c) classes. Each is a thin
+ * view over the stack frame the injected code materialized in the
+ * thread's (simulated) local memory: the accessors read the same
+ * bytes the STL stores wrote, through the generic pointer the JCAL
+ * received in R4:R5 — so the data path is exactly the paper's, only
+ * the method bodies run on the host.
+ */
+
+#ifndef SASSI_CORE_PARAMS_H
+#define SASSI_CORE_PARAMS_H
+
+#include "sass/encoding.h"
+#include "simt/executor.h"
+#include "core/site.h"
+
+namespace sassi::core {
+
+/** Memory-space taxonomy exposed to handlers. */
+enum class SASSIMemoryDomain : int32_t {
+    Generic = 0,
+    Global = 1,
+    Shared = 2,
+    Local = 3,
+    Constant = 4,
+    Texture = 5,
+    Surface = 6,
+};
+
+/** Shared plumbing of all parameter views: one lane at one site. */
+class ParamsBase
+{
+  public:
+    ParamsBase() = default;
+
+    /**
+     * @param exec The running executor.
+     * @param warp The dispatching warp.
+     * @param lane This thread's lane.
+     * @param frame Generic address of the parameter frame (the bp
+     *              pointer passed in R4:R5).
+     * @param site Static site metadata.
+     */
+    ParamsBase(simt::Executor *exec, simt::Warp *warp, int lane,
+               uint64_t frame, const SiteInfo *site)
+        : exec_(exec), warp_(warp), lane_(lane), frame_(frame),
+          site_(site)
+    {}
+
+  protected:
+    int32_t
+    read32(int64_t off) const
+    {
+        return static_cast<int32_t>(
+            exec_->readGeneric(frame_ + static_cast<uint64_t>(off), 4));
+    }
+
+    int64_t
+    read64(int64_t off) const
+    {
+        return static_cast<int64_t>(
+            exec_->readGeneric(frame_ + static_cast<uint64_t>(off), 8));
+    }
+
+    void
+    write32(int64_t off, int32_t v) const
+    {
+        exec_->writeGeneric(frame_ + static_cast<uint64_t>(off),
+                            static_cast<uint64_t>(
+                                static_cast<uint32_t>(v)), 4);
+    }
+
+    simt::Executor *exec_ = nullptr;
+    simt::Warp *warp_ = nullptr;
+    int lane_ = 0;
+    uint64_t frame_ = 0;
+    const SiteInfo *site_ = nullptr;
+};
+
+/**
+ * Per-site static/dynamic facts handed to every handler, paper
+ * Figure 2(b). Decodes the insEncoding word the injected code
+ * stored, exactly like the real class.
+ */
+class SASSIBeforeParams : public ParamsBase
+{
+  public:
+    using ParamsBase::ParamsBase;
+
+    /** Unique site id. */
+    int32_t GetID() const { return read32(frame::Id); }
+
+    /** True iff the guarded instruction will actually execute. */
+    bool
+    GetInstrWillExecute() const
+    {
+        return read32(frame::InstrWillExecute) != 0;
+    }
+
+    /** Pseudo address of the containing function. */
+    int32_t GetFnAddr() const { return read32(frame::FnAddr); }
+
+    /** Instruction offset within the function (pre-SASSI PC). */
+    int32_t GetInsOffset() const { return read32(frame::InsOffset); }
+
+    /** Virtual instruction address (fnAddr + 8 * offset). */
+    int32_t
+    GetInsAddr() const
+    {
+        return GetFnAddr() + 8 * GetInsOffset();
+    }
+
+    /** Raw encoding word with opcode and static properties. */
+    uint32_t
+    GetInsEncoding() const
+    {
+        return static_cast<uint32_t>(read32(frame::InsEncoding));
+    }
+
+    /** Opcode of the instrumented instruction. */
+    sass::Opcode
+    GetOpcode() const
+    {
+        return sass::encodedOpcode(GetInsEncoding());
+    }
+
+    bool IsMem() const { return GetInsEncoding() & sass::enc::IsMem; }
+    bool
+    IsMemRead() const
+    {
+        return GetInsEncoding() & sass::enc::IsMemRead;
+    }
+    bool
+    IsMemWrite() const
+    {
+        return GetInsEncoding() & sass::enc::IsMemWrite;
+    }
+    bool
+    IsSpillOrFill() const
+    {
+        return GetInsEncoding() & sass::enc::IsSpillFill;
+    }
+    bool
+    IsSurfaceMemory() const
+    {
+        return GetInsEncoding() & sass::enc::IsSurface;
+    }
+    bool
+    IsControlXfer() const
+    {
+        return GetInsEncoding() & sass::enc::IsControl;
+    }
+    bool
+    IsCondControlXfer() const
+    {
+        return GetInsEncoding() & sass::enc::IsCondControl;
+    }
+    bool IsCall() const { return GetInsEncoding() & sass::enc::IsCall; }
+    bool IsSync() const { return GetInsEncoding() & sass::enc::IsSync; }
+    bool
+    IsNumeric() const
+    {
+        return GetInsEncoding() & sass::enc::IsNumeric;
+    }
+    bool
+    IsTexture() const
+    {
+        return GetInsEncoding() & sass::enc::IsTexture;
+    }
+    bool
+    IsAtomic() const
+    {
+        return GetInsEncoding() & sass::enc::IsAtomic;
+    }
+    bool
+    WritesGPR() const
+    {
+        return GetInsEncoding() & sass::enc::WritesGPR;
+    }
+};
+
+/** After-sites see the same frame; the alias mirrors the paper. */
+using SASSIAfterParams = SASSIBeforeParams;
+
+/** Memory-operation details, paper Figure 2(c). */
+class SASSIMemoryParams : public ParamsBase
+{
+  public:
+    using ParamsBase::ParamsBase;
+
+    /** The effective address this lane touches. */
+    int64_t GetAddress() const { return read64(frame::MemAddress); }
+
+    bool
+    IsLoad() const
+    {
+        return properties() & frame::PropLoad;
+    }
+
+    bool
+    IsStore() const
+    {
+        return properties() & frame::PropStore;
+    }
+
+    bool
+    IsAtomic() const
+    {
+        return properties() & frame::PropAtomic;
+    }
+
+    /** Not modeled; always false (documented substitution). */
+    bool IsUniform() const { return false; }
+
+    /** Not modeled; always false (documented substitution). */
+    bool IsVolatile() const { return false; }
+
+    /** Access width in bytes. */
+    int32_t GetWidth() const { return read32(frame::MemWidth); }
+
+    /** Address-space domain. */
+    SASSIMemoryDomain
+    GetDomain() const
+    {
+        return static_cast<SASSIMemoryDomain>(read32(frame::MemDomain));
+    }
+
+  private:
+    uint32_t
+    properties() const
+    {
+        return static_cast<uint32_t>(read32(frame::MemProperties));
+    }
+};
+
+/** Conditional-branch details (case study I). */
+class SASSICondBranchParams : public ParamsBase
+{
+  public:
+    using ParamsBase::ParamsBase;
+
+    /** True when this lane will take the branch. */
+    bool GetDirection() const { return read32(frame::BrDirection) != 0; }
+
+    /** Taken-path PC (pre-SASSI indices). */
+    int32_t GetTakenPC() const { return read32(frame::BrTarget); }
+
+    /** Fall-through PC (pre-SASSI indices). */
+    int32_t
+    GetFallthroughPC() const
+    {
+        return read32(frame::BrFallthrough);
+    }
+
+    /** True for a guarded (conditional) branch. */
+    bool
+    IsConditional() const
+    {
+        return read32(frame::BrIsConditional) != 0;
+    }
+};
+
+/** Handle naming one destination register. */
+struct SASSIGPRRegInfo
+{
+    sass::RegId reg = sass::RZ;
+};
+
+/**
+ * Register-write details (case studies III and IV). GetRegValue
+ * reads through the spill slots when the register was spilled for
+ * the ABI call — which is why the paper's GetRegValue takes the
+ * SASSIAfterParams pointer — and SetRegValue writes back through
+ * the same slots, so the epilogue's fills restore the *modified*
+ * value into the register file. That is exactly the mechanism that
+ * lets SASSI-based injection corrupt ISA-visible state (§8).
+ */
+class SASSIRegisterParams : public ParamsBase
+{
+  public:
+    using ParamsBase::ParamsBase;
+
+    /** Number of destination GPRs the instruction writes. */
+    int32_t GetNumGPRDsts() const { return read32(frame::RegNumDsts); }
+
+    /** Handle for destination d. */
+    SASSIGPRRegInfo
+    GetGPRDst(int d) const
+    {
+        return {static_cast<sass::RegId>(read32(frame::RegIds + 4 * d))};
+    }
+
+    /** Architected register number of a handle. */
+    int32_t
+    GetRegNum(SASSIGPRRegInfo info) const
+    {
+        return info.reg;
+    }
+
+    /** Read the current value of a destination register. */
+    uint32_t GetRegValue(SASSIGPRRegInfo info) const;
+
+    /** Overwrite a destination register (error injection). */
+    void SetRegValue(SASSIGPRRegInfo info, uint32_t value) const;
+
+    /** Bitmask of destination predicate registers. */
+    uint32_t
+    GetDstPredMask() const
+    {
+        return static_cast<uint32_t>(read32(frame::RegPredMask));
+    }
+
+    /** Read a predicate register through the PR spill slot. */
+    bool GetPredValue(int pred) const;
+
+    /** Overwrite a predicate register (restored by the epilogue). */
+    void SetPredValue(int pred, bool value) const;
+
+    /** True when the instruction writes the carry flag. */
+    bool
+    WritesCC() const
+    {
+        return read32(frame::RegWritesCC) != 0;
+    }
+
+    /** Read the carry flag through the CC spill slot. */
+    bool GetCCValue() const;
+
+    /** Overwrite the carry flag. */
+    void SetCCValue(bool value) const;
+};
+
+} // namespace sassi::core
+
+#endif // SASSI_CORE_PARAMS_H

@@ -1,0 +1,130 @@
+#include "core/runtime.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace sassi::core {
+
+namespace {
+thread_local DispatchState *tl_dispatch = nullptr;
+} // namespace
+
+DispatchState *
+currentDispatch()
+{
+    return tl_dispatch;
+}
+
+SassiRuntime::SassiRuntime(simt::Device &dev)
+    : dev_(dev)
+{
+    panic_if(dev_.dispatcher() != nullptr,
+             "device already has a SASSI runtime installed");
+    dev_.setDispatcher(this);
+}
+
+SassiRuntime::~SassiRuntime()
+{
+    if (dev_.dispatcher() == this)
+        dev_.setDispatcher(nullptr);
+}
+
+int32_t
+SassiRuntime::addSite(SiteInfo site)
+{
+    sites_.push_back(std::move(site));
+    return static_cast<int32_t>(sites_.size()) - 1;
+}
+
+void
+SassiRuntime::instrument(const InstrumentOptions &opts)
+{
+    panic_if(instrumented_, "module instrumented twice through the same "
+             "runtime");
+    instrumented_ = true;
+    opts_ = opts;
+    instrumentModule(dev_.module(), opts, *this);
+}
+
+void
+SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
+                       int32_t site_key)
+{
+    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
+    exec.chargeHandlerCost(opts_.handlerCostInstrs);
+
+    bool is_after = site.flavor == SiteFlavor::After;
+    const Handler &handler = is_after ? after_ : before_;
+    const HandlerTraits &traits =
+        is_after ? after_traits_ : before_traits_;
+    if (!handler)
+        return;
+    if (traits.warpFilter && !traits.warpFilter(exec, warp, site))
+        return;
+
+    DispatchState ds;
+    ds.exec = &exec;
+    ds.warp = &warp;
+    ds.site = &site;
+    ds.activeMask = warp.activeMask;
+    ds.fibers = &fibers_;
+    ds.envs.resize(sass::WarpSize);
+
+    std::vector<int> lanes;
+    for (int lane = 0; lane < sass::WarpSize; ++lane) {
+        if (!(warp.activeMask & (1u << lane)))
+            continue;
+        lanes.push_back(lane);
+
+        // The injected ABI sequence passed the bp pointer in R4:R5
+        // (second pointer, aux block, in R6:R7 — it is bp + 0x60, so
+        // the frame base is all the views need).
+        uint64_t frame =
+            makeU64(warp.reg(lane, sass::abi::Arg0Lo),
+                    warp.reg(lane, sass::abi::Arg0Lo + 1));
+
+        HandlerEnv &env = ds.envs[static_cast<size_t>(lane)];
+        env.bp = SASSIBeforeParams(&exec, &warp, lane, frame, &site);
+        env.mp = SASSIMemoryParams(&exec, &warp, lane, frame, &site);
+        env.brp = SASSICondBranchParams(&exec, &warp, lane, frame, &site);
+        env.rp = SASSIRegisterParams(&exec, &warp, lane, frame, &site);
+        env.site = &site;
+        env.lane = lane;
+        env.threadIdx = exec.threadIdx(warp, lane);
+        env.blockIdx = exec.ctaId();
+        env.blockDim = exec.blockDim();
+        env.gridDim = exec.gridDim();
+    }
+
+    tl_dispatch = &ds;
+    if (traits.warpSynchronous) {
+        fibers_.run(lanes, [&](int lane) {
+            try {
+                handler(ds.envs[static_cast<size_t>(lane)]);
+            } catch (const simt::SimFault &f) {
+                // Never unwind across the fiber boundary; rethrow
+                // after the fiber group drains.
+                if (!ds.faulted) {
+                    ds.faulted = true;
+                    ds.fault = f;
+                }
+            }
+        });
+    } else {
+        // Fast path for handlers with no warp-wide intrinsics:
+        // iterate the lanes directly.
+        try {
+            for (int lane : lanes)
+                handler(ds.envs[static_cast<size_t>(lane)]);
+        } catch (const simt::SimFault &f) {
+            ds.faulted = true;
+            ds.fault = f;
+        }
+    }
+    tl_dispatch = nullptr;
+
+    if (ds.faulted)
+        throw ds.fault;
+}
+
+} // namespace sassi::core

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The SASSI runtime: site registry, handler registration, and the
+ * JCAL dispatcher that executes user handlers warp-synchronously.
+ *
+ * In the real tool, handlers are CUDA functions compiled with
+ * -maxrregcount=16 and linked with nvlink (paper Figure 1); the
+ * injected JCAL transfers control to them on the GPU. Here the
+ * handler bodies are host C++ closures executed on one fiber per
+ * active lane, so warp-wide intrinsics (__ballot, __shfl, __all)
+ * synchronize exactly as they would on hardware, and all parameter
+ * data still flows through the simulated stack frames the injected
+ * SASS materialized.
+ */
+
+#ifndef SASSI_CORE_RUNTIME_H
+#define SASSI_CORE_RUNTIME_H
+
+#include <functional>
+#include <vector>
+
+#include "core/options.h"
+#include "core/params.h"
+#include "core/site.h"
+#include "simt/device.h"
+#include "util/fiber.h"
+
+namespace sassi::core {
+
+/** Everything a handler can see about one lane at one site. */
+struct HandlerEnv
+{
+    /** Site/instruction facts (also the after-params view). */
+    SASSIBeforeParams bp;
+
+    /** Memory params; valid when site->hasMemParams. */
+    SASSIMemoryParams mp;
+
+    /** Branch params; valid when site->hasBranchParams. */
+    SASSICondBranchParams brp;
+
+    /** Register params; valid when site->hasRegParams. */
+    SASSIRegisterParams rp;
+
+    /** Static site metadata. */
+    const SiteInfo *site = nullptr;
+
+    int lane = 0;
+    simt::Dim3 threadIdx;
+    simt::Dim3 blockIdx;
+    simt::Dim3 blockDim;
+    simt::Dim3 gridDim;
+};
+
+/** User handler: one invocation per active lane per site. */
+using Handler = std::function<void(const HandlerEnv &)>;
+
+/** Static properties of a registered handler. */
+struct HandlerTraits
+{
+    /**
+     * Whether the handler uses warp-wide intrinsics (__ballot,
+     * __shfl, __all). Warp-synchronous handlers execute on one
+     * fiber per lane so the intrinsics can rendezvous; handlers
+     * that only use atomics and plain loads/stores (like the
+     * paper's Figure 3 counter handler) run on a fast path that
+     * simply iterates the active lanes.
+     */
+    bool warpSynchronous = true;
+
+    /**
+     * Optional warp-level predicate evaluated before any lane's
+     * handler body runs; returning false skips the warp entirely.
+     * This models a handler whose leading exit test is warp-uniform
+     * (the error injector's kernel/thread match): the real tool
+     * still pays the call on the GPU, so the modeled handler cost
+     * is charged either way.
+     */
+    std::function<bool(simt::Executor &, simt::Warp &,
+                       const SiteInfo &)> warpFilter;
+};
+
+/** Per-dispatch shared state consulted by the CUDA intrinsics. */
+struct DispatchState
+{
+    simt::Executor *exec = nullptr;
+    simt::Warp *warp = nullptr;
+    const SiteInfo *site = nullptr;
+    uint32_t activeMask = 0;
+    FiberGroup *fibers = nullptr;
+    std::vector<HandlerEnv> envs; //!< Indexed by lane id.
+    bool faulted = false;
+    simt::SimFault fault{simt::Outcome::Ok, ""};
+};
+
+/** @return the dispatch currently executing on this thread. */
+DispatchState *currentDispatch();
+
+/**
+ * One SASSI instrumentation session over one device's module.
+ * Construction installs the runtime as the device's handler
+ * dispatcher; destruction removes it.
+ */
+class SassiRuntime : public simt::HandlerDispatcher
+{
+  public:
+    explicit SassiRuntime(simt::Device &dev);
+    ~SassiRuntime() override;
+
+    SassiRuntime(const SassiRuntime &) = delete;
+    SassiRuntime &operator=(const SassiRuntime &) = delete;
+
+    /**
+     * Run the SASSI pass over every kernel of the device's loaded
+     * module, in place. May be called once per runtime.
+     */
+    void instrument(const InstrumentOptions &opts);
+
+    /** Install the handler for before/entry/exit/header sites. */
+    void
+    setBeforeHandler(Handler h, HandlerTraits traits = {})
+    {
+        before_ = std::move(h);
+        before_traits_ = std::move(traits);
+    }
+
+    /** Install the handler for after sites. */
+    void
+    setAfterHandler(Handler h, HandlerTraits traits = {})
+    {
+        after_ = std::move(h);
+        after_traits_ = std::move(traits);
+    }
+
+    /** Register a site (used by the pass). @return its key. */
+    int32_t addSite(SiteInfo site);
+
+    /** @return site metadata by key. */
+    const SiteInfo &
+    site(int32_t key) const
+    {
+        return sites_.at(static_cast<size_t>(key));
+    }
+
+    /** @return the number of registered sites. */
+    size_t numSites() const { return sites_.size(); }
+
+    /** @return the options the module was instrumented with. */
+    const InstrumentOptions &options() const { return opts_; }
+
+    /** @return the attached device. */
+    simt::Device &device() { return dev_; }
+
+    void dispatch(simt::Executor &exec, simt::Warp &warp,
+                  int32_t site_key) override;
+
+  private:
+    simt::Device &dev_;
+    std::vector<SiteInfo> sites_;
+    Handler before_;
+    Handler after_;
+    HandlerTraits before_traits_;
+    HandlerTraits after_traits_;
+    InstrumentOptions opts_;
+    FiberGroup fibers_;
+    bool instrumented_ = false;
+};
+
+/**
+ * The SASSI pass itself, exposed for direct use on a Module (the
+ * runtime's instrument() calls this on the device's module).
+ * Registers every created site with the runtime and rewrites each
+ * kernel: liveness-driven spills, frame construction, JCAL.
+ */
+void instrumentModule(ir::Module &module, const InstrumentOptions &opts,
+                      SassiRuntime &runtime);
+
+} // namespace sassi::core
+
+#endif // SASSI_CORE_RUNTIME_H

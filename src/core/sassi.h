@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header: the public SASSI API.
+ *
+ * Typical use (mirrors the paper's flow, Figure 1):
+ *
+ *   sassi::simt::Device dev;
+ *   dev.loadModule(buildMyKernels());          // "ptxas" output
+ *   sassi::core::SassiRuntime sassi(dev);      // install the tool
+ *   sassi::core::InstrumentOptions opts;
+ *   opts.beforeCondBranch = true;              // the "where"
+ *   opts.branchInfo = true;                    // the "what"
+ *   sassi.instrument(opts);                    // the final pass
+ *   sassi.setBeforeHandler(myHandler);         // "nvlink" the handler
+ *   dev.launch("kernel", grid, block, args);   // runs instrumented
+ */
+
+#ifndef SASSI_CORE_SASSI_H
+#define SASSI_CORE_SASSI_H
+
+#include "core/intrinsics.h"
+#include "core/options.h"
+#include "core/params.h"
+#include "core/runtime.h"
+#include "core/site.h"
+
+#endif // SASSI_CORE_SASSI_H

@@ -1,0 +1,38 @@
+#include "cupti/callbacks.h"
+
+#include <algorithm>
+
+namespace sassi::cupti {
+
+int
+CallbackRegistry::subscribe(Callback cb)
+{
+    int handle = next_handle_++;
+    subs_.emplace_back(handle, std::move(cb));
+    return handle;
+}
+
+void
+CallbackRegistry::unsubscribe(int handle)
+{
+    subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                               [&](const auto &p) {
+                                   return p.first == handle;
+                               }),
+                subs_.end());
+}
+
+void
+CallbackRegistry::fire(CallbackSite site, const CallbackData &data) const
+{
+    for (const auto &[handle, cb] : subs_)
+        cb(site, data);
+}
+
+uint32_t
+CallbackRegistry::noteLaunch(const std::string &kernel_name)
+{
+    return ++invocations_[kernel_name];
+}
+
+} // namespace sassi::cupti

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A CUPTI-like callback interface.
+ *
+ * The paper's instrumentation libraries use NVIDIA's CUPTI to
+ * register host-side callbacks on kernel launches and exits, through
+ * which they initialize device-side counters before a kernel runs
+ * and copy them back afterwards (paper §3.3). This module provides
+ * the equivalent subscription surface for the simulated device; the
+ * Device fires these callbacks synchronously around every launch,
+ * which also reproduces CUPTI+cudaMemcpy's kernel-serializing
+ * behaviour the paper relies on to avoid counter races.
+ */
+
+#ifndef SASSI_CUPTI_CALLBACKS_H
+#define SASSI_CUPTI_CALLBACKS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sassi::cupti {
+
+/** Which driver event a callback observes. */
+enum class CallbackSite {
+    KernelLaunch, //!< Immediately before the kernel starts.
+    KernelExit,   //!< Immediately after the kernel finishes.
+};
+
+/** Event payload delivered to callbacks. */
+struct CallbackData
+{
+    /** Static kernel entry name. */
+    std::string kernelName;
+
+    /** 1-based dynamic invocation count of this kernel. */
+    uint32_t invocation = 0;
+
+    /** Grid dimensions of the launch. */
+    uint32_t grid[3] = {1, 1, 1};
+
+    /** Block dimensions of the launch. */
+    uint32_t block[3] = {1, 1, 1};
+
+    /** KernelExit only: whether the kernel completed without fault. */
+    bool launchOk = true;
+
+    /** KernelExit only: fault description when !launchOk. */
+    std::string errorMessage;
+};
+
+/** Subscriber signature. */
+using Callback = std::function<void(CallbackSite, const CallbackData &)>;
+
+/**
+ * Subscription registry. The device owns one and fires it around
+ * every kernel launch; instrumentation libraries subscribe to it.
+ */
+class CallbackRegistry
+{
+  public:
+    /** Subscribe; @return a handle for unsubscribe(). */
+    int subscribe(Callback cb);
+
+    /** Remove a subscription. */
+    void unsubscribe(int handle);
+
+    /** Fire all subscribers (device-side use). */
+    void fire(CallbackSite site, const CallbackData &data) const;
+
+    /**
+     * Account a launch and @return its 1-based invocation index for
+     * the kernel (device-side use; paper's handlers key error
+     * injections on (kernel name, dynamic invocation id)).
+     */
+    uint32_t noteLaunch(const std::string &kernel_name);
+
+  private:
+    std::vector<std::pair<int, Callback>> subs_;
+    std::map<std::string, uint32_t> invocations_;
+    int next_handle_ = 1;
+};
+
+} // namespace sassi::cupti
+
+#endif // SASSI_CUPTI_CALLBACKS_H

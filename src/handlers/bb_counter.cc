@@ -1,0 +1,67 @@
+#include "handlers/bb_counter.h"
+
+#include <algorithm>
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+BlockCounter::BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
+                           uint32_t table_capacity)
+    : table_(dev, table_capacity, 2)
+{
+    DevHashTable *table = &table_;
+    rt.setBeforeHandler([table](const core::HandlerEnv &env) {
+        if (env.site->flavor != core::SiteFlavor::BlockHeader)
+            return;
+        uint32_t active = cuda::ballot(1);
+        uint64_t stats = table->findOrInsert(env.bp.GetInsAddr());
+        if (env.lane == cuda::ffs(active) - 1)
+            cuda::atomicAdd64(stats, 1);
+        cuda::atomicAdd64(stats + 8, 1);
+    });
+}
+
+std::vector<BlockStats>
+BlockCounter::results() const
+{
+    std::vector<BlockStats> out;
+    for (const auto &e : table_.collect()) {
+        BlockStats b;
+        b.headerAddr = e.key;
+        b.warpEntries = e.payload[0];
+        b.threadEntries = e.payload[1];
+        out.push_back(b);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BlockStats &a, const BlockStats &b) {
+                  return a.threadEntries > b.threadEntries;
+              });
+    return out;
+}
+
+OpcodeHistogram::OpcodeHistogram(simt::Device &dev,
+                                 core::SassiRuntime &rt)
+    : dev_(dev)
+{
+    counters_ = dev_.malloc(static_cast<size_t>(sass::NumOpcodes) * 8);
+    dev_.memset(counters_, 0, static_cast<size_t>(sass::NumOpcodes) * 8);
+
+    uint64_t counters = counters_;
+    core::HandlerTraits traits;
+    traits.warpSynchronous = false;
+    rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
+        auto op = static_cast<uint32_t>(env.bp.GetOpcode());
+        cuda::atomicAdd64(counters + op * 8, 1);
+    }, traits);
+}
+
+std::vector<uint64_t>
+OpcodeHistogram::counts() const
+{
+    std::vector<uint64_t> out(static_cast<size_t>(sass::NumOpcodes));
+    dev_.memcpyDtoH(out.data(), counters_, out.size() * 8);
+    return out;
+}
+
+} // namespace sassi::handlers

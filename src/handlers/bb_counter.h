@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Basic-block execution profiling via SASSI's block-header sites
+ * (paper §3.1: "SASSI supports instrumenting basic block headers"),
+ * plus a per-opcode dynamic histogram — the kind of tool Ocelot-
+ * style PTX instrumentation provides, here at the SASS level.
+ */
+
+#ifndef SASSI_HANDLERS_BB_COUNTER_H
+#define SASSI_HANDLERS_BB_COUNTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "handlers/dev_hash.h"
+
+namespace sassi::handlers {
+
+/** Per-block execution counters keyed by the header's address. */
+struct BlockStats
+{
+    int32_t headerAddr = 0;
+    uint64_t warpEntries = 0;   //!< Warp-level entries.
+    uint64_t threadEntries = 0; //!< Thread-level entries.
+};
+
+/** Counts executions of every basic block (hot-path listing). */
+class BlockCounter
+{
+  public:
+    BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
+                 uint32_t table_capacity = 4096);
+
+    /** @return per-block counts, hottest first. */
+    std::vector<BlockStats> results() const;
+
+    /** @return the InstrumentOptions this tool requires. */
+    static core::InstrumentOptions
+    options()
+    {
+        core::InstrumentOptions o;
+        o.blockHeaders = true;
+        return o;
+    }
+
+  private:
+    DevHashTable table_;
+};
+
+/** Dynamic opcode histogram over all executed instructions. */
+class OpcodeHistogram
+{
+  public:
+    OpcodeHistogram(simt::Device &dev, core::SassiRuntime &rt);
+
+    /** @return thread-level execution count per opcode. */
+    std::vector<uint64_t> counts() const;
+
+    /** @return the InstrumentOptions this tool requires. */
+    static core::InstrumentOptions
+    options()
+    {
+        core::InstrumentOptions o;
+        o.beforeAll = true;
+        return o;
+    }
+
+  private:
+    simt::Device &dev_;
+    uint64_t counters_;
+};
+
+} // namespace sassi::handlers
+
+#endif // SASSI_HANDLERS_BB_COUNTER_H

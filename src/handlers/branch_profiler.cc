@@ -1,0 +1,111 @@
+#include "handlers/branch_profiler.h"
+
+#include <algorithm>
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+namespace {
+
+/** Payload word indices in the device hash table. */
+enum : uint32_t {
+    PTotal = 0,
+    PActive,
+    PTaken,
+    PNotTaken,
+    PDivergent,
+    PayloadWords,
+};
+
+} // namespace
+
+BranchProfiler::BranchProfiler(simt::Device &dev, core::SassiRuntime &rt,
+                               uint32_t table_capacity)
+    : table_(dev, table_capacity, PayloadWords)
+{
+    DevHashTable *table = &table_;
+    rt.setBeforeHandler([table](const core::HandlerEnv &env) {
+        // Figure 4: the conditional-branch analysis handler.
+        int thread_idx_in_warp = env.lane;
+
+        // Which way is this thread going to branch?
+        bool dir = env.brp.GetDirection();
+
+        // Masks and counts of active/taken/not-taken threads.
+        uint32_t active = cuda::ballot(1);
+        uint32_t taken = cuda::ballot(dir == true);
+        uint32_t ntaken = cuda::ballot(dir == false);
+        int num_active = cuda::popc(active);
+        int num_taken = cuda::popc(taken);
+        int num_not_taken = cuda::popc(ntaken);
+
+        // The first active thread in each warp writes the results.
+        if ((cuda::ffs(active) - 1) == thread_idx_in_warp) {
+            uint64_t stats = table->findOrInsert(env.bp.GetInsAddr());
+            cuda::atomicAdd64(stats + PTotal * 8, 1);
+            cuda::atomicAdd64(stats + PActive * 8,
+                              static_cast<uint64_t>(num_active));
+            cuda::atomicAdd64(stats + PTaken * 8,
+                              static_cast<uint64_t>(num_taken));
+            cuda::atomicAdd64(stats + PNotTaken * 8,
+                              static_cast<uint64_t>(num_not_taken));
+            if (num_taken != num_active && num_not_taken != num_active) {
+                // Threads went different ways: a divergent branch.
+                cuda::atomicAdd64(stats + PDivergent * 8, 1);
+            }
+        }
+    });
+}
+
+std::vector<BranchStats>
+BranchProfiler::results() const
+{
+    std::vector<BranchStats> out;
+    for (const auto &e : table_.collect()) {
+        BranchStats b;
+        b.insAddr = e.key;
+        b.totalBranches = e.payload[PTotal];
+        b.activeThreads = e.payload[PActive];
+        b.takenThreads = e.payload[PTaken];
+        b.takenNotThreads = e.payload[PNotTaken];
+        b.divergentBranches = e.payload[PDivergent];
+        out.push_back(b);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BranchStats &a, const BranchStats &b) {
+                  return a.totalBranches > b.totalBranches;
+              });
+    return out;
+}
+
+BranchSummary
+BranchProfiler::summarize(uint64_t static_branch_count) const
+{
+    BranchSummary s;
+    s.staticBranches = static_branch_count;
+    for (const auto &b : results()) {
+        s.dynamicBranches += b.totalBranches;
+        s.dynamicDivergent += b.divergentBranches;
+        if (b.divergentBranches > 0)
+            ++s.staticDivergent;
+    }
+    return s;
+}
+
+uint64_t
+countStaticCondBranches(const ir::Module &module)
+{
+    uint64_t n = 0;
+    for (const auto &k : module.kernels) {
+        for (const auto &ins : k.code) {
+            if (!ins.synthetic && ins.op == sass::Opcode::BRA &&
+                ins.guard != sass::PT) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace sassi::handlers

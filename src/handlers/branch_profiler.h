@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Case study I: conditional control-flow profiling (paper §5).
+ *
+ * Implements the Figure 4 handler: for every conditional branch,
+ * count executions, active threads, taken/fall-through threads, and
+ * divergent executions, in a device-side hash table keyed by the
+ * branch's instruction address.
+ */
+
+#ifndef SASSI_HANDLERS_BRANCH_PROFILER_H
+#define SASSI_HANDLERS_BRANCH_PROFILER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "handlers/dev_hash.h"
+
+namespace sassi::handlers {
+
+/** Per-branch counters (paper §5: the five per-branch statistics). */
+struct BranchStats
+{
+    int32_t insAddr = 0;          //!< Branch instruction address.
+    uint64_t totalBranches = 0;   //!< Warp-level executions.
+    uint64_t activeThreads = 0;   //!< Sum of active threads.
+    uint64_t takenThreads = 0;    //!< Sum of taken threads.
+    uint64_t takenNotThreads = 0; //!< Sum of fall-through threads.
+    uint64_t divergentBranches = 0; //!< Executions that split the warp.
+};
+
+/** Aggregates for one application (one Table 1 row). */
+struct BranchSummary
+{
+    uint64_t staticBranches = 0;     //!< Conditional branches in code.
+    uint64_t staticDivergent = 0;    //!< Branches that ever diverged.
+    uint64_t dynamicBranches = 0;    //!< Executed branch instructions.
+    uint64_t dynamicDivergent = 0;   //!< Executions that diverged.
+
+    double
+    staticDivergentPct() const
+    {
+        return staticBranches
+                   ? 100.0 * static_cast<double>(staticDivergent) /
+                         static_cast<double>(staticBranches)
+                   : 0.0;
+    }
+
+    double
+    dynamicDivergentPct() const
+    {
+        return dynamicBranches
+                   ? 100.0 * static_cast<double>(dynamicDivergent) /
+                         static_cast<double>(dynamicBranches)
+                   : 0.0;
+    }
+};
+
+/**
+ * The branch-divergence tool. Construct after instrumenting with
+ * options(); owns the device hash table and the handler.
+ */
+class BranchProfiler
+{
+  public:
+    BranchProfiler(simt::Device &dev, core::SassiRuntime &rt,
+                   uint32_t table_capacity = 4096);
+
+    /** Host-side: per-branch statistics observed so far. */
+    std::vector<BranchStats> results() const;
+
+    /**
+     * Aggregate a Table 1 row. static_branch_count is the number of
+     * conditional branches in the compiled module (the profiler
+     * counts only branches that executed; the caller supplies the
+     * code-level total, which the real tool reads from the binary).
+     */
+    BranchSummary summarize(uint64_t static_branch_count) const;
+
+    /** Host-side: clear all counters. */
+    void reset() { table_.clear(); }
+
+    /** @return the InstrumentOptions this tool requires. */
+    static core::InstrumentOptions
+    options()
+    {
+        core::InstrumentOptions o;
+        o.beforeCondBranch = true;
+        o.branchInfo = true;
+        return o;
+    }
+
+  private:
+    DevHashTable table_;
+};
+
+/** Count conditional branches in a module (static totals). */
+uint64_t countStaticCondBranches(const ir::Module &module);
+
+} // namespace sassi::handlers
+
+#endif // SASSI_HANDLERS_BRANCH_PROFILER_H

@@ -1,0 +1,65 @@
+#include "handlers/dev_hash.h"
+
+#include "core/intrinsics.h"
+#include "util/logging.h"
+
+namespace sassi::handlers {
+
+DevHashTable::DevHashTable(simt::Device &dev, uint32_t capacity,
+                           uint32_t payload_words)
+    : dev_(dev), capacity_(capacity), payload_words_(payload_words),
+      slot_bytes_(8 + payload_words * 8)
+{
+    panic_if(capacity == 0, "empty hash table");
+    base_ = dev_.malloc(static_cast<size_t>(capacity_) * slot_bytes_);
+    clear();
+}
+
+uint64_t
+DevHashTable::slotAddr(uint32_t slot) const
+{
+    return base_ + static_cast<uint64_t>(slot) * slot_bytes_;
+}
+
+uint64_t
+DevHashTable::findOrInsert(int32_t key) const
+{
+    panic_if(key == 0, "hash key 0 is reserved for empty slots");
+    auto h = static_cast<uint32_t>(key) * 2654435761u;
+    for (uint32_t probe = 0; probe < capacity_; ++probe) {
+        uint32_t slot = (h + probe) % capacity_;
+        uint64_t addr = slotAddr(slot);
+        uint32_t old = cuda::atomicCAS32(addr, 0,
+                                         static_cast<uint32_t>(key));
+        if (old == 0 || old == static_cast<uint32_t>(key))
+            return addr + 8;
+    }
+    fatal("device hash table full (capacity %u)", capacity_);
+}
+
+std::vector<DevHashTable::Entry>
+DevHashTable::collect() const
+{
+    std::vector<Entry> out;
+    for (uint32_t slot = 0; slot < capacity_; ++slot) {
+        uint64_t addr = slotAddr(slot);
+        auto key = static_cast<int32_t>(dev_.read<uint32_t>(addr));
+        if (key == 0)
+            continue;
+        Entry e;
+        e.key = key;
+        e.payload.resize(payload_words_);
+        dev_.memcpyDtoH(e.payload.data(), addr + 8,
+                        payload_words_ * 8);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+DevHashTable::clear()
+{
+    dev_.memset(base_, 0, static_cast<size_t>(capacity_) * slot_bytes_);
+}
+
+} // namespace sassi::handlers

@@ -1,0 +1,52 @@
+#include "handlers/instr_counter.h"
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+InstrCounter::InstrCounter(simt::Device &dev, core::SassiRuntime &rt)
+    : dev_(dev)
+{
+    counters_ = dev_.malloc(NumCategories * 8);
+    reset();
+
+    uint64_t counters = counters_;
+    core::HandlerTraits traits;
+    traits.warpSynchronous = false; // Figure 3 uses only atomics.
+    rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
+        // Figure 3, verbatim logic: overlapping category counters
+        // bumped with device atomics.
+        const auto &bp = env.bp;
+        const auto &mp = env.mp;
+        if (bp.IsMem()) {
+            cuda::atomicAdd64(counters + Memory * 8, 1);
+            if (mp.GetWidth() > 4 /*bytes*/)
+                cuda::atomicAdd64(counters + ExtendedMemory * 8, 1);
+        }
+        if (bp.IsControlXfer())
+            cuda::atomicAdd64(counters + ControlXfer * 8, 1);
+        if (bp.IsSync())
+            cuda::atomicAdd64(counters + Sync * 8, 1);
+        if (bp.IsNumeric())
+            cuda::atomicAdd64(counters + Numeric * 8, 1);
+        if (bp.IsTexture())
+            cuda::atomicAdd64(counters + Texture * 8, 1);
+        cuda::atomicAdd64(counters + TotalExecuted * 8, 1);
+    }, traits);
+}
+
+std::array<uint64_t, InstrCounter::NumCategories>
+InstrCounter::counts() const
+{
+    std::array<uint64_t, NumCategories> out{};
+    dev_.memcpyDtoH(out.data(), counters_, sizeof(out));
+    return out;
+}
+
+void
+InstrCounter::reset()
+{
+    dev_.memset(counters_, 0, NumCategories * 8);
+}
+
+} // namespace sassi::handlers

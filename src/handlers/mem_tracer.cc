@@ -1,0 +1,32 @@
+#include "handlers/mem_tracer.h"
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+MemTracer::MemTracer(simt::Device &, core::SassiRuntime &rt)
+{
+    rt.setBeforeHandler([this](const core::HandlerEnv &env) {
+        if (!env.bp.GetInstrWillExecute() || env.bp.IsSpillOrFill())
+            return;
+        int64_t addr = env.mp.GetAddress();
+        if (!cuda::isGlobal(addr))
+            return;
+
+        // Tag all records of one warp instruction with one event id
+        // so the cache simulator can model intra-warp coalescing.
+        uint32_t active = cuda::ballot(1);
+        if (env.lane == cuda::ffs(active) - 1)
+            ++warp_events_;
+
+        TraceRecord rec;
+        rec.address = static_cast<uint64_t>(addr);
+        rec.width = static_cast<uint8_t>(env.mp.GetWidth());
+        rec.isStore = env.mp.IsStore();
+        rec.insAddr = env.bp.GetInsAddr();
+        rec.warpEvent = warp_events_;
+        trace_.push_back(rec);
+    });
+}
+
+} // namespace sassi::handlers

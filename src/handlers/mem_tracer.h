@@ -1,0 +1,59 @@
+/**
+ * @file
+ * §9.4 extension: "SASSI can collect low-level traces of device-side
+ * events, which can then be processed by separate tools. For
+ * instance, a memory trace collected by SASSI can be used to drive a
+ * memory hierarchy simulator." This library is that trace collector;
+ * src/mem's cache simulator is the separate tool it drives.
+ */
+
+#ifndef SASSI_HANDLERS_MEM_TRACER_H
+#define SASSI_HANDLERS_MEM_TRACER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace sassi::handlers {
+
+/** One traced thread-level memory access. */
+struct TraceRecord
+{
+    uint64_t address = 0;
+    uint8_t width = 0;
+    bool isStore = false;
+    int32_t insAddr = 0; //!< Issuing instruction.
+    uint32_t warpEvent = 0; //!< Warp-level event id (for coalescing).
+};
+
+/** Collects a global-memory access trace. */
+class MemTracer
+{
+  public:
+    MemTracer(simt::Device &dev, core::SassiRuntime &rt);
+
+    /** @return the trace accumulated so far. */
+    const std::vector<TraceRecord> &trace() const { return trace_; }
+
+    /** Drop the accumulated trace. */
+    void reset() { trace_.clear(); }
+
+    /** @return the InstrumentOptions this tool requires. */
+    static core::InstrumentOptions
+    options()
+    {
+        core::InstrumentOptions o;
+        o.beforeMem = true;
+        o.memoryInfo = true;
+        return o;
+    }
+
+  private:
+    std::vector<TraceRecord> trace_;
+    uint32_t warp_events_ = 0;
+};
+
+} // namespace sassi::handlers
+
+#endif // SASSI_HANDLERS_MEM_TRACER_H

@@ -1,0 +1,120 @@
+#include "handlers/memdiv_profiler.h"
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+MemDivProfiler::MemDivProfiler(simt::Device &dev, core::SassiRuntime &rt)
+    : dev_(dev)
+{
+    counters_ = dev_.malloc(32 * 32 * 8);
+    reset();
+
+    uint64_t counters = counters_;
+    rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
+        // Figure 6: the memory-divergence handler. Note that unlike
+        // the branch handler, lanes whose guard predicate is false
+        // or whose access is not to global memory drop out before
+        // the first ballot, so the warp-wide ops see exactly the
+        // participating lanes (CUDA active-thread semantics).
+        if (!env.bp.GetInstrWillExecute())
+            return;
+        if (env.bp.IsSpillOrFill())
+            return;
+        int64_t addr_as_int = env.mp.GetAddress();
+        if (!cuda::isGlobal(addr_as_int))
+            return;
+
+        // Shift off the offset bits into the cache line.
+        auto line_addr = static_cast<uint32_t>(
+            static_cast<uint64_t>(addr_as_int) >> OffsetBits);
+
+        unsigned unique = 0; // Num unique lines per warp.
+        uint32_t workset = cuda::ballot(1);
+        int first_active = cuda::ffs(workset) - 1;
+        int num_active = cuda::popc(workset);
+        while (workset) {
+            // Elect a leader, get its cache line, see who matches it.
+            int leader = cuda::ffs(workset) - 1;
+            uint32_t leaders_addr = cuda::shfl(line_addr, leader);
+            uint32_t not_matches_leader =
+                cuda::ballot(leaders_addr != line_addr);
+
+            // All values matching the leader's are accounted for;
+            // remove them from the workset.
+            workset = workset & not_matches_leader;
+            unique++;
+        }
+
+        // Each thread independently computed num_active and unique;
+        // the first active thread tallies the result in the 32x32
+        // matrix of counters.
+        int thread_idx_in_warp = env.lane;
+        if (first_active == thread_idx_in_warp) {
+            uint64_t cell = counters +
+                (static_cast<uint64_t>(num_active - 1) * 32 +
+                 (unique - 1)) * 8;
+            cuda::atomicAdd64(cell, 1);
+        }
+    });
+}
+
+DivergenceMatrix
+MemDivProfiler::matrix() const
+{
+    DivergenceMatrix m;
+    std::vector<uint64_t> flat(32 * 32);
+    dev_.memcpyDtoH(flat.data(), counters_, flat.size() * 8);
+    for (int a = 0; a < 32; ++a)
+        for (int u = 0; u < 32; ++u)
+            m[static_cast<size_t>(a)][static_cast<size_t>(u)] =
+                flat[static_cast<size_t>(a) * 32 +
+                     static_cast<size_t>(u)];
+    return m;
+}
+
+DivergencePmf
+MemDivProfiler::pmf() const
+{
+    DivergenceMatrix m = matrix();
+    DivergencePmf out;
+    double total_threads = 0, total_warps = 0, weighted_unique = 0;
+    std::array<double, 32> threads_by_unique{};
+    std::array<double, 32> warps_by_unique{};
+    for (int a = 0; a < 32; ++a) {
+        for (int u = 0; u < 32; ++u) {
+            double count = static_cast<double>(
+                m[static_cast<size_t>(a)][static_cast<size_t>(u)]);
+            if (count == 0)
+                continue;
+            threads_by_unique[static_cast<size_t>(u)] +=
+                count * (a + 1);
+            warps_by_unique[static_cast<size_t>(u)] += count;
+            total_threads += count * (a + 1);
+            total_warps += count;
+            weighted_unique += count * (u + 1);
+        }
+    }
+    for (int u = 0; u < 32; ++u) {
+        out.byThreadAccesses[static_cast<size_t>(u)] =
+            total_threads ? threads_by_unique[static_cast<size_t>(u)] /
+                                total_threads
+                          : 0.0;
+        out.byWarpInstructions[static_cast<size_t>(u)] =
+            total_warps ? warps_by_unique[static_cast<size_t>(u)] /
+                              total_warps
+                        : 0.0;
+    }
+    out.meanUniqueLines =
+        total_warps ? weighted_unique / total_warps : 0.0;
+    out.fullyDivergedShare = out.byThreadAccesses[31];
+    return out;
+}
+
+void
+MemDivProfiler::reset()
+{
+    dev_.memset(counters_, 0, 32 * 32 * 8);
+}
+
+} // namespace sassi::handlers

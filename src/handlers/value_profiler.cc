@@ -1,0 +1,142 @@
+#include "handlers/value_profiler.h"
+
+#include "core/intrinsics.h"
+
+namespace sassi::handlers {
+
+namespace {
+
+/** Payload layout (64-bit words). */
+enum : uint32_t {
+    PWeight = 0,   //!< Thread-level execution count.
+    PNumDsts = 1,
+    PRegNum = 2,   //!< 4 words.
+    PSeen1 = 6,    //!< 4 words: bits ever observed as one.
+    PSeen0 = 10,   //!< 4 words: bits ever observed as zero.
+    PNonScalar = 14, //!< 4 words: warp disagreed at least once.
+    PayloadWords = 18,
+};
+
+} // namespace
+
+ValueProfiler::ValueProfiler(simt::Device &dev, core::SassiRuntime &rt,
+                             uint32_t table_capacity)
+    : table_(dev, table_capacity, PayloadWords)
+{
+    DevHashTable *table = &table_;
+    rt.setAfterHandler([table](const core::HandlerEnv &env) {
+        // Figure 9: the value-profiling handler. Skip lanes whose
+        // instruction was predicated off (their registers are
+        // unchanged) and SASSI's own spill traffic.
+        if (!env.bp.GetInstrWillExecute())
+            return;
+        if (env.bp.IsSpillOrFill())
+            return;
+        int num_dsts = env.rp.GetNumGPRDsts();
+        if (num_dsts == 0)
+            return;
+
+        int thread_idx_in_warp = env.lane;
+        int first_active = cuda::ffs(cuda::ballot(1)) - 1; // leader
+
+        // Hash the instruction's address into the global table.
+        uint64_t stats = table->findOrInsert(env.bp.GetInsAddr());
+
+        // Record the number of times the instruction executes.
+        cuda::atomicAdd64(stats + PWeight * 8, 1);
+        if (thread_idx_in_warp == first_active) {
+            cuda::atomicCAS64(stats + PNumDsts * 8, 0,
+                              static_cast<uint64_t>(num_dsts));
+        }
+        for (int d = 0; d < num_dsts && d < 4; ++d) {
+            // The value written to each destination register.
+            core::SASSIGPRRegInfo reg_info = env.rp.GetGPRDst(d);
+            uint32_t value_in_reg = env.rp.GetRegValue(reg_info);
+            if (thread_idx_in_warp == first_active) {
+                cuda::atomicCAS64(
+                    stats + (PRegNum + static_cast<uint32_t>(d)) * 8, 0,
+                    static_cast<uint64_t>(
+                        env.rp.GetRegNum(reg_info) + 1));
+            }
+
+            // Track bits ever seen one / ever seen zero (atomicOr is
+            // the zero-init-friendly dual of Figure 9's atomicAnd).
+            cuda::atomicOr64(
+                stats + (PSeen1 + static_cast<uint32_t>(d)) * 8,
+                value_in_reg);
+            cuda::atomicOr64(
+                stats + (PSeen0 + static_cast<uint32_t>(d)) * 8,
+                static_cast<uint32_t>(~value_in_reg));
+
+            // Get the leader's value; see if all threads agree.
+            uint32_t leader_value =
+                cuda::shfl(value_in_reg, first_active);
+            int all_same =
+                cuda::all(value_in_reg == leader_value) != 0;
+
+            // The warp leader writes the scalar verdict.
+            if (thread_idx_in_warp == first_active && !all_same) {
+                cuda::devStore64(
+                    stats + (PNonScalar + static_cast<uint32_t>(d)) * 8,
+                    1);
+            }
+        }
+    });
+}
+
+std::vector<ValueStats>
+ValueProfiler::results() const
+{
+    std::vector<ValueStats> out;
+    for (const auto &e : table_.collect()) {
+        ValueStats v;
+        v.insAddr = e.key;
+        v.weight = e.payload[PWeight];
+        v.numDsts = static_cast<int>(e.payload[PNumDsts]);
+        for (int d = 0; d < 4; ++d) {
+            auto ud = static_cast<uint32_t>(d);
+            v.regNum[d] =
+                static_cast<int>(e.payload[PRegNum + ud]) - 1;
+            auto seen1 = static_cast<uint32_t>(e.payload[PSeen1 + ud]);
+            auto seen0 = static_cast<uint32_t>(e.payload[PSeen0 + ud]);
+            v.constantOnes[d] = seen1 & ~seen0;
+            v.constantZeros[d] = seen0 & ~seen1;
+            v.isScalar[d] = v.weight > 0 &&
+                            e.payload[PNonScalar + ud] == 0;
+        }
+        out.push_back(v);
+    }
+    return out;
+}
+
+ValueSummary
+ValueProfiler::summarize() const
+{
+    ValueSummary s;
+    double dyn_const = 0, dyn_bits = 0, dyn_scalar = 0, dyn_dsts = 0;
+    double st_const = 0, st_bits = 0, st_scalar = 0, st_dsts = 0;
+    for (const auto &v : results()) {
+        if (v.numDsts == 0 || v.weight == 0)
+            continue;
+        double w = static_cast<double>(v.weight);
+        for (int d = 0; d < v.numDsts && d < 4; ++d) {
+            double cbits = popc(v.constantOnes[d]) +
+                           popc(v.constantZeros[d]);
+            dyn_const += w * cbits;
+            dyn_bits += w * 32;
+            dyn_scalar += w * (v.isScalar[d] ? 1 : 0);
+            dyn_dsts += w;
+            st_const += cbits;
+            st_bits += 32;
+            st_scalar += v.isScalar[d] ? 1 : 0;
+            st_dsts += 1;
+        }
+    }
+    s.dynamicConstBitsPct = dyn_bits ? 100.0 * dyn_const / dyn_bits : 0;
+    s.dynamicScalarPct = dyn_dsts ? 100.0 * dyn_scalar / dyn_dsts : 0;
+    s.staticConstBitsPct = st_bits ? 100.0 * st_const / st_bits : 0;
+    s.staticScalarPct = st_dsts ? 100.0 * st_scalar / st_dsts : 0;
+    return s;
+}
+
+} // namespace sassi::handlers

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Case study III: value profiling and analysis (paper §7).
+ *
+ * Implements the Figure 9 handler: after every instruction that
+ * writes registers, track per destination register (1) which bits
+ * are constant across the whole kernel and (2) whether the write is
+ * scalar (all threads in the warp produce the same value).
+ *
+ * One deliberate deviation from the paper's code: Figure 9 tracks
+ * constant bits with atomicAnd over fields initialized to all-ones.
+ * Our zero-initialized device hash table instead tracks, with
+ * atomicOr, which bits were ever seen as one (seen1) and ever seen
+ * as zero (seen0); a bit is constant iff it was not seen both ways.
+ * The host-side math recovers exactly the paper's constantOnes /
+ * constantZeros. Likewise isScalar is stored inverted (nonScalar,
+ * atomicOr). Behaviour is identical.
+ */
+
+#ifndef SASSI_HANDLERS_VALUE_PROFILER_H
+#define SASSI_HANDLERS_VALUE_PROFILER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "handlers/dev_hash.h"
+
+namespace sassi::handlers {
+
+/** Per-instruction value profile (one hash-table entry). */
+struct ValueStats
+{
+    int32_t insAddr = 0;
+    uint64_t weight = 0;  //!< Dynamic execution count (thread-level).
+    int numDsts = 0;
+    int regNum[4] = {0, 0, 0, 0};
+    uint32_t constantOnes[4] = {0, 0, 0, 0};  //!< Bits always 1.
+    uint32_t constantZeros[4] = {0, 0, 0, 0}; //!< Bits always 0.
+    bool isScalar[4] = {false, false, false, false};
+};
+
+/** Table 2 aggregates for one application. */
+struct ValueSummary
+{
+    double dynamicConstBitsPct = 0; //!< Weighted by execution count.
+    double dynamicScalarPct = 0;
+    double staticConstBitsPct = 0;  //!< Each instruction equal weight.
+    double staticScalarPct = 0;
+};
+
+/** The value-profiling tool (paper §7.1). */
+class ValueProfiler
+{
+  public:
+    ValueProfiler(simt::Device &dev, core::SassiRuntime &rt,
+                  uint32_t table_capacity = 8192);
+
+    /** Host-side: per-instruction profiles. */
+    std::vector<ValueStats> results() const;
+
+    /** Host-side: Table 2 row. */
+    ValueSummary summarize() const;
+
+    /** Host-side: clear. */
+    void reset() { table_.clear(); }
+
+    /** @return the InstrumentOptions this tool requires. */
+    static core::InstrumentOptions
+    options()
+    {
+        core::InstrumentOptions o;
+        o.afterRegWrites = true;
+        o.registerInfo = true;
+        return o;
+    }
+
+  private:
+    DevHashTable table_;
+};
+
+} // namespace sassi::handlers
+
+#endif // SASSI_HANDLERS_VALUE_PROFILER_H

@@ -1,0 +1,114 @@
+#include "mem/cache.h"
+
+#include "mem/coalescer.h"
+#include "util/logging.h"
+
+namespace sassi::mem {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    fatal_if(config_.lineBytes == 0 ||
+                 (config_.lineBytes & (config_.lineBytes - 1)) != 0,
+             "cache line size must be a power of two");
+    fatal_if(config_.ways == 0, "cache needs at least one way");
+    uint32_t lines = config_.sizeBytes / config_.lineBytes;
+    fatal_if(lines % config_.ways != 0,
+             "cache geometry does not divide into sets");
+    num_sets_ = lines / config_.ways;
+    fatal_if(num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0,
+             "number of sets must be a power of two");
+    lines_.assign(static_cast<size_t>(lines), {});
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = {};
+    stats_ = {};
+    tick_ = 0;
+}
+
+bool
+Cache::access(uint64_t addr, bool is_store)
+{
+    ++stats_.accesses;
+    ++tick_;
+    uint64_t line_addr = addr / config_.lineBytes;
+    uint64_t set = line_addr & (num_sets_ - 1);
+    uint64_t tag = line_addr >> __builtin_ctz(num_sets_);
+
+    Line *base = &lines_[set * config_.ways];
+    Line *victim = base;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.lruStamp = tick_;
+            line.dirty = line.dirty || is_store;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid &&
+                   line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    if (is_store && !config_.writeAllocate)
+        return false; // Write-through, no-allocate: bypass.
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_store;
+    victim->lruStamp = tick_;
+    return false;
+}
+
+Hierarchy::Hierarchy(uint32_t num_sms, const CacheConfig &l1,
+                     const CacheConfig &l2)
+    : l2_(l2)
+{
+    fatal_if(num_sms == 0, "hierarchy needs at least one SM");
+    for (uint32_t i = 0; i < num_sms; ++i)
+        l1s_.emplace_back(l1);
+}
+
+void
+Hierarchy::access(const WarpAccess &wa)
+{
+    Cache &l1 = l1s_[wa.smId % l1s_.size()];
+    CoalesceResult lines =
+        coalesce(wa.addresses, l1.config().lineBytes);
+    for (uint64_t line : lines.lines) {
+        ++transactions_;
+        if (l1.access(line, wa.isStore))
+            continue;
+        if (!l2_.access(line, wa.isStore))
+            ++dram_;
+    }
+}
+
+CacheStats
+Hierarchy::l1Stats() const
+{
+    CacheStats out;
+    for (const auto &c : l1s_) {
+        out.accesses += c.stats().accesses;
+        out.hits += c.stats().hits;
+        out.misses += c.stats().misses;
+        out.evictions += c.stats().evictions;
+        out.writebacks += c.stats().writebacks;
+    }
+    return out;
+}
+
+} // namespace sassi::mem

@@ -1,0 +1,26 @@
+#include "mem/coalescer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sassi::mem {
+
+CoalesceResult
+coalesce(const std::vector<uint64_t> &addresses, uint32_t line_bytes)
+{
+    panic_if(line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0,
+             "line size %u is not a power of two", line_bytes);
+    CoalesceResult out;
+    uint64_t mask = ~static_cast<uint64_t>(line_bytes - 1);
+    for (uint64_t a : addresses) {
+        uint64_t line = a & mask;
+        if (std::find(out.lines.begin(), out.lines.end(), line) ==
+            out.lines.end()) {
+            out.lines.push_back(line);
+        }
+    }
+    return out;
+}
+
+} // namespace sassi::mem

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Warp-level memory-access coalescing (paper §6): accesses from one
+ * warp instruction that fall in the same cache line are combined
+ * into one transaction. Used by the cache simulator and as the
+ * reference oracle for the Figure 6 handler's leader-election count.
+ */
+
+#ifndef SASSI_MEM_COALESCER_H
+#define SASSI_MEM_COALESCER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sassi::mem {
+
+/** Result of coalescing one warp instruction's accesses. */
+struct CoalesceResult
+{
+    /** Unique line base addresses, in first-touch order. */
+    std::vector<uint64_t> lines;
+
+    /** Number of unique lines (the paper's address divergence). */
+    int
+    uniqueLines() const
+    {
+        return static_cast<int>(lines.size());
+    }
+};
+
+/**
+ * Coalesce a warp's thread addresses into line transactions.
+ *
+ * @param addresses One address per participating thread.
+ * @param line_bytes Cache-line size (must be a power of two).
+ */
+CoalesceResult coalesce(const std::vector<uint64_t> &addresses,
+                        uint32_t line_bytes);
+
+} // namespace sassi::mem
+
+#endif // SASSI_MEM_COALESCER_H

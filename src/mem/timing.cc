@@ -1,0 +1,39 @@
+#include "mem/timing.h"
+
+namespace sassi::mem {
+
+TimingEstimate
+estimateCycles(uint64_t warp_instrs, uint64_t mufu_instrs,
+               const std::vector<WarpAccess> &accesses,
+               const TimingConfig &config)
+{
+    TimingEstimate est;
+    Hierarchy hierarchy(config.numSms, config.l1, config.l2);
+    for (const auto &wa : accesses)
+        hierarchy.access(wa);
+
+    est.transactions = hierarchy.transactions();
+    est.l1 = hierarchy.l1Stats();
+    est.l2 = hierarchy.l2Stats();
+
+    // Each transaction is charged the latency of the level that
+    // served it; overlapping transactions amortize by the MLP
+    // factor. A transaction that misses L1 but is a store bypass
+    // reaches L2 (no-write-allocate L1), so L2 hits + DRAM fills
+    // account for every L1 miss.
+    double mem_lat =
+        static_cast<double>(est.l1.hits) * config.l1HitCycles +
+        static_cast<double>(est.l2.hits) * config.l2HitCycles +
+        static_cast<double>(hierarchy.dramAccesses()) *
+            config.dramCycles;
+
+    est.issueCycles = static_cast<double>(warp_instrs) *
+                          config.issueCycles +
+                      static_cast<double>(mufu_instrs) *
+                          config.mufuCycles;
+    est.memCycles = mem_lat / config.mlp;
+    est.totalCycles = est.issueCycles + est.memCycles;
+    return est;
+}
+
+} // namespace sassi::mem

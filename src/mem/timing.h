@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A first-order timing estimator driven by SASSI memory traces —
+ * the natural completion of the paper's §9.4 pipeline ("a memory
+ * trace collected by SASSI can be used to drive a memory hierarchy
+ * simulator") and of §6's motivation that address divergence costs
+ * performance: every extra transaction a diverged warp issues adds
+ * latency the model charges.
+ *
+ * The model is deliberately simple and serial (issue cost per warp
+ * instruction plus per-transaction memory latency by hit level); it
+ * ranks layouts and quantifies divergence costs, it does not
+ * predict absolute hardware times.
+ */
+
+#ifndef SASSI_MEM_TIMING_H
+#define SASSI_MEM_TIMING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+
+namespace sassi::mem {
+
+/** Model parameters (defaults loosely Kepler-flavored). */
+struct TimingConfig
+{
+    double issueCycles = 1.0;    //!< Per warp instruction.
+    double mufuCycles = 8.0;     //!< Extra per MUFU instruction.
+    double l1HitCycles = 30.0;   //!< Per transaction hitting L1.
+    double l2HitCycles = 180.0;  //!< Per transaction hitting L2.
+    double dramCycles = 440.0;   //!< Per transaction going to DRAM.
+    /** Memory-level parallelism: concurrent transactions whose
+     *  latency overlaps. */
+    double mlp = 8.0;
+    uint32_t numSms = 8;
+    CacheConfig l1{16 * 1024, 128, 4, false};
+    CacheConfig l2{512 * 1024, 128, 8, true};
+};
+
+/** The estimate and its components. */
+struct TimingEstimate
+{
+    double issueCycles = 0;
+    double memCycles = 0;
+    double totalCycles = 0;
+    uint64_t transactions = 0;
+    CacheStats l1;
+    CacheStats l2;
+
+    /** Warp instructions per cycle (model throughput). */
+    double
+    ipc(uint64_t warp_instrs) const
+    {
+        return totalCycles > 0
+                   ? static_cast<double>(warp_instrs) / totalCycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Estimate kernel cycles.
+ *
+ * @param warp_instrs Issued warp instructions.
+ * @param mufu_instrs MUFU (transcendental) warp instructions.
+ * @param accesses Per-warp-instruction global accesses (a SASSI
+ *        trace grouped by warp event).
+ * @param config Model parameters.
+ */
+TimingEstimate estimateCycles(uint64_t warp_instrs,
+                              uint64_t mufu_instrs,
+                              const std::vector<WarpAccess> &accesses,
+                              const TimingConfig &config = {});
+
+} // namespace sassi::mem
+
+#endif // SASSI_MEM_TIMING_H

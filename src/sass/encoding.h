@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The 32-bit insEncoding word SASSI stores into SASSIBeforeParams.
+ *
+ * The paper (Figure 2) passes each handler an insEncoding field that
+ * "includes the instruction's opcode and other static properties";
+ * the SASSIBeforeParams accessor methods (IsMem, IsControlXfer, ...)
+ * decode it. We pack the opcode plus the classification flags and
+ * the memory shape into one word so the handler-side accessors are a
+ * pure decode, exactly like the real tool.
+ *
+ * Layout:
+ *   [7:0]   opcode
+ *   [8]     is memory
+ *   [9]     reads memory
+ *   [10]    writes memory
+ *   [11]    atomic
+ *   [12]    control transfer
+ *   [13]    conditional control transfer
+ *   [14]    call
+ *   [15]    sync
+ *   [16]    numeric
+ *   [17]    texture
+ *   [18]    surface
+ *   [19]    SASSI spill/fill
+ *   [20]    writes >= 1 GPR
+ *   [23:21] log2(memory width in bytes)
+ *   [26:24] memory space
+ */
+
+#ifndef SASSI_SASS_ENCODING_H
+#define SASSI_SASS_ENCODING_H
+
+#include <bit>
+
+#include "sass/instr.h"
+
+namespace sassi::sass {
+
+/** Bit positions within insEncoding. */
+namespace enc {
+constexpr int OpcodeLo = 0;
+constexpr uint32_t IsMem = 1u << 8;
+constexpr uint32_t IsMemRead = 1u << 9;
+constexpr uint32_t IsMemWrite = 1u << 10;
+constexpr uint32_t IsAtomic = 1u << 11;
+constexpr uint32_t IsControl = 1u << 12;
+constexpr uint32_t IsCondControl = 1u << 13;
+constexpr uint32_t IsCall = 1u << 14;
+constexpr uint32_t IsSync = 1u << 15;
+constexpr uint32_t IsNumeric = 1u << 16;
+constexpr uint32_t IsTexture = 1u << 17;
+constexpr uint32_t IsSurface = 1u << 18;
+constexpr uint32_t IsSpillFill = 1u << 19;
+constexpr uint32_t WritesGPR = 1u << 20;
+constexpr int WidthLo = 21;
+constexpr int SpaceLo = 24;
+} // namespace enc
+
+/** Pack the static properties of an instruction into insEncoding. */
+inline uint32_t
+encodeInstr(const Instruction &ins)
+{
+    uint32_t flags = opFlags(ins.op);
+    uint32_t word = static_cast<uint32_t>(ins.op);
+    if (flags & OF_Mem)
+        word |= enc::IsMem;
+    if (flags & OF_MemRead)
+        word |= enc::IsMemRead;
+    if (flags & OF_MemWrite)
+        word |= enc::IsMemWrite;
+    if (flags & OF_Atomic)
+        word |= enc::IsAtomic;
+    if (flags & OF_Control)
+        word |= enc::IsControl;
+    if (ins.isCondControl())
+        word |= enc::IsCondControl;
+    if (flags & OF_Call)
+        word |= enc::IsCall;
+    if (flags & OF_Sync)
+        word |= enc::IsSync;
+    if (flags & OF_Numeric)
+        word |= enc::IsNumeric;
+    if (flags & OF_Texture)
+        word |= enc::IsTexture;
+    if (flags & OF_Surface)
+        word |= enc::IsSurface;
+    if (ins.spillFill)
+        word |= enc::IsSpillFill;
+    if (!ins.dstRegs().empty())
+        word |= enc::WritesGPR;
+    word |= static_cast<uint32_t>(std::bit_width(
+                static_cast<unsigned>(ins.width)) - 1) << enc::WidthLo;
+    word |= static_cast<uint32_t>(ins.space) << enc::SpaceLo;
+    return word;
+}
+
+/** @return the opcode packed into an insEncoding word. */
+inline Opcode
+encodedOpcode(uint32_t word)
+{
+    return static_cast<Opcode>(word & 0xff);
+}
+
+/** @return the memory width in bytes packed into insEncoding. */
+inline int
+encodedWidth(uint32_t word)
+{
+    return 1 << ((word >> enc::WidthLo) & 0x7);
+}
+
+/** @return the memory space packed into insEncoding. */
+inline MemSpace
+encodedSpace(uint32_t word)
+{
+    return static_cast<MemSpace>((word >> enc::SpaceLo) & 0x7);
+}
+
+} // namespace sassi::sass
+
+#endif // SASSI_SASS_ENCODING_H

@@ -1,0 +1,500 @@
+#include "sass/instr.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sassi::sass {
+
+std::string_view
+cmpName(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::LT: return "LT";
+      case CmpOp::EQ: return "EQ";
+      case CmpOp::LE: return "LE";
+      case CmpOp::GT: return "GT";
+      case CmpOp::NE: return "NE";
+      case CmpOp::GE: return "GE";
+    }
+    return "?";
+}
+
+bool
+Instruction::addrIsPair() const
+{
+    if (!isMem())
+        return false;
+    switch (space) {
+      case MemSpace::Generic:
+      case MemSpace::Global:
+      case MemSpace::Texture:
+      case MemSpace::Surface:
+        return true;
+      case MemSpace::Shared:
+      case MemSpace::Local:
+      case MemSpace::Constant:
+        return false;
+    }
+    return false;
+}
+
+int
+Instruction::dstRegCount() const
+{
+    switch (op) {
+      case Opcode::LD:
+      case Opcode::LDG:
+      case Opcode::LDS:
+      case Opcode::LDL:
+      case Opcode::LDC:
+      case Opcode::TLD:
+      case Opcode::SULD:
+        return width <= 4 ? 1 : width / 4;
+      case Opcode::ATOM:
+      case Opcode::ATOMS:
+        return width <= 4 ? 1 : width / 4;
+      case Opcode::L2G:
+        return 2;
+      case Opcode::VOTE:
+        return vote == VoteMode::Ballot ? 1 : 0;
+      default:
+        return writesGPR() ? 1 : 0;
+    }
+}
+
+std::vector<RegId>
+Instruction::dstRegs() const
+{
+    std::vector<RegId> out;
+    if (!writesGPR() || dst == RZ)
+        return out;
+    int n = dstRegCount();
+    for (int i = 0; i < n; ++i)
+        out.push_back(static_cast<RegId>(dst + i));
+    return out;
+}
+
+std::vector<RegId>
+Instruction::srcRegs() const
+{
+    std::vector<RegId> out;
+    auto add = [&](RegId r) {
+        if (r != RZ)
+            out.push_back(r);
+    };
+    auto addPair = [&](RegId r) {
+        if (r != RZ) {
+            out.push_back(r);
+            out.push_back(static_cast<RegId>(r + 1));
+        }
+    };
+    auto addData = [&](RegId r) {
+        if (r == RZ)
+            return;
+        int n = width <= 4 ? 1 : width / 4;
+        for (int i = 0; i < n; ++i)
+            out.push_back(static_cast<RegId>(r + i));
+    };
+
+    switch (op) {
+      case Opcode::LD:
+      case Opcode::LDG:
+      case Opcode::TLD:
+      case Opcode::SULD:
+        addPair(srcA);
+        break;
+      case Opcode::LDS:
+      case Opcode::LDL:
+      case Opcode::LDC:
+        add(srcA);
+        break;
+      case Opcode::ST:
+      case Opcode::STG:
+      case Opcode::SUST:
+        addPair(srcA);
+        addData(srcB);
+        break;
+      case Opcode::STS:
+      case Opcode::STL:
+        add(srcA);
+        addData(srcB);
+        break;
+      case Opcode::ATOM:
+      case Opcode::RED:
+        addPair(srcA);
+        addData(srcB);
+        if (atom == AtomOp::Cas)
+            addData(srcC);
+        break;
+      case Opcode::ATOMS:
+        add(srcA);
+        addData(srcB);
+        if (atom == AtomOp::Cas)
+            addData(srcC);
+        break;
+      case Opcode::MOV:
+      case Opcode::POPC:
+      case Opcode::FLO:
+      case Opcode::I2F:
+      case Opcode::F2I:
+      case Opcode::MUFU:
+      case Opcode::R2P:
+      case Opcode::L2G:
+        add(srcA);
+        break;
+      case Opcode::MOV32I:
+      case Opcode::S2R:
+      case Opcode::P2R:
+      case Opcode::BRA:
+      case Opcode::JCAL:
+      case Opcode::RET:
+      case Opcode::EXIT:
+      case Opcode::BPT:
+      case Opcode::SSY:
+      case Opcode::SYNC:
+      case Opcode::BAR:
+      case Opcode::MEMBAR:
+      case Opcode::NOP:
+      case Opcode::PSETP:
+      case Opcode::VOTE:
+        break;
+      case Opcode::SHFL:
+        add(srcA);
+        if (!bIsImm)
+            add(srcB);
+        break;
+      case Opcode::IMAD:
+      case Opcode::FFMA:
+        add(srcA);
+        if (!bIsImm)
+            add(srcB);
+        add(srcC);
+        break;
+      default:
+        // Two-source ALU shape: IADD, IMUL, SHL, SHR, LOP, SEL,
+        // IMNMX, FADD, FMUL, FMNMX, ISETP, FSETP, IADD32I.
+        add(srcA);
+        if (!bIsImm)
+            add(srcB);
+        break;
+    }
+    return out;
+}
+
+std::vector<PredId>
+Instruction::srcPreds() const
+{
+    std::vector<PredId> out;
+    if (guard != PT)
+        out.push_back(guard);
+    switch (op) {
+      case Opcode::SEL:
+      case Opcode::PSETP:
+      case Opcode::VOTE:
+      case Opcode::ISETP:
+      case Opcode::FSETP:
+        if (pSrc != PT)
+            out.push_back(pSrc);
+        break;
+      case Opcode::P2R:
+        for (PredId p = 0; p < NumPred; ++p)
+            out.push_back(p);
+        break;
+      default:
+        break;
+    }
+    return out;
+}
+
+std::vector<PredId>
+Instruction::dstPreds() const
+{
+    std::vector<PredId> out;
+    switch (op) {
+      case Opcode::ISETP:
+      case Opcode::FSETP:
+      case Opcode::PSETP:
+        if (pDst != PT)
+            out.push_back(pDst);
+        break;
+      case Opcode::VOTE:
+        if (vote != VoteMode::Ballot && pDst != PT)
+            out.push_back(pDst);
+        break;
+      case Opcode::R2P:
+        for (PredId p = 0; p < NumPred; ++p) {
+            if (imm & (1 << p))
+                out.push_back(p);
+        }
+        break;
+      default:
+        break;
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+regName(RegId r)
+{
+    if (r == RZ)
+        return "RZ";
+    return "R" + std::to_string(static_cast<int>(r));
+}
+
+std::string
+predName(PredId p)
+{
+    if (p == PT)
+        return "PT";
+    return "P" + std::to_string(static_cast<int>(p));
+}
+
+std::string
+immStr(int64_t v)
+{
+    std::ostringstream ss;
+    if (v < 0)
+        ss << "-0x" << std::hex << -v;
+    else
+        ss << "0x" << std::hex << v;
+    return ss.str();
+}
+
+const char *kVoteNames[] = {"ALL", "ANY", "BALLOT"};
+const char *kShflNames[] = {"IDX", "UP", "DOWN", "BFLY"};
+const char *kAtomNames[] = {"ADD", "MIN", "MAX", "AND", "OR", "XOR",
+                            "EXCH", "CAS"};
+const char *kMufuNames[] = {"RCP", "SQRT", "RSQ", "LG2", "EX2", "SIN",
+                            "COS"};
+const char *kLogicNames[] = {"AND", "OR", "XOR", "PASS_B", "NOT"};
+const char *kSregNames[] = {
+    "SR_TID.X", "SR_TID.Y", "SR_TID.Z",
+    "SR_CTAID.X", "SR_CTAID.Y", "SR_CTAID.Z",
+    "SR_NTID.X", "SR_NTID.Y", "SR_NTID.Z",
+    "SR_NCTAID.X", "SR_NCTAID.Y", "SR_NCTAID.Z",
+    "SR_LANEID", "SR_WARPID", "SR_CLOCK",
+};
+
+} // namespace
+
+std::string_view
+sregName(SpecialReg sr)
+{
+    return kSregNames[static_cast<int>(sr)];
+}
+
+std::string
+Instruction::disasm() const
+{
+    std::ostringstream ss;
+    if (guard != PT)
+        ss << '@' << (guardNeg ? "!" : "") << predName(guard) << ' ';
+
+    ss << opName(op);
+
+    // Modifier suffixes.
+    switch (op) {
+      case Opcode::ISETP:
+        ss << '.' << cmpName(cmp);
+        if (!sExt)
+            ss << ".U32";
+        break;
+      case Opcode::FSETP:
+        ss << '.' << cmpName(cmp);
+        break;
+      case Opcode::IMNMX:
+      case Opcode::FMNMX:
+        ss << (cmp == CmpOp::LT ? ".MIN" : ".MAX");
+        break;
+      case Opcode::SHR:
+        if (sExt)
+            ss << ".S";
+        break;
+      case Opcode::LOP:
+      case Opcode::PSETP:
+        ss << '.' << kLogicNames[static_cast<int>(logic)];
+        break;
+      case Opcode::VOTE:
+        ss << '.' << kVoteNames[static_cast<int>(vote)];
+        break;
+      case Opcode::SHFL:
+        ss << '.' << kShflNames[static_cast<int>(shfl)];
+        break;
+      case Opcode::ATOM:
+      case Opcode::ATOMS:
+      case Opcode::RED:
+        ss << '.' << kAtomNames[static_cast<int>(atom)];
+        break;
+      case Opcode::MUFU:
+        ss << '.' << kMufuNames[static_cast<int>(mufu)];
+        break;
+      default:
+        break;
+    }
+    if (isMem() && op != Opcode::LDC) {
+        if (op == Opcode::LD || op == Opcode::ST)
+            ss << ".E";
+        if (width != 4)
+            ss << '.' << static_cast<int>(width) * 8;
+        if (sExt && (opFlags(op) & OF_MemRead))
+            ss << ".S";
+    }
+    if (setCC)
+        ss << ".CC";
+    if (useCC)
+        ss << ".X";
+
+    ss << ' ';
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            ss << ", ";
+        first = false;
+    };
+    auto emitReg = [&](RegId r) { sep(); ss << regName(r); };
+    auto emitPred = [&](PredId p, bool neg = false) {
+        sep();
+        if (neg)
+            ss << '!';
+        ss << predName(p);
+    };
+    auto emitImm = [&](int64_t v) { sep(); ss << immStr(v); };
+    auto emitAddr = [&]() {
+        sep();
+        ss << '[' << regName(srcA);
+        if (imm)
+            ss << (imm < 0 ? "" : "+") << immStr(imm);
+        ss << ']';
+    };
+    auto emitB = [&]() {
+        if (bIsImm)
+            emitImm(imm);
+        else
+            emitReg(srcB);
+    };
+
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::RET:
+      case Opcode::EXIT:
+      case Opcode::BPT:
+      case Opcode::SYNC:
+      case Opcode::BAR:
+      case Opcode::MEMBAR:
+        break;
+      case Opcode::BRA:
+      case Opcode::SSY:
+      case Opcode::JCAL:
+        emitImm(target);
+        break;
+      case Opcode::MOV:
+      case Opcode::POPC:
+      case Opcode::FLO:
+      case Opcode::I2F:
+      case Opcode::F2I:
+      case Opcode::MUFU:
+      case Opcode::L2G:
+        emitReg(dst);
+        emitReg(srcA);
+        break;
+      case Opcode::MOV32I:
+        emitReg(dst);
+        emitImm(imm);
+        break;
+      case Opcode::SEL:
+        emitReg(dst);
+        emitReg(srcA);
+        emitReg(srcB);
+        emitPred(pSrc, pSrcNeg);
+        break;
+      case Opcode::IMAD:
+      case Opcode::FFMA:
+        emitReg(dst);
+        emitReg(srcA);
+        emitB();
+        emitReg(srcC);
+        break;
+      case Opcode::ISETP:
+      case Opcode::FSETP:
+        emitPred(pDst);
+        emitReg(srcA);
+        emitB();
+        break;
+      case Opcode::PSETP:
+        emitPred(pDst);
+        emitPred(pSrc, pSrcNeg);
+        emitPred(static_cast<PredId>(imm & 7), (imm & 8) != 0);
+        break;
+      case Opcode::P2R:
+        emitReg(dst);
+        emitImm(imm);
+        break;
+      case Opcode::R2P:
+        emitReg(srcA);
+        emitImm(imm);
+        break;
+      case Opcode::LD:
+      case Opcode::LDG:
+      case Opcode::LDS:
+      case Opcode::LDL:
+      case Opcode::TLD:
+      case Opcode::SULD:
+        emitReg(dst);
+        emitAddr();
+        break;
+      case Opcode::LDC:
+        emitReg(dst);
+        sep();
+        ss << "c[0x0][" << immStr(imm) << ']';
+        break;
+      case Opcode::ST:
+      case Opcode::STG:
+      case Opcode::STS:
+      case Opcode::STL:
+      case Opcode::SUST:
+        emitAddr();
+        emitReg(srcB);
+        break;
+      case Opcode::ATOM:
+      case Opcode::ATOMS:
+        emitReg(dst);
+        emitAddr();
+        emitReg(srcB);
+        if (atom == AtomOp::Cas)
+            emitReg(srcC);
+        break;
+      case Opcode::RED:
+        emitAddr();
+        emitReg(srcB);
+        break;
+      case Opcode::VOTE:
+        if (vote == VoteMode::Ballot)
+            emitReg(dst);
+        else
+            emitPred(pDst);
+        emitPred(pSrc, pSrcNeg);
+        break;
+      case Opcode::SHFL:
+        emitReg(dst);
+        emitReg(srcA);
+        emitB();
+        break;
+      case Opcode::S2R:
+        emitReg(dst);
+        sep();
+        ss << sregName(sreg);
+        break;
+      default:
+        // Two-source ALU shape.
+        emitReg(dst);
+        emitReg(srcA);
+        emitB();
+        break;
+    }
+    return ss.str();
+}
+
+} // namespace sassi::sass

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The machine-instruction representation of the SASS-like ISA.
+ *
+ * Program counters are instruction indices within a kernel; branch
+ * and SSY targets are therefore plain indices, which keeps the
+ * SASSI splicing pass (which renumbers instructions) simple and
+ * explicit.
+ */
+
+#ifndef SASSI_SASS_INSTR_H
+#define SASSI_SASS_INSTR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sass/opcode.h"
+#include "sass/reg.h"
+
+namespace sassi::sass {
+
+/** Address space of a memory operation. */
+enum class MemSpace : uint8_t {
+    Generic,  //!< Resolved by address window at execution time.
+    Global,
+    Shared,
+    Local,
+    Constant,
+    Texture,
+    Surface,
+};
+
+/** Integer/float comparison operators for ISETP/FSETP/IMNMX. */
+enum class CmpOp : uint8_t { LT, EQ, LE, GT, NE, GE };
+
+/** LOP logic operations. */
+enum class LogicOp : uint8_t { And, Or, Xor, PassB, Not };
+
+/** VOTE modes. */
+enum class VoteMode : uint8_t { All, Any, Ballot };
+
+/** SHFL modes. */
+enum class ShflMode : uint8_t { Idx, Up, Down, Bfly };
+
+/** Atomic operations. */
+enum class AtomOp : uint8_t { Add, Min, Max, And, Or, Xor, Exch, Cas };
+
+/** MUFU (multi-function unit) operations. */
+enum class MufuOp : uint8_t { Rcp, Sqrt, Rsq, Lg2, Ex2, Sin, Cos };
+
+/** Special registers readable via S2R. */
+enum class SpecialReg : uint8_t {
+    TidX, TidY, TidZ,
+    CtaIdX, CtaIdY, CtaIdZ,
+    NTidX, NTidY, NTidZ,
+    NCtaIdX, NCtaIdY, NCtaIdZ,
+    LaneId, WarpId, Clock,
+};
+
+/**
+ * One machine instruction. Every instruction carries an optional
+ * guard predicate (@P / @!P); guarded-false lanes are nullified.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+
+    /** Guard predicate index; PT means unconditional. */
+    PredId guard = PT;
+    /** Negate the guard (@!P). */
+    bool guardNeg = false;
+
+    /** Destination GPR (RZ discards). Wide results use dst..dst+n. */
+    RegId dst = RZ;
+    /** Source GPRs. For memory ops srcA is the address (pair) base. */
+    RegId srcA = RZ;
+    RegId srcB = RZ;
+    RegId srcC = RZ;
+    /** When set, the B operand is imm instead of srcB. */
+    bool bIsImm = false;
+    /** Immediate operand / memory offset / branch payload. */
+    int64_t imm = 0;
+
+    /** Destination predicate (ISETP/FSETP/PSETP/VOTE). */
+    PredId pDst = PT;
+    /** Source predicate (SEL/PSETP combine/VOTE input). */
+    PredId pSrc = PT;
+    bool pSrcNeg = false;
+
+    CmpOp cmp = CmpOp::EQ;
+    LogicOp logic = LogicOp::And;
+    VoteMode vote = VoteMode::Ballot;
+    ShflMode shfl = ShflMode::Idx;
+    AtomOp atom = AtomOp::Add;
+    MufuOp mufu = MufuOp::Rcp;
+    SpecialReg sreg = SpecialReg::TidX;
+
+    MemSpace space = MemSpace::Generic;
+    /** Memory access width in bytes: 1, 2, 4, 8, or 16. */
+    uint8_t width = 4;
+    /** IADD.CC: also write the carry flag. */
+    bool setCC = false;
+    /** IADD.X: also consume the carry flag. */
+    bool useCC = false;
+    /** Signed variant (loads sign-extend; SHR is arithmetic). */
+    bool sExt = false;
+
+    /** Branch/SSY/JCAL target: instruction index, or handler id for
+     *  JCALs whose imm >= HandlerBase (see core/handler_registry.h). */
+    int32_t target = -1;
+
+    /** True for instructions injected by the SASSI pass. */
+    bool synthetic = false;
+    /** True for SASSI spill/fill traffic (paper's IsSpillOrFill). */
+    bool spillFill = false;
+
+    /** @return true when this op can write general registers. */
+    bool writesGPR() const { return opFlags(op) & OF_WritesGPR; }
+
+    /** @return true when this op touches memory. */
+    bool isMem() const { return opFlags(op) & OF_Mem; }
+
+    /** @return true when this op transfers control. */
+    bool isControl() const { return opFlags(op) & OF_Control; }
+
+    /** @return true for a guarded (conditional) control transfer. */
+    bool isCondControl() const { return isControl() && guard != PT; }
+
+    /** @return the number of consecutive GPRs a result occupies. */
+    int dstRegCount() const;
+
+    /** Collect the GPRs written by this instruction. */
+    std::vector<RegId> dstRegs() const;
+
+    /** Collect the GPRs read by this instruction. */
+    std::vector<RegId> srcRegs() const;
+
+    /** @return the guard + source predicates this instruction reads. */
+    std::vector<PredId> srcPreds() const;
+
+    /** @return the predicates written by this instruction. */
+    std::vector<PredId> dstPreds() const;
+
+    /** @return true if the address operand is a 64-bit register pair. */
+    bool addrIsPair() const;
+
+    /** Render a human-readable disassembly string. */
+    std::string disasm() const;
+};
+
+/** @return the mnemonic of a comparison operator. */
+std::string_view cmpName(CmpOp cmp);
+
+/** @return the assembly name of a special register (SR_TID.X ...). */
+std::string_view sregName(SpecialReg sr);
+
+} // namespace sassi::sass
+
+#endif // SASSI_SASS_INSTR_H

@@ -1,0 +1,51 @@
+#include "sass/opcode.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace sassi::sass {
+
+namespace {
+
+struct OpInfo
+{
+    std::string_view name;
+    uint32_t flags;
+};
+
+constexpr std::array<OpInfo, NumOpcodes> kOpTable = {{
+#define SASSI_INFO_ENTRY(name, flags) {#name, (flags)},
+    SASSI_OPCODE_LIST(SASSI_INFO_ENTRY)
+#undef SASSI_INFO_ENTRY
+}};
+
+} // namespace
+
+uint32_t
+opFlags(Opcode op)
+{
+    panic_if(op >= Opcode::NumOpcodes, "bad opcode %d",
+             static_cast<int>(op));
+    return kOpTable[static_cast<size_t>(op)].flags;
+}
+
+std::string_view
+opName(Opcode op)
+{
+    panic_if(op >= Opcode::NumOpcodes, "bad opcode %d",
+             static_cast<int>(op));
+    return kOpTable[static_cast<size_t>(op)].name;
+}
+
+Opcode
+opFromName(std::string_view name)
+{
+    for (size_t i = 0; i < kOpTable.size(); ++i) {
+        if (kOpTable[i].name == name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+} // namespace sassi::sass

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Opcodes of the SASS-like ISA and their static classification.
+ *
+ * The classification flags are exactly the properties SASSI exposes
+ * to instrumentation handlers through SASSIBeforeParams (IsMem,
+ * IsControlXfer, IsSync, IsNumeric, IsTexture, ...; paper Figure 2b).
+ */
+
+#ifndef SASSI_SASS_OPCODE_H
+#define SASSI_SASS_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace sassi::sass {
+
+/** X-macro listing: OP(name, flags). */
+#define SASSI_OPCODE_LIST(OP)                                              \
+    OP(NOP,    OF_None)                                                    \
+    /* Integer / move */                                                   \
+    OP(MOV,    OF_WritesGPR)                                               \
+    OP(MOV32I, OF_WritesGPR)                                               \
+    OP(SEL,    OF_WritesGPR)                                               \
+    OP(IADD,   OF_WritesGPR)                                               \
+    OP(IADD32I, OF_WritesGPR)                                              \
+    OP(IMUL,   OF_WritesGPR)                                               \
+    OP(IMAD,   OF_WritesGPR)                                               \
+    OP(IMNMX,  OF_WritesGPR)                                               \
+    OP(SHL,    OF_WritesGPR)                                               \
+    OP(SHR,    OF_WritesGPR)                                               \
+    OP(LOP,    OF_WritesGPR)                                               \
+    OP(POPC,   OF_WritesGPR)                                               \
+    OP(FLO,    OF_WritesGPR)                                               \
+    OP(ISETP,  OF_WritesPred)                                              \
+    OP(PSETP,  OF_WritesPred)                                              \
+    OP(P2R,    OF_WritesGPR)                                               \
+    OP(R2P,    OF_WritesPred)                                              \
+    /* Floating point (the "numeric" class) */                             \
+    OP(FADD,   OF_WritesGPR | OF_Numeric)                                  \
+    OP(FMUL,   OF_WritesGPR | OF_Numeric)                                  \
+    OP(FFMA,   OF_WritesGPR | OF_Numeric)                                  \
+    OP(FMNMX,  OF_WritesGPR | OF_Numeric)                                  \
+    OP(MUFU,   OF_WritesGPR | OF_Numeric)                                  \
+    OP(I2F,    OF_WritesGPR | OF_Numeric)                                  \
+    OP(F2I,    OF_WritesGPR | OF_Numeric)                                  \
+    OP(FSETP,  OF_WritesPred | OF_Numeric)                                 \
+    /* Memory */                                                           \
+    OP(LD,     OF_Mem | OF_MemRead | OF_WritesGPR)                         \
+    OP(ST,     OF_Mem | OF_MemWrite)                                       \
+    OP(LDG,    OF_Mem | OF_MemRead | OF_WritesGPR)                         \
+    OP(STG,    OF_Mem | OF_MemWrite)                                       \
+    OP(LDS,    OF_Mem | OF_MemRead | OF_WritesGPR)                         \
+    OP(STS,    OF_Mem | OF_MemWrite)                                       \
+    OP(LDL,    OF_Mem | OF_MemRead | OF_WritesGPR)                         \
+    OP(STL,    OF_Mem | OF_MemWrite)                                       \
+    OP(LDC,    OF_Mem | OF_MemRead | OF_WritesGPR)                         \
+    OP(ATOM,   OF_Mem | OF_MemRead | OF_MemWrite | OF_Atomic | OF_WritesGPR) \
+    OP(ATOMS,  OF_Mem | OF_MemRead | OF_MemWrite | OF_Atomic | OF_WritesGPR) \
+    OP(RED,    OF_Mem | OF_MemWrite | OF_Atomic)                           \
+    OP(TLD,    OF_Mem | OF_MemRead | OF_WritesGPR | OF_Texture)            \
+    OP(SULD,   OF_Mem | OF_MemRead | OF_WritesGPR | OF_Surface)            \
+    OP(SUST,   OF_Mem | OF_MemWrite | OF_Surface)                          \
+    /* Control flow */                                                     \
+    OP(BRA,    OF_Control)                                                 \
+    OP(JCAL,   OF_Control | OF_Call)                                       \
+    OP(RET,    OF_Control)                                                 \
+    OP(EXIT,   OF_Control | OF_Exit)                                       \
+    OP(BPT,    OF_Control)                                                 \
+    OP(SSY,    OF_Sync)                                                    \
+    OP(SYNC,   OF_Control | OF_Sync)                                       \
+    OP(BAR,    OF_Sync)                                                    \
+    OP(MEMBAR, OF_Sync)                                                    \
+    /* Warp-wide and special */                                            \
+    OP(VOTE,   OF_WritesGPR | OF_WritesPred)                               \
+    OP(SHFL,   OF_WritesGPR)                                               \
+    OP(S2R,    OF_WritesGPR)                                               \
+    OP(L2G,    OF_WritesGPR)
+
+/** Static classification flags of an opcode. */
+enum OpFlags : uint32_t {
+    OF_None       = 0,
+    OF_Mem        = 1u << 0,  //!< Touches memory.
+    OF_MemRead    = 1u << 1,  //!< Reads memory.
+    OF_MemWrite   = 1u << 2,  //!< Writes memory.
+    OF_Atomic     = 1u << 3,  //!< Atomic read-modify-write.
+    OF_Control    = 1u << 4,  //!< Transfers control.
+    OF_Call       = 1u << 5,  //!< Is a call.
+    OF_Sync       = 1u << 6,  //!< Synchronization (SSY/SYNC/BAR/MEMBAR).
+    OF_Numeric    = 1u << 7,  //!< Floating-point datapath.
+    OF_Texture    = 1u << 8,  //!< Texture access.
+    OF_Surface    = 1u << 9,  //!< Surface access.
+    OF_WritesGPR  = 1u << 10, //!< May write a general-purpose register.
+    OF_WritesPred = 1u << 11, //!< May write a predicate register.
+    OF_Exit       = 1u << 12, //!< Terminates the thread.
+};
+
+/** Machine opcodes. */
+enum class Opcode : uint8_t {
+#define SASSI_ENUM_ENTRY(name, flags) name,
+    SASSI_OPCODE_LIST(SASSI_ENUM_ENTRY)
+#undef SASSI_ENUM_ENTRY
+    NumOpcodes
+};
+
+/** Number of opcodes in the ISA. */
+constexpr int NumOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/** @return the static classification flags of op. */
+uint32_t opFlags(Opcode op);
+
+/** @return the mnemonic of op. */
+std::string_view opName(Opcode op);
+
+/** @return the opcode with the given mnemonic, or NumOpcodes. */
+Opcode opFromName(std::string_view name);
+
+} // namespace sassi::sass
+
+#endif // SASSI_SASS_OPCODE_H

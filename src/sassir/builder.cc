@@ -1,0 +1,782 @@
+#include "sassir/builder.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace sassi::ir {
+
+using namespace sass;
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel_.name = std::move(name);
+    // Give every kernel a distinct-looking pseudo function address,
+    // mirroring the fnAddr SASSI reports to handlers.
+    kernel_.fnAddr = 0x1000;
+}
+
+Label
+KernelBuilder::newLabel(const std::string &name)
+{
+    Label l;
+    l.id = static_cast<int>(label_pos_.size());
+    label_pos_.push_back(-1);
+    label_names_.push_back(name);
+    return l;
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    panic_if(l.id < 0 || l.id >= static_cast<int>(label_pos_.size()),
+             "bind of invalid label");
+    panic_if(label_pos_[static_cast<size_t>(l.id)] >= 0,
+             "label bound twice");
+    label_pos_[static_cast<size_t>(l.id)] = here();
+    if (!label_names_[static_cast<size_t>(l.id)].empty())
+        kernel_.labels[label_names_[static_cast<size_t>(l.id)]] = here();
+}
+
+KernelBuilder &
+KernelBuilder::onP(PredId p)
+{
+    pending_guard_ = p;
+    pending_neg_ = false;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::onNotP(PredId p)
+{
+    pending_guard_ = p;
+    pending_neg_ = true;
+    return *this;
+}
+
+void
+KernelBuilder::noteReg(RegId r, int span)
+{
+    if (r == RZ)
+        return;
+    max_reg_ = std::max(max_reg_, static_cast<int>(r) + span - 1);
+}
+
+int
+KernelBuilder::emit(Instruction ins)
+{
+    panic_if(finished_, "emit after finish()");
+    ins.guard = pending_guard_;
+    ins.guardNeg = pending_neg_;
+    pending_guard_ = PT;
+    pending_neg_ = false;
+
+    noteReg(ins.dst, std::max(1, ins.dstRegCount()));
+    for (RegId r : ins.srcRegs())
+        noteReg(r);
+    kernel_.code.push_back(ins);
+    return static_cast<int>(kernel_.code.size()) - 1;
+}
+
+// --------------------------------------------------------------------
+// Moves and integer ALU
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::mov(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+int
+KernelBuilder::mov32i(RegId d, int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::MOV32I;
+    i.dst = d;
+    i.imm = imm;
+    i.bIsImm = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::sel(RegId d, RegId a, RegId b, PredId p, bool neg)
+{
+    Instruction i;
+    i.op = Opcode::SEL;
+    i.dst = d;
+    i.srcA = a;
+    i.srcB = b;
+    i.pSrc = p;
+    i.pSrcNeg = neg;
+    return emit(i);
+}
+
+namespace {
+
+Instruction
+alu3(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.srcA = a;
+    i.srcB = b;
+    return i;
+}
+
+Instruction
+alu2i(Opcode op, RegId d, RegId a, int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.srcA = a;
+    i.imm = imm;
+    i.bIsImm = true;
+    return i;
+}
+
+} // namespace
+
+int
+KernelBuilder::iadd(RegId d, RegId a, RegId b)
+{
+    return emit(alu3(Opcode::IADD, d, a, b));
+}
+
+int
+KernelBuilder::iaddi(RegId d, RegId a, int64_t imm)
+{
+    return emit(alu2i(Opcode::IADD32I, d, a, imm));
+}
+
+int
+KernelBuilder::iaddcc(RegId d, RegId a, RegId b)
+{
+    Instruction i = alu3(Opcode::IADD, d, a, b);
+    i.setCC = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::iaddcci(RegId d, RegId a, int64_t imm)
+{
+    Instruction i = alu2i(Opcode::IADD32I, d, a, imm);
+    i.setCC = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::iaddx(RegId d, RegId a, RegId b)
+{
+    Instruction i = alu3(Opcode::IADD, d, a, b);
+    i.useCC = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::iaddxi(RegId d, RegId a, int64_t imm)
+{
+    Instruction i = alu2i(Opcode::IADD32I, d, a, imm);
+    i.useCC = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::imul(RegId d, RegId a, RegId b)
+{
+    return emit(alu3(Opcode::IMUL, d, a, b));
+}
+
+int
+KernelBuilder::imuli(RegId d, RegId a, int64_t imm)
+{
+    return emit(alu2i(Opcode::IMUL, d, a, imm));
+}
+
+int
+KernelBuilder::imad(RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction i = alu3(Opcode::IMAD, d, a, b);
+    i.srcC = c;
+    return emit(i);
+}
+
+int
+KernelBuilder::imadi(RegId d, RegId a, int64_t imm, RegId c)
+{
+    Instruction i = alu2i(Opcode::IMAD, d, a, imm);
+    i.srcC = c;
+    return emit(i);
+}
+
+int
+KernelBuilder::imnmx(RegId d, RegId a, RegId b, bool is_min)
+{
+    Instruction i = alu3(Opcode::IMNMX, d, a, b);
+    i.cmp = is_min ? CmpOp::LT : CmpOp::GT;
+    return emit(i);
+}
+
+int
+KernelBuilder::shl(RegId d, RegId a, int64_t imm)
+{
+    return emit(alu2i(Opcode::SHL, d, a, imm));
+}
+
+int
+KernelBuilder::shr(RegId d, RegId a, int64_t imm, bool arith)
+{
+    Instruction i = alu2i(Opcode::SHR, d, a, imm);
+    i.sExt = arith;
+    return emit(i);
+}
+
+int
+KernelBuilder::lop(LogicOp op, RegId d, RegId a, RegId b)
+{
+    Instruction i = alu3(Opcode::LOP, d, a, b);
+    i.logic = op;
+    return emit(i);
+}
+
+int
+KernelBuilder::lopi(LogicOp op, RegId d, RegId a, int64_t imm)
+{
+    Instruction i = alu2i(Opcode::LOP, d, a, imm);
+    i.logic = op;
+    return emit(i);
+}
+
+int
+KernelBuilder::popc(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::POPC;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+int
+KernelBuilder::flo(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::FLO;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+// --------------------------------------------------------------------
+// Predicates
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::isetp(PredId pd, CmpOp cmp, RegId a, RegId b, bool sExt)
+{
+    Instruction i = alu3(Opcode::ISETP, RZ, a, b);
+    i.dst = RZ;
+    i.pDst = pd;
+    i.cmp = cmp;
+    i.sExt = sExt;
+    return emit(i);
+}
+
+int
+KernelBuilder::isetpi(PredId pd, CmpOp cmp, RegId a, int64_t imm, bool sExt)
+{
+    Instruction i = alu2i(Opcode::ISETP, RZ, a, imm);
+    i.dst = RZ;
+    i.pDst = pd;
+    i.cmp = cmp;
+    i.sExt = sExt;
+    return emit(i);
+}
+
+int
+KernelBuilder::psetp(PredId pd, LogicOp op, PredId a, bool aNeg, PredId b,
+                     bool bNeg)
+{
+    Instruction i;
+    i.op = Opcode::PSETP;
+    i.pDst = pd;
+    i.pSrc = a;
+    i.pSrcNeg = aNeg;
+    i.logic = op;
+    // The second predicate travels in imm: bit 0..2 index, bit 3 neg.
+    i.imm = static_cast<int64_t>(b) | (bNeg ? 8 : 0);
+    return emit(i);
+}
+
+int
+KernelBuilder::p2r(RegId d, int64_t mask)
+{
+    Instruction i;
+    i.op = Opcode::P2R;
+    i.dst = d;
+    i.imm = mask;
+    i.bIsImm = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::r2p(RegId a, int64_t mask)
+{
+    Instruction i;
+    i.op = Opcode::R2P;
+    i.srcA = a;
+    i.imm = mask;
+    i.bIsImm = true;
+    return emit(i);
+}
+
+// --------------------------------------------------------------------
+// Floating point
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::fadd(RegId d, RegId a, RegId b)
+{
+    return emit(alu3(Opcode::FADD, d, a, b));
+}
+
+int
+KernelBuilder::fmul(RegId d, RegId a, RegId b)
+{
+    return emit(alu3(Opcode::FMUL, d, a, b));
+}
+
+int
+KernelBuilder::ffma(RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction i = alu3(Opcode::FFMA, d, a, b);
+    i.srcC = c;
+    return emit(i);
+}
+
+int
+KernelBuilder::fmnmx(RegId d, RegId a, RegId b, bool is_min)
+{
+    Instruction i = alu3(Opcode::FMNMX, d, a, b);
+    i.cmp = is_min ? CmpOp::LT : CmpOp::GT;
+    return emit(i);
+}
+
+int
+KernelBuilder::fsetp(PredId pd, CmpOp cmp, RegId a, RegId b)
+{
+    Instruction i = alu3(Opcode::FSETP, RZ, a, b);
+    i.pDst = pd;
+    i.cmp = cmp;
+    return emit(i);
+}
+
+int
+KernelBuilder::fsetpi(PredId pd, CmpOp cmp, RegId a, float imm)
+{
+    uint32_t bitsImm;
+    std::memcpy(&bitsImm, &imm, sizeof(bitsImm));
+    Instruction i = alu2i(Opcode::FSETP, RZ, a, bitsImm);
+    i.pDst = pd;
+    i.cmp = cmp;
+    return emit(i);
+}
+
+int
+KernelBuilder::mufu(MufuOp op, RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::MUFU;
+    i.mufu = op;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+int
+KernelBuilder::i2f(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::I2F;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+int
+KernelBuilder::f2i(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::F2I;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+int
+KernelBuilder::fmov32i(RegId d, float value)
+{
+    uint32_t bitsImm;
+    std::memcpy(&bitsImm, &value, sizeof(bitsImm));
+    return mov32i(d, bitsImm);
+}
+
+// --------------------------------------------------------------------
+// Memory
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::ld(MemSpace space, RegId d, RegId a, int64_t off, int width,
+                  bool sExt)
+{
+    Instruction i;
+    switch (space) {
+      case MemSpace::Global: i.op = Opcode::LDG; break;
+      case MemSpace::Shared: i.op = Opcode::LDS; break;
+      case MemSpace::Local: i.op = Opcode::LDL; break;
+      case MemSpace::Constant: i.op = Opcode::LDC; break;
+      case MemSpace::Texture: i.op = Opcode::TLD; break;
+      case MemSpace::Surface: i.op = Opcode::SULD; break;
+      default: i.op = Opcode::LD; break;
+    }
+    i.space = space;
+    i.dst = d;
+    i.srcA = a;
+    i.imm = off;
+    i.width = static_cast<uint8_t>(width);
+    i.sExt = sExt;
+    return emit(i);
+}
+
+int
+KernelBuilder::st(MemSpace space, RegId a, int64_t off, RegId b, int width)
+{
+    Instruction i;
+    switch (space) {
+      case MemSpace::Global: i.op = Opcode::STG; break;
+      case MemSpace::Shared: i.op = Opcode::STS; break;
+      case MemSpace::Local: i.op = Opcode::STL; break;
+      case MemSpace::Surface: i.op = Opcode::SUST; break;
+      default: i.op = Opcode::ST; break;
+    }
+    i.space = space;
+    i.srcA = a;
+    i.srcB = b;
+    i.imm = off;
+    i.width = static_cast<uint8_t>(width);
+    return emit(i);
+}
+
+int
+KernelBuilder::ldg(RegId d, RegId a, int64_t off, int width)
+{
+    return ld(MemSpace::Global, d, a, off, width);
+}
+
+int
+KernelBuilder::stg(RegId a, int64_t off, RegId b, int width)
+{
+    return st(MemSpace::Global, a, off, b, width);
+}
+
+int
+KernelBuilder::lds(RegId d, RegId a, int64_t off, int width)
+{
+    return ld(MemSpace::Shared, d, a, off, width);
+}
+
+int
+KernelBuilder::sts(RegId a, int64_t off, RegId b, int width)
+{
+    return st(MemSpace::Shared, a, off, b, width);
+}
+
+int
+KernelBuilder::ldl(RegId d, RegId a, int64_t off, int width)
+{
+    return ld(MemSpace::Local, d, a, off, width);
+}
+
+int
+KernelBuilder::stl(RegId a, int64_t off, RegId b, int width)
+{
+    return st(MemSpace::Local, a, off, b, width);
+}
+
+int
+KernelBuilder::ldc(RegId d, int64_t off, int width)
+{
+    Instruction i;
+    i.op = Opcode::LDC;
+    i.space = MemSpace::Constant;
+    i.dst = d;
+    i.srcA = RZ;
+    i.imm = off;
+    i.width = static_cast<uint8_t>(width);
+    return emit(i);
+}
+
+int
+KernelBuilder::tld(RegId d, RegId a, int64_t off, int width)
+{
+    return ld(MemSpace::Texture, d, a, off, width);
+}
+
+int
+KernelBuilder::atom(AtomOp op, RegId d, RegId a, RegId b, RegId c, int width)
+{
+    Instruction i;
+    i.op = Opcode::ATOM;
+    i.space = MemSpace::Global;
+    i.atom = op;
+    i.dst = d;
+    i.srcA = a;
+    i.srcB = b;
+    i.srcC = c;
+    i.width = static_cast<uint8_t>(width);
+    return emit(i);
+}
+
+int
+KernelBuilder::atomShared(AtomOp op, RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction i;
+    i.op = Opcode::ATOMS;
+    i.space = MemSpace::Shared;
+    i.atom = op;
+    i.dst = d;
+    i.srcA = a;
+    i.srcB = b;
+    i.srcC = c;
+    return emit(i);
+}
+
+int
+KernelBuilder::red(AtomOp op, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = Opcode::RED;
+    i.space = MemSpace::Global;
+    i.atom = op;
+    i.srcA = a;
+    i.srcB = b;
+    return emit(i);
+}
+
+// --------------------------------------------------------------------
+// Warp-wide and special
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::ballot(RegId d, PredId p, bool neg)
+{
+    Instruction i;
+    i.op = Opcode::VOTE;
+    i.vote = VoteMode::Ballot;
+    i.dst = d;
+    i.pSrc = p;
+    i.pSrcNeg = neg;
+    return emit(i);
+}
+
+int
+KernelBuilder::voteAll(PredId pd, PredId p, bool neg)
+{
+    Instruction i;
+    i.op = Opcode::VOTE;
+    i.vote = VoteMode::All;
+    i.pDst = pd;
+    i.pSrc = p;
+    i.pSrcNeg = neg;
+    return emit(i);
+}
+
+int
+KernelBuilder::voteAny(PredId pd, PredId p, bool neg)
+{
+    Instruction i;
+    i.op = Opcode::VOTE;
+    i.vote = VoteMode::Any;
+    i.pDst = pd;
+    i.pSrc = p;
+    i.pSrcNeg = neg;
+    return emit(i);
+}
+
+int
+KernelBuilder::shfl(ShflMode mode, RegId d, RegId a, RegId lane)
+{
+    Instruction i;
+    i.op = Opcode::SHFL;
+    i.shfl = mode;
+    i.dst = d;
+    i.srcA = a;
+    i.srcB = lane;
+    return emit(i);
+}
+
+int
+KernelBuilder::shfli(ShflMode mode, RegId d, RegId a, int64_t lane)
+{
+    Instruction i;
+    i.op = Opcode::SHFL;
+    i.shfl = mode;
+    i.dst = d;
+    i.srcA = a;
+    i.imm = lane;
+    i.bIsImm = true;
+    return emit(i);
+}
+
+int
+KernelBuilder::s2r(RegId d, SpecialReg sr)
+{
+    Instruction i;
+    i.op = Opcode::S2R;
+    i.dst = d;
+    i.sreg = sr;
+    return emit(i);
+}
+
+int
+KernelBuilder::l2g(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::L2G;
+    i.dst = d;
+    i.srcA = a;
+    return emit(i);
+}
+
+// --------------------------------------------------------------------
+// Control flow
+// --------------------------------------------------------------------
+
+int
+KernelBuilder::emitBranchLike(Opcode op, Label l)
+{
+    panic_if(l.id < 0, "branch to invalid label");
+    Instruction i;
+    i.op = op;
+    int idx = emit(i);
+    fixups_.emplace_back(idx, l.id);
+    return idx;
+}
+
+int
+KernelBuilder::bra(Label l)
+{
+    return emitBranchLike(Opcode::BRA, l);
+}
+
+int
+KernelBuilder::jcal(Label l)
+{
+    return emitBranchLike(Opcode::JCAL, l);
+}
+
+int
+KernelBuilder::ret()
+{
+    Instruction i;
+    i.op = Opcode::RET;
+    return emit(i);
+}
+
+int
+KernelBuilder::exit()
+{
+    Instruction i;
+    i.op = Opcode::EXIT;
+    return emit(i);
+}
+
+int
+KernelBuilder::bpt()
+{
+    Instruction i;
+    i.op = Opcode::BPT;
+    return emit(i);
+}
+
+int
+KernelBuilder::ssy(Label l)
+{
+    return emitBranchLike(Opcode::SSY, l);
+}
+
+int
+KernelBuilder::sync()
+{
+    Instruction i;
+    i.op = Opcode::SYNC;
+    return emit(i);
+}
+
+int
+KernelBuilder::bar()
+{
+    Instruction i;
+    i.op = Opcode::BAR;
+    return emit(i);
+}
+
+int
+KernelBuilder::membar()
+{
+    Instruction i;
+    i.op = Opcode::MEMBAR;
+    return emit(i);
+}
+
+int
+KernelBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::NOP;
+    return emit(i);
+}
+
+void
+KernelBuilder::setLocalBytes(uint32_t bytes)
+{
+    kernel_.localBytes = bytes;
+}
+
+void
+KernelBuilder::setSharedBytes(uint32_t bytes)
+{
+    kernel_.sharedBytes = bytes;
+}
+
+void
+KernelBuilder::setShader(bool is_shader)
+{
+    kernel_.isShader = is_shader;
+}
+
+Kernel
+KernelBuilder::finish()
+{
+    panic_if(finished_, "finish() called twice");
+    finished_ = true;
+    for (auto [idx, label] : fixups_) {
+        int pos = label_pos_.at(static_cast<size_t>(label));
+        panic_if(pos < 0, "unbound label %d referenced by instruction %d",
+                 label, idx);
+        kernel_.code[static_cast<size_t>(idx)].target = pos;
+    }
+    // Leave headroom for SASSI: injected code uses the ABI registers
+    // R0..R15 plus the stack pointer, so budget at least those.
+    kernel_.numRegs = std::max(max_reg_ + 1, 18);
+    return std::move(kernel_);
+}
+
+} // namespace sassi::ir

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * KernelBuilder: a programmatic assembler for the SASS-like ISA.
+ *
+ * This is the stand-in for the closed-source ptxas code generator:
+ * workloads are authored against this DSL, producing exactly the
+ * kind of predicated, divergence-stack-managed machine code the
+ * SASSI pass instruments. Branch targets are written against labels
+ * and resolved in finish().
+ */
+
+#ifndef SASSI_SASSIR_BUILDER_H
+#define SASSI_SASSIR_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "sassir/module.h"
+
+namespace sassi::ir {
+
+/** An abstract jump target; bind() fixes its position. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Incrementally builds one Kernel. All emit methods append one
+ * instruction and return its index. A guard set with onP()/onNotP()
+ * applies to the next emitted instruction only.
+ */
+class KernelBuilder
+{
+  public:
+    /** Start building a kernel with the given entry name. */
+    explicit KernelBuilder(std::string name);
+
+    /** Create a fresh unbound label. */
+    Label newLabel(const std::string &name = "");
+
+    /** Bind a label to the current position. */
+    void bind(Label l);
+
+    /** Guard the next instruction with @Pp. */
+    KernelBuilder &onP(sass::PredId p);
+
+    /** Guard the next instruction with @!Pp. */
+    KernelBuilder &onNotP(sass::PredId p);
+
+    /// @name Moves and integer ALU
+    /// @{
+    int mov(sass::RegId d, sass::RegId a);
+    int mov32i(sass::RegId d, int64_t imm);
+    int sel(sass::RegId d, sass::RegId a, sass::RegId b, sass::PredId p,
+            bool neg = false);
+    int iadd(sass::RegId d, sass::RegId a, sass::RegId b);
+    int iaddi(sass::RegId d, sass::RegId a, int64_t imm);
+    int iaddcc(sass::RegId d, sass::RegId a, sass::RegId b);
+    int iaddcci(sass::RegId d, sass::RegId a, int64_t imm);
+    int iaddx(sass::RegId d, sass::RegId a, sass::RegId b);
+    int iaddxi(sass::RegId d, sass::RegId a, int64_t imm);
+    int imul(sass::RegId d, sass::RegId a, sass::RegId b);
+    int imuli(sass::RegId d, sass::RegId a, int64_t imm);
+    int imad(sass::RegId d, sass::RegId a, sass::RegId b, sass::RegId c);
+    int imadi(sass::RegId d, sass::RegId a, int64_t imm, sass::RegId c);
+    int imnmx(sass::RegId d, sass::RegId a, sass::RegId b, bool is_min);
+    int shl(sass::RegId d, sass::RegId a, int64_t imm);
+    int shr(sass::RegId d, sass::RegId a, int64_t imm, bool arith = false);
+    int lop(sass::LogicOp op, sass::RegId d, sass::RegId a, sass::RegId b);
+    int lopi(sass::LogicOp op, sass::RegId d, sass::RegId a, int64_t imm);
+    int popc(sass::RegId d, sass::RegId a);
+    int flo(sass::RegId d, sass::RegId a);
+    /// @}
+
+    /// @name Predicate manipulation
+    /// @{
+    int isetp(sass::PredId pd, sass::CmpOp cmp, sass::RegId a,
+              sass::RegId b, bool sExt = true);
+    int isetpi(sass::PredId pd, sass::CmpOp cmp, sass::RegId a, int64_t imm,
+               bool sExt = true);
+    int psetp(sass::PredId pd, sass::LogicOp op, sass::PredId a, bool aNeg,
+              sass::PredId b, bool bNeg);
+    int p2r(sass::RegId d, int64_t mask);
+    int r2p(sass::RegId a, int64_t mask);
+    /// @}
+
+    /// @name Floating point
+    /// @{
+    int fadd(sass::RegId d, sass::RegId a, sass::RegId b);
+    int fmul(sass::RegId d, sass::RegId a, sass::RegId b);
+    int ffma(sass::RegId d, sass::RegId a, sass::RegId b, sass::RegId c);
+    int fmnmx(sass::RegId d, sass::RegId a, sass::RegId b, bool is_min);
+    int fsetp(sass::PredId pd, sass::CmpOp cmp, sass::RegId a, sass::RegId b);
+    int fsetpi(sass::PredId pd, sass::CmpOp cmp, sass::RegId a, float imm);
+    int mufu(sass::MufuOp op, sass::RegId d, sass::RegId a);
+    int i2f(sass::RegId d, sass::RegId a);
+    int f2i(sass::RegId d, sass::RegId a);
+    int fmov32i(sass::RegId d, float value);
+    /// @}
+
+    /// @name Memory
+    /// @{
+    int ld(sass::MemSpace space, sass::RegId d, sass::RegId a, int64_t off,
+           int width = 4, bool sExt = false);
+    int st(sass::MemSpace space, sass::RegId a, int64_t off, sass::RegId b,
+           int width = 4);
+    int ldg(sass::RegId d, sass::RegId a, int64_t off = 0, int width = 4);
+    int stg(sass::RegId a, int64_t off, sass::RegId b, int width = 4);
+    int lds(sass::RegId d, sass::RegId a, int64_t off = 0, int width = 4);
+    int sts(sass::RegId a, int64_t off, sass::RegId b, int width = 4);
+    int ldl(sass::RegId d, sass::RegId a, int64_t off = 0, int width = 4);
+    int stl(sass::RegId a, int64_t off, sass::RegId b, int width = 4);
+    int ldc(sass::RegId d, int64_t off, int width = 4);
+    int tld(sass::RegId d, sass::RegId a, int64_t off = 0, int width = 4);
+    int atom(sass::AtomOp op, sass::RegId d, sass::RegId a, sass::RegId b,
+             sass::RegId c = sass::RZ, int width = 4);
+    int atomShared(sass::AtomOp op, sass::RegId d, sass::RegId a,
+                   sass::RegId b, sass::RegId c = sass::RZ);
+    int red(sass::AtomOp op, sass::RegId a, sass::RegId b);
+    /// @}
+
+    /// @name Warp-wide operations and special registers
+    /// @{
+    int ballot(sass::RegId d, sass::PredId p, bool neg = false);
+    int voteAll(sass::PredId pd, sass::PredId p, bool neg = false);
+    int voteAny(sass::PredId pd, sass::PredId p, bool neg = false);
+    int shfl(sass::ShflMode mode, sass::RegId d, sass::RegId a,
+             sass::RegId lane);
+    int shfli(sass::ShflMode mode, sass::RegId d, sass::RegId a,
+              int64_t lane);
+    int s2r(sass::RegId d, sass::SpecialReg sr);
+    int l2g(sass::RegId d, sass::RegId a);
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    int bra(Label l);
+    int jcal(Label l);
+    int ret();
+    int exit();
+    int bpt();
+    int ssy(Label l);
+    int sync();
+    int bar();
+    int membar();
+    int nop();
+    /// @}
+
+    /** Set per-thread local memory (stack) size in bytes. */
+    void setLocalBytes(uint32_t bytes);
+
+    /** Set static shared memory per CTA in bytes. */
+    void setSharedBytes(uint32_t bytes);
+
+    /** Mark this kernel as a graphics shader (no stack; §9.5). */
+    void setShader(bool is_shader = true);
+
+    /** @return the index the next instruction will get. */
+    int here() const { return static_cast<int>(kernel_.code.size()); }
+
+    /**
+     * Resolve all label fixups and finalize the register budget.
+     * The builder must not be used afterwards.
+     */
+    Kernel finish();
+
+  private:
+    int emit(sass::Instruction ins);
+    int emitBranchLike(sass::Opcode op, Label l);
+    void noteReg(sass::RegId r, int span = 1);
+
+    Kernel kernel_;
+    sass::PredId pending_guard_ = sass::PT;
+    bool pending_neg_ = false;
+    int max_reg_ = -1;
+    std::vector<int> label_pos_;
+    std::vector<std::string> label_names_;
+    std::vector<std::pair<int, int>> fixups_; //!< (instr index, label id)
+    bool finished_ = false;
+};
+
+} // namespace sassi::ir
+
+#endif // SASSI_SASSIR_BUILDER_H

@@ -1,0 +1,122 @@
+#include "sassir/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace sassi::ir {
+
+using sass::Instruction;
+using sass::Opcode;
+
+namespace {
+
+/** @return true when this op ends a basic block. */
+bool
+endsBlock(const Instruction &ins)
+{
+    switch (ins.op) {
+      case Opcode::BRA:
+      case Opcode::SYNC:
+      case Opcode::RET:
+      case Opcode::EXIT:
+      case Opcode::BPT:
+        return true;
+      case Opcode::JCAL:
+        // Calls return to the next instruction; handler JCALs are
+        // pure fall-through from the caller's perspective.
+        return false;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Kernel &kernel)
+{
+    const auto &code = kernel.code;
+    int n = static_cast<int>(code.size());
+    Cfg cfg;
+    if (n == 0)
+        return cfg;
+
+    // Collect leaders and the SSY-target over-approximation for SYNC.
+    std::set<int> leaders{0};
+    std::vector<int> ssy_targets;
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &ins = code[static_cast<size_t>(pc)];
+        if (ins.op == Opcode::SSY && ins.target >= 0) {
+            leaders.insert(ins.target);
+            ssy_targets.push_back(ins.target);
+        }
+        if (ins.op == Opcode::BRA && ins.target >= 0)
+            leaders.insert(ins.target);
+        if (endsBlock(ins) && pc + 1 < n)
+            leaders.insert(pc + 1);
+    }
+
+    // Materialize blocks.
+    std::vector<int> starts(leaders.begin(), leaders.end());
+    cfg.blockOf.assign(static_cast<size_t>(n), -1);
+    for (size_t b = 0; b < starts.size(); ++b) {
+        BasicBlock bb;
+        bb.start = starts[b];
+        bb.end = (b + 1 < starts.size()) ? starts[b + 1] : n;
+        for (int pc = bb.start; pc < bb.end; ++pc)
+            cfg.blockOf[static_cast<size_t>(pc)] = static_cast<int>(b);
+        cfg.blocks.push_back(bb);
+    }
+
+    // Wire successors.
+    auto link = [&](int from, int to_pc) {
+        if (to_pc < 0 || to_pc >= n)
+            return;
+        int to = cfg.blockOf[static_cast<size_t>(to_pc)];
+        auto &succs = cfg.blocks[static_cast<size_t>(from)].succs;
+        if (std::find(succs.begin(), succs.end(), to) == succs.end())
+            succs.push_back(to);
+    };
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        const Instruction &last = code[static_cast<size_t>(bb.end - 1)];
+        switch (last.op) {
+          case Opcode::BRA:
+            link(static_cast<int>(b), last.target);
+            if (last.guard != sass::PT)
+                link(static_cast<int>(b), bb.end);
+            break;
+          case Opcode::SYNC:
+            for (int t : ssy_targets)
+                link(static_cast<int>(b), t);
+            if (last.guard != sass::PT)
+                link(static_cast<int>(b), bb.end);
+            break;
+          case Opcode::EXIT:
+          case Opcode::RET:
+          case Opcode::BPT:
+            if (last.guard != sass::PT)
+                link(static_cast<int>(b), bb.end);
+            break;
+          default:
+            link(static_cast<int>(b), bb.end);
+            break;
+        }
+        // A non-terminating block end (fall-through into a leader).
+        if (!endsBlock(last) && bb.end < n)
+            link(static_cast<int>(b), bb.end);
+    }
+
+    // Derive predecessors.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (int s : cfg.blocks[b].succs)
+            cfg.blocks[static_cast<size_t>(s)].preds.push_back(
+                static_cast<int>(b));
+
+    return cfg;
+}
+
+} // namespace sassi::ir

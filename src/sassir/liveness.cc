@@ -1,0 +1,80 @@
+#include "sassir/liveness.h"
+
+#include "util/logging.h"
+
+namespace sassi::ir {
+
+using sass::Instruction;
+
+void
+instrUseDef(const Instruction &ins, LiveSet &use, LiveSet &def)
+{
+    for (auto r : ins.srcRegs())
+        use.gpr.set(r);
+    for (auto p : ins.srcPreds())
+        use.pred |= static_cast<uint8_t>(1 << p);
+    if (ins.useCC)
+        use.cc = true;
+
+    // A guarded instruction may not execute, so its writes cannot
+    // kill liveness; only unconditional writes are definitions.
+    if (ins.guard == sass::PT) {
+        for (auto r : ins.dstRegs())
+            def.gpr.set(r);
+        for (auto p : ins.dstPreds())
+            def.pred |= static_cast<uint8_t>(1 << p);
+        if (ins.setCC)
+            def.cc = true;
+    }
+}
+
+Liveness::Liveness(const Kernel &kernel, const Cfg &cfg)
+{
+    const auto &code = kernel.code;
+    size_t n = code.size();
+    live_in_.assign(n, {});
+    live_out_.assign(n, {});
+    if (n == 0)
+        return;
+
+    // Precompute per-instruction use/def.
+    std::vector<LiveSet> use(n), def(n);
+    for (size_t pc = 0; pc < n; ++pc)
+        instrUseDef(code[pc], use[pc], def[pc]);
+
+    // Iterate to a fixed point, visiting blocks in reverse order.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = cfg.blocks.size(); bi-- > 0;) {
+            const BasicBlock &bb = cfg.blocks[bi];
+
+            // live-out of the block = union of successors' live-in.
+            LiveSet out;
+            for (int s : bb.succs) {
+                const BasicBlock &sb =
+                    cfg.blocks[static_cast<size_t>(s)];
+                if (sb.start < sb.end)
+                    out.merge(live_in_[static_cast<size_t>(sb.start)]);
+            }
+
+            // Walk the block backwards.
+            for (int pc = bb.end - 1; pc >= bb.start; --pc) {
+                auto upc = static_cast<size_t>(pc);
+                if (live_out_[upc].merge(out))
+                    changed = true;
+                LiveSet in = live_out_[upc];
+                in.gpr &= ~def[upc].gpr;
+                in.pred &= static_cast<uint8_t>(~def[upc].pred);
+                if (def[upc].cc)
+                    in.cc = false;
+                in.merge(use[upc]);
+                if (live_in_[upc].merge(in))
+                    changed = true;
+                out = live_in_[upc];
+            }
+        }
+    }
+}
+
+} // namespace sassi::ir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Register liveness analysis.
+ *
+ * The SASSI pass spills exactly the live caller-saved registers at
+ * each instrumentation site (paper §3.2: "the compiler knows exactly
+ * which registers to spill" — the decisive efficiency advantage of
+ * compiler-based instrumentation over binary rewriting, §10.1).
+ * This is a standard backward may-analysis over the CFG, tracking
+ * GPRs, predicate registers, and the carry flag.
+ */
+
+#ifndef SASSI_SASSIR_LIVENESS_H
+#define SASSI_SASSIR_LIVENESS_H
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "sassir/cfg.h"
+#include "sassir/module.h"
+
+namespace sassi::ir {
+
+/** The live set at one program point. */
+struct LiveSet
+{
+    /** Live general-purpose registers (bit r set => Rr live). */
+    std::bitset<256> gpr;
+
+    /** Live predicate registers, bits 0..6. */
+    uint8_t pred = 0;
+
+    /** Carry flag live. */
+    bool cc = false;
+
+    /** Union-with for the dataflow merge. @return true on change. */
+    bool
+    merge(const LiveSet &other)
+    {
+        auto before_gpr = gpr;
+        auto before_pred = pred;
+        auto before_cc = cc;
+        gpr |= other.gpr;
+        pred |= other.pred;
+        cc = cc || other.cc;
+        return gpr != before_gpr || pred != before_pred || cc != before_cc;
+    }
+};
+
+/** Per-instruction liveness results for one kernel. */
+class Liveness
+{
+  public:
+    /** Run the analysis over a kernel. */
+    Liveness(const Kernel &kernel, const Cfg &cfg);
+
+    /** @return the set live just before instruction pc executes. */
+    const LiveSet &liveIn(int pc) const
+    {
+        return live_in_[static_cast<size_t>(pc)];
+    }
+
+    /** @return the set live just after instruction pc executes. */
+    const LiveSet &liveOut(int pc) const
+    {
+        return live_out_[static_cast<size_t>(pc)];
+    }
+
+  private:
+    std::vector<LiveSet> live_in_;
+    std::vector<LiveSet> live_out_;
+};
+
+/** Compute use/def of a single instruction (exposed for tests). */
+void instrUseDef(const sass::Instruction &ins, LiveSet &use, LiveSet &def);
+
+} // namespace sassi::ir
+
+#endif // SASSI_SASSIR_LIVENESS_H

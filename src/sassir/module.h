@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Compilation containers: Kernel and Module.
+ *
+ * A Module is the unit the backend compiler produces and the unit
+ * the SASSI pass instruments (paper Figure 1: SASSI runs as the last
+ * pass of ptxas over each compiled shader).
+ */
+
+#ifndef SASSI_SASSIR_MODULE_H
+#define SASSI_SASSIR_MODULE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sass/instr.h"
+
+namespace sassi::ir {
+
+/** One compiled compute shader (CUDA kernel). */
+struct Kernel
+{
+    /** Kernel entry name. */
+    std::string name;
+
+    /** The instruction stream; the PC of code[i] is i. */
+    std::vector<sass::Instruction> code;
+
+    /** Register budget (highest GPR index used + 1). */
+    int numRegs = 24;
+
+    /** Per-thread local (stack/spill) memory in bytes. */
+    uint32_t localBytes = 4096;
+
+    /** Static shared memory per CTA in bytes. */
+    uint32_t sharedBytes = 0;
+
+    /** Label name -> instruction index (debugging aid). */
+    std::map<std::string, int> labels;
+
+    /**
+     * Pseudo function address reported to handlers through
+     * SASSIBeforeParams::GetFnAddr (the paper exposes the kernel's
+     * function address so handlers can reconstruct instruction PCs).
+     */
+    int32_t fnAddr = 0;
+
+    /**
+     * Graphics-shader mode (paper §9.5): shaders do not adhere to
+     * the compute ABI and maintain no stack, so the hardware does
+     * not initialize R1. SASSI must then allocate and manage the
+     * stack itself (InstrumentOptions::manageStack).
+     */
+    bool isShader = false;
+};
+
+/** A collection of kernels produced by one compilation. */
+struct Module
+{
+    std::vector<Kernel> kernels;
+
+    /** @return the kernel with the given name, or nullptr. */
+    Kernel *
+    find(const std::string &name)
+    {
+        for (auto &k : kernels) {
+            if (k.name == name)
+                return &k;
+        }
+        return nullptr;
+    }
+
+    /** @return the kernel with the given name, or nullptr. */
+    const Kernel *
+    find(const std::string &name) const
+    {
+        for (const auto &k : kernels) {
+            if (k.name == name)
+                return &k;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace sassi::ir
+
+#endif // SASSI_SASSIR_MODULE_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Textual assembler for the SASS-like ISA.
+ *
+ * The grammar is exactly what Instruction::disasm() emits, extended
+ * with labels and kernel directives, so modules round-trip through
+ * text. Example:
+ *
+ *   .kernel vecadd
+ *   .local 4096
+ *       S2R R0, SR_TID.X
+ *       ISETP.GE P0, R0, R5
+ *   @P0 BRA done
+ *       LDG.64 R6, [R8+0x10]
+ *   done:
+ *       EXIT
+ *   .endkernel
+ *
+ * Comments start with ';' or '#'. Branch operands may be label names
+ * or literal instruction indices.
+ */
+
+#ifndef SASSI_SASSIR_PARSER_H
+#define SASSI_SASSIR_PARSER_H
+
+#include <string>
+
+#include "sassir/module.h"
+
+namespace sassi::ir {
+
+/**
+ * Parse an assembly listing into a Module.
+ * Calls fatal() with file/line context on malformed input.
+ */
+Module parseAssembly(const std::string &text);
+
+/** Render a kernel back to parseable assembly text. */
+std::string printKernel(const Kernel &kernel);
+
+} // namespace sassi::ir
+
+#endif // SASSI_SASSIR_PARSER_H

@@ -1,0 +1,127 @@
+#include "simt/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simt/executor.h"
+#include "util/logging.h"
+
+namespace sassi::simt {
+
+Device::Device(size_t heap_bytes)
+{
+    heap_.reserve(heap_bytes);
+}
+
+uint64_t
+Device::malloc(size_t bytes, size_t align)
+{
+    uint64_t addr = (brk_ + align - 1) & ~(static_cast<uint64_t>(align) - 1);
+    uint64_t end = addr + bytes;
+    fatal_if(end - GlobalBase > heap_.capacity(),
+             "device out of memory: %zu bytes requested", bytes);
+    if (end - GlobalBase > heap_.size())
+        heap_.resize(end - GlobalBase, 0);
+    brk_ = end;
+    return addr;
+}
+
+void
+Device::mapSlack(size_t bytes)
+{
+    size_t want = heap_.size() + bytes;
+    heap_.resize(std::min(want, heap_.capacity()), 0);
+}
+
+bool
+Device::isGlobal(uint64_t addr) const
+{
+    return addr >= GlobalBase && addr - GlobalBase < heap_.size();
+}
+
+uint8_t *
+Device::globalPtr(uint64_t addr, size_t n)
+{
+    if (addr < GlobalBase)
+        return nullptr;
+    uint64_t off = addr - GlobalBase;
+    if (off + n > heap_.size())
+        return nullptr;
+    return heap_.data() + off;
+}
+
+const uint8_t *
+Device::globalPtr(uint64_t addr, size_t n) const
+{
+    return const_cast<Device *>(this)->globalPtr(addr, n);
+}
+
+void
+Device::memcpyHtoD(uint64_t dst, const void *src, size_t n)
+{
+    uint8_t *p = globalPtr(dst, n);
+    fatal_if(!p, "memcpyHtoD out of bounds: 0x%llx + %zu",
+             static_cast<unsigned long long>(dst), n);
+    bytes_h2d_ += n;
+    std::memcpy(p, src, n);
+}
+
+void
+Device::memcpyDtoH(void *dst, uint64_t src, size_t n) const
+{
+    const uint8_t *p = globalPtr(src, n);
+    fatal_if(!p, "memcpyDtoH out of bounds: 0x%llx + %zu",
+             static_cast<unsigned long long>(src), n);
+    bytes_d2h_ += n;
+    std::memcpy(dst, p, n);
+}
+
+void
+Device::memset(uint64_t dst, uint8_t value, size_t n)
+{
+    uint8_t *p = globalPtr(dst, n);
+    fatal_if(!p, "memset out of bounds: 0x%llx + %zu",
+             static_cast<unsigned long long>(dst), n);
+    std::memset(p, value, n);
+}
+
+void
+Device::loadModule(ir::Module module)
+{
+    module_ = std::move(module);
+}
+
+LaunchResult
+Device::launch(const std::string &kernel, Dim3 grid, Dim3 block,
+               const KernelArgs &args, const LaunchOptions &opts)
+{
+    const ir::Kernel *k = module_.find(kernel);
+    fatal_if(!k, "launch of unknown kernel '%s'", kernel.c_str());
+    fatal_if(block.count() == 0 || block.count() > 1024,
+             "invalid block size %llu",
+             static_cast<unsigned long long>(block.count()));
+    fatal_if(grid.count() == 0, "empty grid");
+
+    cupti::CallbackData data;
+    data.kernelName = kernel;
+    data.invocation = callbacks_.noteLaunch(kernel);
+    data.grid[0] = grid.x;
+    data.grid[1] = grid.y;
+    data.grid[2] = grid.z;
+    data.block[0] = block.x;
+    data.block[1] = block.y;
+    data.block[2] = block.z;
+    callbacks_.fire(cupti::CallbackSite::KernelLaunch, data);
+
+    Executor exec(*this, *k, grid, block, args.bytes(), opts);
+    LaunchResult result = exec.run();
+    total_stats_.add(result.stats);
+    ++launches_;
+
+    data.launchOk = result.ok();
+    data.errorMessage = result.message;
+    callbacks_.fire(cupti::CallbackSite::KernelExit, data);
+    return result;
+}
+
+} // namespace sassi::simt

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulated GPU device and its host-side runtime API.
+ *
+ * Stands in for the CUDA runtime + a Kepler-class GPU: device
+ * memory allocation, host<->device copies, module loading, and
+ * kernel launches. Launches are serialized (as the paper notes,
+ * CUPTI + cudaMemcpy serialize kernel invocations, which the case
+ * studies exploit to avoid counter races).
+ */
+
+#ifndef SASSI_SIMT_DEVICE_H
+#define SASSI_SIMT_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cupti/callbacks.h"
+#include "sassir/module.h"
+#include "simt/dispatcher.h"
+#include "simt/launch.h"
+
+namespace sassi::simt {
+
+/** A simulated GPU: memory, loaded code, and a launch engine. */
+class Device
+{
+  public:
+    /** First valid global-memory device address. */
+    static constexpr uint64_t GlobalBase = 0x10000000ull;
+
+    /** Base of the generic-address window onto per-thread local
+     *  memory (what L2G produces; kept above 4 GB so the high word
+     *  of a generic pointer distinguishes the spaces). */
+    static constexpr uint64_t LocalWindowBase = 0x100000000ull;
+
+    /** Construct a device with the given heap capacity. */
+    explicit Device(size_t heap_bytes = 512ull << 20);
+
+    /// @name Memory API (cudaMalloc / cudaMemcpy / cudaMemset)
+    /// @{
+
+    /** Allocate device memory. @return its device address. */
+    uint64_t malloc(size_t bytes, size_t align = 256);
+
+    /** Copy host -> device. */
+    void memcpyHtoD(uint64_t dst, const void *src, size_t n);
+
+    /** Copy device -> host. */
+    void memcpyDtoH(void *dst, uint64_t src, size_t n) const;
+
+    /** Fill device memory. */
+    void memset(uint64_t dst, uint8_t value, size_t n);
+
+    /** Typed single-value read from global memory. */
+    template <typename T>
+    T
+    read(uint64_t addr) const
+    {
+        T v;
+        memcpyDtoH(&v, addr, sizeof(T));
+        return v;
+    }
+
+    /** Typed single-value write to global memory. */
+    template <typename T>
+    void
+    write(uint64_t addr, const T &v)
+    {
+        memcpyHtoD(addr, &v, sizeof(T));
+    }
+
+    /** @return whether addr lies in allocated global memory. */
+    bool isGlobal(uint64_t addr) const;
+
+    /**
+     * Map (zero-filled) heap beyond the current allocations, up to
+     * the heap capacity. Real devices map at allocation granularity
+     * far beyond what an application touches, so many corrupted
+     * addresses still hit mapped memory instead of faulting; the
+     * error-injection study uses this to avoid over-reporting
+     * crashes (see EXPERIMENTS.md).
+     */
+    void mapSlack(size_t bytes);
+
+    /**
+     * Bounds-checked raw pointer into the global heap; returns
+     * nullptr when [addr, addr+n) is not allocated. Used by the
+     * executor and by handler-side atomics.
+     */
+    uint8_t *globalPtr(uint64_t addr, size_t n);
+    const uint8_t *globalPtr(uint64_t addr, size_t n) const;
+
+    /// @}
+
+    /// @name Code loading and launch
+    /// @{
+
+    /** Load (or replace) the module executed by launches. */
+    void loadModule(ir::Module module);
+
+    /** @return the loaded module. */
+    const ir::Module &module() const { return module_; }
+
+    /** @return mutable access to the loaded module. */
+    ir::Module &module() { return module_; }
+
+    /** Launch a kernel by name; blocks until completion. */
+    LaunchResult launch(const std::string &kernel, Dim3 grid, Dim3 block,
+                        const KernelArgs &args,
+                        const LaunchOptions &opts = {});
+
+    /// @}
+
+    /** Install the SASSI handler dispatcher (nullptr to remove). */
+    void setDispatcher(HandlerDispatcher *d) { dispatcher_ = d; }
+
+    /** @return the installed dispatcher, if any. */
+    HandlerDispatcher *dispatcher() const { return dispatcher_; }
+
+    /** @return the CUPTI-like callback registry. */
+    cupti::CallbackRegistry &callbacks() { return callbacks_; }
+
+    /** @return cumulative statistics across all launches. */
+    const LaunchStats &totalStats() const { return total_stats_; }
+
+    /** Reset the cumulative launch statistics. Transfer-byte and
+     *  launch counters are cumulative program-lifetime quantities
+     *  and are left alone (the Table 3 host-time model needs the
+     *  setup-time copies). */
+    void resetStats() { total_stats_ = LaunchStats(); }
+
+    /** @return bytes copied host->device so far. */
+    uint64_t bytesH2D() const { return bytes_h2d_; }
+
+    /** @return bytes copied device->host so far. */
+    uint64_t bytesD2H() const { return bytes_d2h_; }
+
+    /** @return kernel launches so far. */
+    uint64_t launches() const { return launches_; }
+
+  private:
+    std::vector<uint8_t> heap_;
+    uint64_t brk_ = GlobalBase;
+    ir::Module module_;
+    HandlerDispatcher *dispatcher_ = nullptr;
+    cupti::CallbackRegistry callbacks_;
+    LaunchStats total_stats_;
+    uint64_t bytes_h2d_ = 0;
+    mutable uint64_t bytes_d2h_ = 0;
+    uint64_t launches_ = 0;
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_DEVICE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CUDA-style three-dimensional launch geometry.
+ */
+
+#ifndef SASSI_SIMT_DIM3_H
+#define SASSI_SIMT_DIM3_H
+
+#include <cstdint>
+
+namespace sassi::simt {
+
+/** Grid/block dimensions, CUDA dim3 semantics. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    constexpr Dim3() = default;
+    constexpr Dim3(uint32_t x_, uint32_t y_ = 1, uint32_t z_ = 1)
+        : x(x_), y(y_), z(z_)
+    {}
+
+    /** @return the flat element count. */
+    constexpr uint64_t
+    count() const
+    {
+        return static_cast<uint64_t>(x) * y * z;
+    }
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_DIM3_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The hook through which JCALs to instrumentation handlers re-enter
+ * tool code. The simulator stays independent of the SASSI core: it
+ * only knows that a JCAL whose target is at or above HandlerBase is
+ * a handler trampoline and forwards it here.
+ */
+
+#ifndef SASSI_SIMT_DISPATCHER_H
+#define SASSI_SIMT_DISPATCHER_H
+
+#include <cstdint>
+
+namespace sassi::simt {
+
+class Executor;
+struct Warp;
+
+/** JCAL targets >= HandlerBase name instrumentation handlers. */
+constexpr int32_t HandlerBase = 1 << 24;
+
+/** Receiver of handler-trampoline calls. */
+class HandlerDispatcher
+{
+  public:
+    virtual ~HandlerDispatcher() = default;
+
+    /**
+     * Execute handler site_key for the warp currently at a JCAL.
+     *
+     * @param exec The running executor (register/memory access).
+     * @param warp The calling warp; activeMask lanes made the call.
+     * @param site_key target - HandlerBase of the JCAL.
+     */
+    virtual void dispatch(Executor &exec, Warp &warp, int32_t site_key) = 0;
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_DISPATCHER_H

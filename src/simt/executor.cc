@@ -1,0 +1,858 @@
+#include "simt/executor.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace sassi::simt {
+
+using namespace sass;
+
+namespace {
+
+uint64_t
+loadBytes(const uint8_t *p, int width)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, p, static_cast<size_t>(std::min(width, 8)));
+    return v;
+}
+
+void
+storeBytes(uint8_t *p, uint64_t v, int width)
+{
+    std::memcpy(p, &v, static_cast<size_t>(std::min(width, 8)));
+}
+
+float
+asFloat(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t b;
+    std::memcpy(&b, &f, 4);
+    return b;
+}
+
+bool
+cmpInt(CmpOp op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case CmpOp::LT: return a < b;
+      case CmpOp::EQ: return a == b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::GT: return a > b;
+      case CmpOp::NE: return a != b;
+      case CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+bool
+cmpFloat(CmpOp op, float a, float b)
+{
+    switch (op) {
+      case CmpOp::LT: return a < b;
+      case CmpOp::EQ: return a == b;
+      case CmpOp::LE: return a <= b;
+      case CmpOp::GT: return a > b;
+      case CmpOp::NE: return a != b;
+      case CmpOp::GE: return a >= b;
+    }
+    return false;
+}
+
+bool
+logicEval(LogicOp op, bool a, bool b)
+{
+    switch (op) {
+      case LogicOp::And: return a && b;
+      case LogicOp::Or: return a || b;
+      case LogicOp::Xor: return a != b;
+      case LogicOp::PassB: return b;
+      case LogicOp::Not: return !a;
+    }
+    return false;
+}
+
+uint32_t
+atomicApply(AtomOp op, uint32_t old, uint32_t b, uint32_t c, bool &store)
+{
+    store = true;
+    switch (op) {
+      case AtomOp::Add: return old + b;
+      case AtomOp::Min:
+        return static_cast<uint32_t>(
+            std::min(static_cast<int32_t>(old), static_cast<int32_t>(b)));
+      case AtomOp::Max:
+        return static_cast<uint32_t>(
+            std::max(static_cast<int32_t>(old), static_cast<int32_t>(b)));
+      case AtomOp::And: return old & b;
+      case AtomOp::Or: return old | b;
+      case AtomOp::Xor: return old ^ b;
+      case AtomOp::Exch: return b;
+      case AtomOp::Cas:
+        store = old == b;
+        return c;
+    }
+    store = false;
+    return old;
+}
+
+} // namespace
+
+Executor::Executor(Device &dev, const ir::Kernel &kernel, Dim3 grid,
+                   Dim3 block, std::vector<uint8_t> params,
+                   const LaunchOptions &opts)
+    : dev_(dev), kernel_(kernel), grid_(grid), block_(block),
+      params_(std::move(params)), opts_(opts)
+{
+}
+
+void
+Executor::fault(Outcome outcome, const std::string &message) const
+{
+    throw SimFault{outcome, message};
+}
+
+Dim3
+Executor::threadIdx(const Warp &warp, int lane) const
+{
+    uint32_t linear =
+        static_cast<uint32_t>(threadLinearInCta(warp, lane));
+    Dim3 t;
+    t.x = linear % block_.x;
+    t.y = (linear / block_.x) % block_.y;
+    t.z = linear / (block_.x * block_.y);
+    return t;
+}
+
+LaunchResult
+Executor::run()
+{
+    LaunchResult result;
+    try {
+        for (uint32_t cz = 0; cz < grid_.z; ++cz) {
+            for (uint32_t cy = 0; cy < grid_.y; ++cy) {
+                for (uint32_t cx = 0; cx < grid_.x; ++cx) {
+                    cta_ = Dim3(cx, cy, cz);
+                    cta_linear_ =
+                        (static_cast<uint64_t>(cz) * grid_.y + cy) *
+                            grid_.x + cx;
+                    runCta();
+                    ++stats_.ctas;
+                }
+            }
+        }
+        result.outcome = Outcome::Ok;
+    } catch (const SimFault &f) {
+        result.outcome = f.outcome;
+        result.message = f.message;
+    }
+    result.stats = stats_;
+    return result;
+}
+
+void
+Executor::runCta()
+{
+    uint32_t threads = static_cast<uint32_t>(block_.count());
+    int num_warps = static_cast<int>((threads + WarpSize - 1) / WarpSize);
+
+    shared_.assign(kernel_.sharedBytes + opts_.dynamicShared, 0);
+    warps_.clear();
+    warps_.resize(static_cast<size_t>(num_warps));
+    for (int w = 0; w < num_warps; ++w) {
+        Warp &warp = warps_[static_cast<size_t>(w)];
+        warp.rank = w;
+        warp.pc = 0;
+        warp.numRegs = kernel_.numRegs;
+        warp.localBytes = kernel_.localBytes;
+        warp.regs.assign(static_cast<size_t>(WarpSize) *
+                         static_cast<size_t>(kernel_.numRegs), 0);
+        warp.localMem.assign(static_cast<size_t>(WarpSize) *
+                             kernel_.localBytes, 0);
+        uint32_t lanes_here =
+            std::min<uint32_t>(WarpSize, threads -
+                               static_cast<uint32_t>(w) * WarpSize);
+        warp.liveMask = lanes_here == 32 ? ~0u : ((1u << lanes_here) - 1);
+        warp.activeMask = warp.liveMask;
+        // ABI: R1 is the stack pointer, initialized to the top of the
+        // thread's local memory (the stack grows down). Graphics
+        // shaders maintain no stack (paper §9.5) — R1 stays zero and
+        // SASSI must manage one if it wants to inject calls.
+        if (!kernel_.isShader) {
+            for (int lane = 0; lane < WarpSize; ++lane)
+                warp.setReg(lane, abi::StackPtr, kernel_.localBytes);
+        }
+    }
+
+    for (;;) {
+        bool progressed = false;
+        bool any_alive = false;
+        for (Warp &warp : warps_) {
+            if (warp.done())
+                continue;
+            any_alive = true;
+            if (warp.atBarrier)
+                continue;
+            step(warp);
+            progressed = true;
+        }
+        if (!any_alive)
+            break;
+        if (!progressed) {
+            // Every live warp is parked at BAR: release the barrier.
+            for (Warp &warp : warps_)
+                warp.atBarrier = false;
+        }
+    }
+}
+
+void
+Executor::unwindStack(Warp &warp)
+{
+    while (!warp.divStack.empty()) {
+        DivToken token = warp.divStack.back();
+        warp.divStack.pop_back();
+        uint32_t mask = token.mask & warp.liveMask;
+        if (mask) {
+            warp.activeMask = mask;
+            warp.pc = token.pc;
+            return;
+        }
+    }
+    // Stack exhausted: every remaining live lane must already have
+    // exited; otherwise live lanes would be unreachable.
+    panic_if(warp.liveMask != 0,
+             "divergence stack exhausted with live lanes (kernel %s, "
+             "pc %u)", kernel_.name.c_str(), warp.pc);
+    warp.activeMask = 0;
+}
+
+uint8_t *
+Executor::resolveGeneric(uint64_t addr, int width)
+{
+    uint8_t *p = dev_.globalPtr(addr, static_cast<size_t>(width));
+    if (p)
+        return p;
+    if (addr >= Device::LocalWindowBase && kernel_.localBytes > 0) {
+        uint64_t off = addr - Device::LocalWindowBase;
+        uint64_t thread = off / kernel_.localBytes;
+        uint64_t byte = off % kernel_.localBytes;
+        uint64_t cta_threads = block_.count();
+        uint64_t first = cta_linear_ * cta_threads;
+        if (thread >= first && thread < first + cta_threads &&
+            byte + static_cast<uint64_t>(width) <= kernel_.localBytes) {
+            uint64_t in_cta = thread - first;
+            Warp &warp = warps_[in_cta / WarpSize];
+            uint64_t lane = in_cta % WarpSize;
+            return warp.localMem.data() + lane * kernel_.localBytes +
+                   byte;
+        }
+    }
+    fault(Outcome::MemFault,
+          detail::strFormat("invalid generic address 0x%llx (width %d)",
+                            static_cast<unsigned long long>(addr), width));
+}
+
+uint64_t
+Executor::readGeneric(uint64_t addr, int width)
+{
+    return loadBytes(resolveGeneric(addr, width), width);
+}
+
+void
+Executor::writeGeneric(uint64_t addr, uint64_t value, int width)
+{
+    storeBytes(resolveGeneric(addr, width), value, width);
+}
+
+uint8_t *
+Executor::resolveAddr(Warp &warp, int lane, const Instruction &ins,
+                      uint64_t addr, int width)
+{
+    switch (ins.space) {
+      case MemSpace::Generic:
+      case MemSpace::Global:
+      case MemSpace::Texture:
+      case MemSpace::Surface: {
+        if (ins.space == MemSpace::Generic)
+            return resolveGeneric(addr, width);
+        uint8_t *p = dev_.globalPtr(addr, static_cast<size_t>(width));
+        if (!p) {
+            fault(Outcome::MemFault, detail::strFormat(
+                "global access violation at 0x%llx (kernel %s, pc %u, "
+                "lane %d)", static_cast<unsigned long long>(addr),
+                kernel_.name.c_str(), warp.pc, lane));
+        }
+        return p;
+      }
+      case MemSpace::Shared: {
+        if (addr + static_cast<uint64_t>(width) > shared_.size()) {
+            fault(Outcome::MemFault, detail::strFormat(
+                "shared access violation at 0x%llx (size %zu)",
+                static_cast<unsigned long long>(addr), shared_.size()));
+        }
+        return shared_.data() + addr;
+      }
+      case MemSpace::Local: {
+        if (addr + static_cast<uint64_t>(width) > kernel_.localBytes) {
+            fault(Outcome::MemFault, detail::strFormat(
+                "local access violation at 0x%llx (local size %u, "
+                "kernel %s, pc %u)",
+                static_cast<unsigned long long>(addr),
+                kernel_.localBytes, kernel_.name.c_str(), warp.pc));
+        }
+        return warp.localMem.data() +
+               static_cast<size_t>(lane) * kernel_.localBytes + addr;
+      }
+      case MemSpace::Constant: {
+        if (addr + static_cast<uint64_t>(width) > params_.size()) {
+            fault(Outcome::MemFault, detail::strFormat(
+                "constant access violation at 0x%llx (param size %zu)",
+                static_cast<unsigned long long>(addr), params_.size()));
+        }
+        return params_.data() + addr;
+      }
+    }
+    fault(Outcome::MemFault, "unreachable memory space");
+}
+
+void
+Executor::execMem(Warp &warp, const Instruction &ins, uint32_t exec)
+{
+    int width = ins.width;
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(exec & (1u << lane)))
+            continue;
+
+        uint64_t addr;
+        if (ins.op == Opcode::LDC) {
+            addr = static_cast<uint64_t>(
+                static_cast<int64_t>(warp.reg(lane, ins.srcA)) + ins.imm);
+        } else if (ins.addrIsPair()) {
+            addr = makeU64(warp.reg(lane, ins.srcA),
+                           warp.reg(lane, static_cast<RegId>(ins.srcA + 1)))
+                   + static_cast<uint64_t>(ins.imm);
+        } else {
+            addr = static_cast<uint64_t>(
+                warp.reg(lane, ins.srcA) + static_cast<uint32_t>(ins.imm));
+        }
+
+        uint8_t *p = resolveAddr(warp, lane, ins, addr, width);
+
+        switch (ins.op) {
+          case Opcode::LD:
+          case Opcode::LDG:
+          case Opcode::LDS:
+          case Opcode::LDL:
+          case Opcode::LDC:
+          case Opcode::TLD:
+          case Opcode::SULD: {
+            if (width <= 4) {
+                uint32_t v = static_cast<uint32_t>(loadBytes(p, width));
+                if (width < 4 && ins.sExt) {
+                    int shift = 32 - width * 8;
+                    v = static_cast<uint32_t>(
+                        (static_cast<int32_t>(v << shift)) >> shift);
+                }
+                warp.setReg(lane, ins.dst, v);
+            } else {
+                for (int i = 0; i < width / 4; ++i) {
+                    uint32_t v;
+                    std::memcpy(&v, p + i * 4, 4);
+                    warp.setReg(lane, static_cast<RegId>(ins.dst + i), v);
+                }
+            }
+            break;
+          }
+          case Opcode::ST:
+          case Opcode::STG:
+          case Opcode::STS:
+          case Opcode::STL:
+          case Opcode::SUST: {
+            if (width <= 4) {
+                uint32_t v = warp.reg(lane, ins.srcB);
+                storeBytes(p, v, width);
+            } else {
+                for (int i = 0; i < width / 4; ++i) {
+                    uint32_t v =
+                        warp.reg(lane, static_cast<RegId>(ins.srcB + i));
+                    std::memcpy(p + i * 4, &v, 4);
+                }
+            }
+            break;
+          }
+          case Opcode::ATOM:
+          case Opcode::ATOMS:
+          case Opcode::RED: {
+            uint32_t old;
+            std::memcpy(&old, p, 4);
+            bool store = false;
+            uint32_t next = atomicApply(ins.atom, old,
+                                        warp.reg(lane, ins.srcB),
+                                        warp.reg(lane, ins.srcC), store);
+            if (store)
+                std::memcpy(p, &next, 4);
+            if (ins.op != Opcode::RED)
+                warp.setReg(lane, ins.dst, old);
+            break;
+          }
+          default:
+            panic("execMem on non-memory opcode %s",
+                  std::string(opName(ins.op)).c_str());
+        }
+    }
+}
+
+void
+Executor::execWarpOp(Warp &warp, const Instruction &ins, uint32_t exec)
+{
+    switch (ins.op) {
+      case Opcode::VOTE: {
+        uint32_t mask = 0;
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            bool v = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
+            if (v)
+                mask |= 1u << lane;
+        }
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            switch (ins.vote) {
+              case VoteMode::Ballot:
+                warp.setReg(lane, ins.dst, mask);
+                break;
+              case VoteMode::All:
+                warp.setPred(lane, ins.pDst, (mask & exec) == exec);
+                break;
+              case VoteMode::Any:
+                warp.setPred(lane, ins.pDst, mask != 0);
+                break;
+            }
+        }
+        break;
+      }
+      case Opcode::SHFL: {
+        std::array<uint32_t, WarpSize> snapshot{};
+        for (int lane = 0; lane < WarpSize; ++lane)
+            snapshot[static_cast<size_t>(lane)] =
+                warp.reg(lane, ins.srcA);
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(exec & (1u << lane)))
+                continue;
+            int b = static_cast<int>(
+                ins.bIsImm ? ins.imm
+                           : static_cast<int64_t>(warp.reg(lane, ins.srcB)));
+            int src = lane;
+            switch (ins.shfl) {
+              case ShflMode::Idx: src = b & 31; break;
+              case ShflMode::Up: src = lane - b; break;
+              case ShflMode::Down: src = lane + b; break;
+              case ShflMode::Bfly: src = lane ^ b; break;
+            }
+            uint32_t v = snapshot[static_cast<size_t>(lane)];
+            if (src >= 0 && src < WarpSize && (exec & (1u << src)))
+                v = snapshot[static_cast<size_t>(src)];
+            warp.setReg(lane, ins.dst, v);
+        }
+        break;
+      }
+      default:
+        panic("execWarpOp on %s", std::string(opName(ins.op)).c_str());
+    }
+}
+
+void
+Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
+{
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(exec & (1u << lane)))
+            continue;
+
+        uint32_t a = warp.reg(lane, ins.srcA);
+        uint32_t b = ins.bIsImm ? static_cast<uint32_t>(ins.imm)
+                                : warp.reg(lane, ins.srcB);
+        uint32_t c = warp.reg(lane, ins.srcC);
+
+        switch (ins.op) {
+          case Opcode::NOP:
+          case Opcode::MEMBAR:
+            break;
+          case Opcode::MOV:
+            warp.setReg(lane, ins.dst, a);
+            break;
+          case Opcode::MOV32I:
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(ins.imm));
+            break;
+          case Opcode::SEL: {
+            bool p = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
+            warp.setReg(lane, ins.dst, p ? a : b);
+            break;
+          }
+          case Opcode::IADD:
+          case Opcode::IADD32I: {
+            uint64_t sum = static_cast<uint64_t>(a) + b +
+                           (ins.useCC && warp.cc[static_cast<size_t>(lane)]
+                                ? 1u : 0u);
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(sum));
+            if (ins.setCC)
+                warp.cc[static_cast<size_t>(lane)] = (sum >> 32) != 0;
+            break;
+          }
+          case Opcode::IMUL:
+            warp.setReg(lane, ins.dst, a * b);
+            break;
+          case Opcode::IMAD:
+            warp.setReg(lane, ins.dst, a * b + c);
+            break;
+          case Opcode::IMNMX: {
+            int32_t sa = static_cast<int32_t>(a);
+            int32_t sb = static_cast<int32_t>(b);
+            bool is_min = ins.cmp == CmpOp::LT;
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(
+                is_min ? std::min(sa, sb) : std::max(sa, sb)));
+            break;
+          }
+          case Opcode::SHL:
+            warp.setReg(lane, ins.dst, b >= 32 ? 0 : a << (b & 31));
+            break;
+          case Opcode::SHR:
+            if (ins.sExt) {
+                warp.setReg(lane, ins.dst, static_cast<uint32_t>(
+                    static_cast<int32_t>(a) >>
+                    std::min<uint32_t>(b, 31)));
+            } else {
+                warp.setReg(lane, ins.dst, b >= 32 ? 0 : a >> (b & 31));
+            }
+            break;
+          case Opcode::LOP: {
+            uint32_t r = 0;
+            switch (ins.logic) {
+              case LogicOp::And: r = a & b; break;
+              case LogicOp::Or: r = a | b; break;
+              case LogicOp::Xor: r = a ^ b; break;
+              case LogicOp::PassB: r = b; break;
+              case LogicOp::Not: r = ~a; break;
+            }
+            warp.setReg(lane, ins.dst, r);
+            break;
+          }
+          case Opcode::POPC:
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(popc(a)));
+            break;
+          case Opcode::FLO: {
+            uint32_t r = a == 0 ? 0xffffffffu
+                                : static_cast<uint32_t>(
+                                      31 - std::countl_zero(a));
+            warp.setReg(lane, ins.dst, r);
+            break;
+          }
+          case Opcode::ISETP: {
+            bool result;
+            if (ins.sExt) {
+                result = cmpInt(ins.cmp, static_cast<int32_t>(a),
+                                static_cast<int32_t>(b));
+            } else {
+                result = cmpInt(ins.cmp, a, b);
+            }
+            bool combined =
+                result && (warp.pred(lane, ins.pSrc) != ins.pSrcNeg);
+            warp.setPred(lane, ins.pDst, combined);
+            break;
+          }
+          case Opcode::PSETP: {
+            bool pa = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
+            auto pb_id = static_cast<PredId>(ins.imm & 7);
+            bool pb = warp.pred(lane, pb_id) != ((ins.imm & 8) != 0);
+            warp.setPred(lane, ins.pDst,
+                         logicEval(ins.logic, pa, pb));
+            break;
+          }
+          case Opcode::P2R: {
+            uint32_t bits = warp.preds[static_cast<size_t>(lane)];
+            if (warp.cc[static_cast<size_t>(lane)])
+                bits |= 0x80;
+            warp.setReg(lane, ins.dst,
+                        bits & static_cast<uint32_t>(ins.imm));
+            break;
+          }
+          case Opcode::R2P: {
+            uint32_t mask = static_cast<uint32_t>(ins.imm);
+            for (PredId p = 0; p < NumPred; ++p) {
+                if (mask & (1u << p))
+                    warp.setPred(lane, p, a & (1u << p));
+            }
+            if (mask & 0x80)
+                warp.cc[static_cast<size_t>(lane)] = a & 0x80;
+            break;
+          }
+          case Opcode::FADD:
+            warp.setReg(lane, ins.dst,
+                        asBits(asFloat(a) + asFloat(b)));
+            break;
+          case Opcode::FMUL:
+            warp.setReg(lane, ins.dst,
+                        asBits(asFloat(a) * asFloat(b)));
+            break;
+          case Opcode::FFMA:
+            warp.setReg(lane, ins.dst,
+                        asBits(asFloat(a) * asFloat(b) + asFloat(c)));
+            break;
+          case Opcode::FMNMX: {
+            float fa = asFloat(a);
+            float fb = asFloat(b);
+            bool is_min = ins.cmp == CmpOp::LT;
+            warp.setReg(lane, ins.dst,
+                        asBits(is_min ? std::fmin(fa, fb)
+                                      : std::fmax(fa, fb)));
+            break;
+          }
+          case Opcode::FSETP:
+            warp.setPred(lane, ins.pDst,
+                         cmpFloat(ins.cmp, asFloat(a), asFloat(b)) &&
+                             (warp.pred(lane, ins.pSrc) != ins.pSrcNeg));
+            break;
+          case Opcode::MUFU: {
+            float fa = asFloat(a);
+            float r = 0.f;
+            switch (ins.mufu) {
+              case MufuOp::Rcp: r = 1.0f / fa; break;
+              case MufuOp::Sqrt: r = std::sqrt(fa); break;
+              case MufuOp::Rsq: r = 1.0f / std::sqrt(fa); break;
+              case MufuOp::Lg2: r = std::log2(fa); break;
+              case MufuOp::Ex2: r = std::exp2(fa); break;
+              case MufuOp::Sin: r = std::sin(fa); break;
+              case MufuOp::Cos: r = std::cos(fa); break;
+            }
+            warp.setReg(lane, ins.dst, asBits(r));
+            break;
+          }
+          case Opcode::I2F:
+            warp.setReg(lane, ins.dst,
+                        asBits(static_cast<float>(
+                            static_cast<int32_t>(a))));
+            break;
+          case Opcode::F2I: {
+            float f = asFloat(a);
+            int32_t r;
+            if (std::isnan(f))
+                r = 0;
+            else if (f >= 2147483647.0f)
+                r = 2147483647;
+            else if (f <= -2147483648.0f)
+                r = -2147483647 - 1;
+            else
+                r = static_cast<int32_t>(f);
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(r));
+            break;
+          }
+          case Opcode::S2R: {
+            Dim3 tid = threadIdx(warp, lane);
+            uint32_t v = 0;
+            switch (ins.sreg) {
+              case SpecialReg::TidX: v = tid.x; break;
+              case SpecialReg::TidY: v = tid.y; break;
+              case SpecialReg::TidZ: v = tid.z; break;
+              case SpecialReg::CtaIdX: v = cta_.x; break;
+              case SpecialReg::CtaIdY: v = cta_.y; break;
+              case SpecialReg::CtaIdZ: v = cta_.z; break;
+              case SpecialReg::NTidX: v = block_.x; break;
+              case SpecialReg::NTidY: v = block_.y; break;
+              case SpecialReg::NTidZ: v = block_.z; break;
+              case SpecialReg::NCtaIdX: v = grid_.x; break;
+              case SpecialReg::NCtaIdY: v = grid_.y; break;
+              case SpecialReg::NCtaIdZ: v = grid_.z; break;
+              case SpecialReg::LaneId:
+                v = static_cast<uint32_t>(lane);
+                break;
+              case SpecialReg::WarpId:
+                v = static_cast<uint32_t>(warp.rank);
+                break;
+              case SpecialReg::Clock:
+                v = static_cast<uint32_t>(stats_.warpInstrs);
+                break;
+            }
+            warp.setReg(lane, ins.dst, v);
+            break;
+          }
+          case Opcode::L2G: {
+            uint64_t g = localWindowAddr(warp, lane) + a;
+            warp.setReg(lane, ins.dst, lo32(g));
+            warp.setReg(lane, static_cast<RegId>(ins.dst + 1), hi32(g));
+            break;
+          }
+          default:
+            panic("execAlu: unhandled opcode %s",
+                  std::string(opName(ins.op)).c_str());
+        }
+    }
+}
+
+void
+Executor::step(Warp &warp)
+{
+    if (warp.pc >= kernel_.code.size()) {
+        fault(Outcome::InvalidPC, detail::strFormat(
+            "PC 0x%x outside kernel %s (%zu instructions)", warp.pc,
+            kernel_.name.c_str(), kernel_.code.size()));
+    }
+    if (++watchdog_count_ > opts_.watchdog) {
+        fault(Outcome::Hang, detail::strFormat(
+            "watchdog expired after %llu warp instructions (kernel %s)",
+            static_cast<unsigned long long>(watchdog_count_),
+            kernel_.name.c_str()));
+    }
+
+    const Instruction &ins = kernel_.code[warp.pc];
+
+    // Evaluate the guard predicate per lane.
+    uint32_t exec = 0;
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(warp.activeMask & (1u << lane)))
+            continue;
+        if (warp.pred(lane, ins.guard) != ins.guardNeg)
+            exec |= 1u << lane;
+    }
+
+    ++stats_.warpInstrs;
+    stats_.threadInstrs += static_cast<uint64_t>(popc(exec));
+    ++stats_.opcodeCounts[static_cast<size_t>(ins.op)];
+    if (ins.synthetic)
+        ++stats_.syntheticWarpInstrs;
+    if (ins.isMem() && exec)
+        ++stats_.memWarpInstrs;
+
+    switch (ins.op) {
+      case Opcode::EXIT: {
+        warp.liveMask &= ~exec;
+        warp.activeMask &= ~exec;
+        if (warp.activeMask == 0) {
+            if (warp.liveMask == 0)
+                return; // Warp finished.
+            unwindStack(warp);
+        } else {
+            ++warp.pc;
+        }
+        return;
+      }
+      case Opcode::BRA: {
+        uint32_t taken = exec;
+        uint32_t not_taken = warp.activeMask & ~exec;
+        if (ins.target < 0 ||
+            ins.target > static_cast<int32_t>(kernel_.code.size())) {
+            fault(Outcome::InvalidPC, detail::strFormat(
+                "branch to invalid target %d", ins.target));
+        }
+        if (not_taken == 0) {
+            warp.pc = static_cast<uint32_t>(ins.target);
+        } else if (taken == 0) {
+            ++warp.pc;
+        } else {
+            warp.divStack.push_back(
+                {DivToken::Kind::Div, not_taken, warp.pc + 1});
+            warp.activeMask = taken;
+            warp.pc = static_cast<uint32_t>(ins.target);
+        }
+        return;
+      }
+      case Opcode::SSY: {
+        if (ins.target < 0 ||
+            ins.target > static_cast<int32_t>(kernel_.code.size())) {
+            fault(Outcome::InvalidPC, "SSY to invalid target");
+        }
+        warp.divStack.push_back({DivToken::Kind::Sync, warp.activeMask,
+                                 static_cast<uint32_t>(ins.target)});
+        ++warp.pc;
+        return;
+      }
+      case Opcode::SYNC: {
+        if (warp.divStack.empty()) {
+            fault(Outcome::InvalidPC, detail::strFormat(
+                "SYNC with empty divergence stack (kernel %s, pc %u)",
+                kernel_.name.c_str(), warp.pc));
+        }
+        unwindStack(warp);
+        return;
+      }
+      case Opcode::JCAL: {
+        if (exec == 0) {
+            ++warp.pc;
+            return;
+        }
+        if (ins.target >= HandlerBase) {
+            HandlerDispatcher *d = dev_.dispatcher();
+            if (!d) {
+                fault(Outcome::InvalidPC,
+                      "handler JCAL with no dispatcher installed");
+            }
+            ++stats_.handlerCalls;
+            d->dispatch(*this, warp, ins.target - HandlerBase);
+            ++warp.pc;
+            return;
+        }
+        if (exec != warp.activeMask) {
+            fault(Outcome::InvalidPC, "divergent JCAL is unsupported");
+        }
+        if (ins.target < 0 ||
+            ins.target >= static_cast<int32_t>(kernel_.code.size())) {
+            fault(Outcome::InvalidPC, "JCAL to invalid target");
+        }
+        warp.callStack.push_back(warp.pc + 1);
+        warp.pc = static_cast<uint32_t>(ins.target);
+        return;
+      }
+      case Opcode::RET: {
+        if (!warp.callStack.empty()) {
+            warp.pc = warp.callStack.back();
+            warp.callStack.pop_back();
+        } else {
+            // Top-level RET behaves like EXIT for the active lanes.
+            warp.liveMask &= ~warp.activeMask;
+            warp.activeMask = 0;
+            if (warp.liveMask != 0)
+                unwindStack(warp);
+        }
+        return;
+      }
+      case Opcode::BAR: {
+        warp.atBarrier = true;
+        ++warp.pc;
+        return;
+      }
+      case Opcode::BPT: {
+        if (exec) {
+            fault(Outcome::Trap, detail::strFormat(
+                "breakpoint trap (kernel %s, pc %u)",
+                kernel_.name.c_str(), warp.pc));
+        }
+        ++warp.pc;
+        return;
+      }
+      case Opcode::VOTE:
+      case Opcode::SHFL:
+        execWarpOp(warp, ins, exec);
+        ++warp.pc;
+        return;
+      default:
+        if (ins.isMem())
+            execMem(warp, ins, exec);
+        else
+            execAlu(warp, ins, exec);
+        ++warp.pc;
+        return;
+    }
+}
+
+} // namespace sassi::simt

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The SIMT interpreter: executes one kernel launch.
+ *
+ * Semantics follow NVIDIA's Fermi/Kepler execution model as the
+ * paper describes it (§2.1, §5): 32-lane warps fetch from a single
+ * PC, conditional control flow pushes deferred paths onto a
+ * divergence stack (SSY pushes the reconvergence token, divergent
+ * branches push the not-taken side, SYNC pops), and predication
+ * nullifies guarded-false lanes. CTAs run one at a time; warps
+ * within a CTA interleave round-robin, one instruction at a time.
+ *
+ * JCALs whose target is >= HandlerBase are SASSI handler
+ * trampolines and are forwarded to the installed HandlerDispatcher.
+ */
+
+#ifndef SASSI_SIMT_EXECUTOR_H
+#define SASSI_SIMT_EXECUTOR_H
+
+#include <string>
+#include <vector>
+
+#include "sassir/module.h"
+#include "simt/device.h"
+#include "simt/launch.h"
+#include "simt/warp.h"
+
+namespace sassi::simt {
+
+/** Internal fault signal; run() converts it into a LaunchResult. */
+struct SimFault
+{
+    Outcome outcome;
+    std::string message;
+};
+
+/** Executes one launch of one kernel. */
+class Executor
+{
+  public:
+    /**
+     * @param dev The device (memory, dispatcher).
+     * @param kernel The kernel to run.
+     * @param grid Grid dimensions.
+     * @param block Block dimensions.
+     * @param params Packed kernel parameters (LDC space).
+     * @param opts Launch options.
+     */
+    Executor(Device &dev, const ir::Kernel &kernel, Dim3 grid, Dim3 block,
+             std::vector<uint8_t> params, const LaunchOptions &opts);
+
+    /** Run the whole grid to completion. */
+    LaunchResult run();
+
+    /// @name Introspection for handler dispatch
+    /// @{
+
+    Device &device() { return dev_; }
+    const ir::Kernel &kernel() const { return kernel_; }
+    Dim3 gridDim() const { return grid_; }
+    Dim3 blockDim() const { return block_; }
+
+    /** Coordinates of the CTA currently executing. */
+    Dim3 ctaId() const { return cta_; }
+
+    /** Linear id of the CTA currently executing. */
+    uint64_t ctaLinear() const { return cta_linear_; }
+
+    /** Thread index (x,y,z) of a lane in the current CTA. */
+    Dim3 threadIdx(const Warp &warp, int lane) const;
+
+    /** Flat thread index of a lane within its CTA. */
+    int
+    threadLinearInCta(const Warp &warp, int lane) const
+    {
+        return warp.rank * sass::WarpSize + lane;
+    }
+
+    /** Grid-wide flat thread index of a lane. */
+    uint64_t
+    globalThreadLinear(const Warp &warp, int lane) const
+    {
+        return cta_linear_ * block_.count() +
+               static_cast<uint64_t>(threadLinearInCta(warp, lane));
+    }
+
+    /** Generic-window address of a thread's local byte 0. */
+    uint64_t
+    localWindowAddr(const Warp &warp, int lane) const
+    {
+        return Device::LocalWindowBase +
+               globalThreadLinear(warp, lane) * kernel_.localBytes;
+    }
+
+    /**
+     * Read up to 8 bytes through a generic address (global heap or
+     * the local window of a thread in the current CTA). Throws
+     * SimFault on a bad address — callers on fiber stacks must
+     * catch before unwinding across the fiber boundary.
+     */
+    uint64_t readGeneric(uint64_t addr, int width);
+
+    /** Write up to 8 bytes through a generic address. */
+    void writeGeneric(uint64_t addr, uint64_t value, int width);
+
+    /** Mutable statistics of the in-flight launch. */
+    LaunchStats &stats() { return stats_; }
+
+    /** Charge modeled handler-body cost, in warp instructions. */
+    void
+    chargeHandlerCost(uint64_t warp_instrs)
+    {
+        stats_.handlerCostInstrs += warp_instrs;
+    }
+
+    /// @}
+
+  private:
+    void runCta();
+    void step(Warp &warp);
+    void unwindStack(Warp &warp);
+    [[noreturn]] void
+    fault(Outcome outcome, const std::string &message) const;
+
+    /** Resolve a lane's memory operand to a host pointer. */
+    uint8_t *resolveAddr(Warp &warp, int lane,
+                         const sass::Instruction &ins, uint64_t addr,
+                         int width);
+    uint8_t *resolveGeneric(uint64_t addr, int width);
+
+    void execAlu(Warp &warp, const sass::Instruction &ins, uint32_t exec);
+    void execMem(Warp &warp, const sass::Instruction &ins, uint32_t exec);
+    void execWarpOp(Warp &warp, const sass::Instruction &ins,
+                    uint32_t exec);
+
+    Device &dev_;
+    const ir::Kernel &kernel_;
+    Dim3 grid_;
+    Dim3 block_;
+    std::vector<uint8_t> params_;
+    LaunchOptions opts_;
+    LaunchStats stats_;
+
+    // Current CTA context.
+    std::vector<Warp> warps_;
+    std::vector<uint8_t> shared_;
+    Dim3 cta_;
+    uint64_t cta_linear_ = 0;
+    uint64_t watchdog_count_ = 0;
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_EXECUTOR_H

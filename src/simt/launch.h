@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Launch configuration, argument packing, statistics, and results.
+ */
+
+#ifndef SASSI_SIMT_LAUNCH_H
+#define SASSI_SIMT_LAUNCH_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sass/opcode.h"
+#include "simt/dim3.h"
+
+namespace sassi::simt {
+
+/**
+ * Packs kernel parameters into the constant bank the kernel reads
+ * with LDC, mirroring CUDA's parameter space c[0x0][...]. Arguments
+ * are appended with natural alignment.
+ */
+class KernelArgs
+{
+  public:
+    /** Append a 32-bit value. @return its byte offset. */
+    size_t
+    addU32(uint32_t v)
+    {
+        return append(&v, 4, 4);
+    }
+
+    /** Append a 32-bit float. @return its byte offset. */
+    size_t
+    addF32(float v)
+    {
+        return append(&v, 4, 4);
+    }
+
+    /** Append a 64-bit value (e.g.\ a device pointer). */
+    size_t
+    addU64(uint64_t v)
+    {
+        return append(&v, 8, 8);
+    }
+
+    /** @return the packed parameter bytes. */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    size_t
+    append(const void *src, size_t n, size_t align)
+    {
+        size_t off = (bytes_.size() + align - 1) & ~(align - 1);
+        bytes_.resize(off + n);
+        std::memcpy(bytes_.data() + off, src, n);
+        return off;
+    }
+
+    std::vector<uint8_t> bytes_;
+};
+
+/** Why a launch stopped. */
+enum class Outcome {
+    Ok,         //!< Ran to completion.
+    MemFault,   //!< Out-of-bounds or unmapped access.
+    InvalidPC,  //!< Control transferred outside the kernel.
+    Hang,       //!< Watchdog expired or barrier deadlock.
+    Trap,       //!< BPT executed.
+};
+
+/** @return a printable name for an outcome. */
+const char *outcomeName(Outcome o);
+
+/** Dynamic execution statistics of one launch. */
+struct LaunchStats
+{
+    /** Warp-level instructions issued (one per warp per issue). */
+    uint64_t warpInstrs = 0;
+
+    /** Thread-level instructions (weighted by active lanes). */
+    uint64_t threadInstrs = 0;
+
+    /** Warp-level instructions that SASSI injected. */
+    uint64_t syntheticWarpInstrs = 0;
+
+    /** Instrumentation-handler invocations (one per warp per site). */
+    uint64_t handlerCalls = 0;
+
+    /** Modeled cost of handler bodies, in warp instructions. */
+    uint64_t handlerCostInstrs = 0;
+
+    /** Warp-level memory instructions. */
+    uint64_t memWarpInstrs = 0;
+
+    /** CTAs executed. */
+    uint64_t ctas = 0;
+
+    /** Per-opcode warp-instruction histogram. */
+    std::array<uint64_t, sass::NumOpcodes> opcodeCounts{};
+
+    /** Accumulate another launch's statistics. */
+    void
+    add(const LaunchStats &o)
+    {
+        warpInstrs += o.warpInstrs;
+        threadInstrs += o.threadInstrs;
+        syntheticWarpInstrs += o.syntheticWarpInstrs;
+        handlerCalls += o.handlerCalls;
+        handlerCostInstrs += o.handlerCostInstrs;
+        memWarpInstrs += o.memWarpInstrs;
+        ctas += o.ctas;
+        for (size_t i = 0; i < opcodeCounts.size(); ++i)
+            opcodeCounts[i] += o.opcodeCounts[i];
+    }
+
+    /**
+     * Device-side "kernel time" proxy: issued warp instructions plus
+     * the modeled handler cost. Table 3's K column is the ratio of
+     * this between instrumented and baseline runs.
+     */
+    uint64_t
+    kernelTimeProxy() const
+    {
+        return warpInstrs + handlerCostInstrs;
+    }
+};
+
+/** Options modifying a single launch. */
+struct LaunchOptions
+{
+    /** Dynamic shared memory bytes (added to the kernel's static). */
+    uint32_t dynamicShared = 0;
+
+    /** Warp-instruction budget before declaring a hang. */
+    uint64_t watchdog = 400'000'000;
+};
+
+/** The result of one kernel launch. */
+struct LaunchResult
+{
+    Outcome outcome = Outcome::Ok;
+    std::string message;
+    LaunchStats stats;
+
+    /** @return true when the kernel completed without fault. */
+    bool ok() const { return outcome == Outcome::Ok; }
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_LAUNCH_H

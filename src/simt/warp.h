@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Architectural state of one warp.
+ *
+ * This is the state SASSI handlers can observe and (for the error-
+ * injection study) mutate: general registers, predicate registers,
+ * the carry flag, the divergence stack, and per-thread local memory.
+ */
+
+#ifndef SASSI_SIMT_WARP_H
+#define SASSI_SIMT_WARP_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sass/reg.h"
+#include "util/logging.h"
+
+namespace sassi::simt {
+
+/** One token on the SIMT divergence (reconvergence) stack. */
+struct DivToken
+{
+    enum class Kind {
+        Sync, //!< Pushed by SSY: reconvergence point and mask.
+        Div,  //!< Pushed by a divergent branch: the deferred path.
+    };
+
+    Kind kind = Kind::Sync;
+    uint32_t mask = 0; //!< Lanes to activate when popped.
+    uint32_t pc = 0;   //!< Where those lanes resume.
+};
+
+/** Architectural state of one 32-lane warp. */
+struct Warp
+{
+    /** Warp rank within its CTA. */
+    int rank = 0;
+
+    /** Current program counter (instruction index). */
+    uint32_t pc = 0;
+
+    /** Lanes executing the current path. */
+    uint32_t activeMask = 0;
+
+    /** Lanes that have not executed EXIT. */
+    uint32_t liveMask = 0;
+
+    /** Register file: regs[lane * numRegs + r]. */
+    std::vector<uint32_t> regs;
+
+    /** Predicate files, one bitmask of P0..P6 per lane. */
+    std::array<uint8_t, sass::WarpSize> preds{};
+
+    /** Carry flag per lane. */
+    std::array<bool, sass::WarpSize> cc{};
+
+    /** The divergence stack. */
+    std::vector<DivToken> divStack;
+
+    /** Call return addresses (warp-wide; calls must be convergent). */
+    std::vector<uint32_t> callStack;
+
+    /** Per-thread local memory, lane-major: localBytes per lane. */
+    std::vector<uint8_t> localMem;
+
+    /** Set while parked at a CTA barrier. */
+    bool atBarrier = false;
+
+    int numRegs = 0;
+    uint32_t localBytes = 0;
+
+    /** @return whether any lane is still live. */
+    bool done() const { return liveMask == 0; }
+
+    /** Read general register r of a lane (RZ reads 0). */
+    uint32_t
+    reg(int lane, sass::RegId r) const
+    {
+        if (r == sass::RZ)
+            return 0;
+        panic_if(r >= numRegs, "register R%d out of budget %d", r,
+                 numRegs);
+        return regs[static_cast<size_t>(lane) *
+                    static_cast<size_t>(numRegs) + r];
+    }
+
+    /** Write general register r of a lane (RZ discards). */
+    void
+    setReg(int lane, sass::RegId r, uint32_t v)
+    {
+        if (r == sass::RZ)
+            return;
+        panic_if(r >= numRegs, "register R%d out of budget %d", r,
+                 numRegs);
+        regs[static_cast<size_t>(lane) * static_cast<size_t>(numRegs) +
+             r] = v;
+    }
+
+    /** Read predicate p of a lane (PT reads true). */
+    bool
+    pred(int lane, sass::PredId p) const
+    {
+        if (p == sass::PT)
+            return true;
+        return preds[static_cast<size_t>(lane)] & (1u << p);
+    }
+
+    /** Write predicate p of a lane (PT discards). */
+    void
+    setPred(int lane, sass::PredId p, bool v)
+    {
+        if (p == sass::PT)
+            return;
+        auto &bits = preds[static_cast<size_t>(lane)];
+        if (v)
+            bits = static_cast<uint8_t>(bits | (1u << p));
+        else
+            bits = static_cast<uint8_t>(bits & ~(1u << p));
+    }
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_WARP_H

@@ -1,0 +1,145 @@
+#include "util/fiber.h"
+
+#include "util/logging.h"
+
+namespace sassi {
+
+namespace {
+
+/** The group whose fibers are currently executing on this thread. */
+thread_local FiberGroup *tl_current_group = nullptr;
+
+} // namespace
+
+FiberGroup *
+FiberGroup::current()
+{
+    return tl_current_group;
+}
+
+FiberGroup::FiberGroup(int max_lanes, size_t stack_bytes)
+    : lanes_(static_cast<size_t>(max_lanes))
+{
+    for (Lane &lane : lanes_)
+        lane.stack.resize(stack_bytes);
+}
+
+FiberGroup::~FiberGroup() = default;
+
+void
+FiberGroup::trampoline(unsigned hi, unsigned lo)
+{
+    auto ptr = (static_cast<uintptr_t>(hi) << 32) | lo;
+    auto *group = reinterpret_cast<FiberGroup *>(ptr);
+    group->laneMain(group->current_lane_);
+}
+
+void
+FiberGroup::laneMain(int lane)
+{
+    (*body_)(lane);
+    lanes_[static_cast<size_t>(lane)].state = LaneState::Done;
+    // Fall through to uc_link, which returns to the scheduler.
+}
+
+void
+FiberGroup::switchToScheduler()
+{
+    int lane = current_lane_;
+    current_lane_ = -1;
+    swapcontext(&lanes_[static_cast<size_t>(lane)].ctx, &sched_ctx_);
+}
+
+uint64_t
+FiberGroup::barrier(uint64_t value, const Reducer &reducer)
+{
+    panic_if(current_lane_ < 0,
+             "warp intrinsic called outside handler execution");
+    Lane &lane = lanes_[static_cast<size_t>(current_lane_)];
+    lane.pending_value = value;
+    lane.state = LaneState::Blocked;
+    if (!reducer_armed_) {
+        pending_reducer_ = reducer;
+        reducer_armed_ = true;
+    }
+    switchToScheduler();
+    return lane.barrier_result;
+}
+
+void
+FiberGroup::run(const std::vector<int> &lanes,
+                const std::function<void(int)> &body)
+{
+    panic_if(tl_current_group != nullptr,
+             "nested FiberGroup::run is not supported");
+    panic_if(lanes.empty(), "FiberGroup::run with no lanes");
+
+    tl_current_group = this;
+    body_ = &body;
+    live_lanes_ = lanes;
+
+    auto self = reinterpret_cast<uintptr_t>(this);
+    for (int id : live_lanes_) {
+        Lane &lane = lanes_.at(static_cast<size_t>(id));
+        getcontext(&lane.ctx);
+        lane.ctx.uc_stack.ss_sp = lane.stack.data();
+        lane.ctx.uc_stack.ss_size = lane.stack.size();
+        lane.ctx.uc_link = &sched_ctx_;
+        makecontext(&lane.ctx, reinterpret_cast<void (*)()>(&trampoline), 2,
+                    static_cast<unsigned>(self >> 32),
+                    static_cast<unsigned>(self & 0xffffffffu));
+        lane.state = LaneState::Runnable;
+    }
+
+    for (;;) {
+        bool any_ran = false;
+        for (int id : live_lanes_) {
+            Lane &lane = lanes_[static_cast<size_t>(id)];
+            if (lane.state != LaneState::Runnable)
+                continue;
+            any_ran = true;
+            current_lane_ = id;
+            swapcontext(&sched_ctx_, &lane.ctx);
+            current_lane_ = -1;
+        }
+        if (any_ran)
+            continue;
+
+        // No lane is runnable: either everyone finished, or the
+        // blocked lanes form a complete rendezvous.
+        std::vector<uint64_t> vals;
+        std::vector<int> blocked;
+        bool all_done = true;
+        for (int id : live_lanes_) {
+            Lane &lane = lanes_[static_cast<size_t>(id)];
+            if (lane.state == LaneState::Blocked) {
+                vals.push_back(lane.pending_value);
+                blocked.push_back(id);
+                all_done = false;
+            } else if (lane.state != LaneState::Done) {
+                all_done = false;
+            }
+        }
+        if (all_done)
+            break;
+        panic_if(blocked.empty(), "fiber scheduler wedged: no lane "
+                 "runnable, blocked, or done");
+        panic_if(!reducer_armed_, "rendezvous without a reducer");
+
+        std::vector<uint64_t> results(blocked.size(), 0);
+        pending_reducer_(vals, blocked, results);
+        reducer_armed_ = false;
+        pending_reducer_ = nullptr;
+        for (size_t i = 0; i < blocked.size(); ++i) {
+            Lane &lane = lanes_[static_cast<size_t>(blocked[i])];
+            lane.barrier_result = results[i];
+            lane.state = LaneState::Runnable;
+        }
+    }
+
+    body_ = nullptr;
+    live_lanes_.clear();
+    tl_current_group = nullptr;
+}
+
+} // namespace sassi

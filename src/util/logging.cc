@@ -1,0 +1,90 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sassi {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail {
+
+std::string
+vstrFormat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrFormat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logFail(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+    std::fflush(stderr);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logNote(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !g_verbose)
+        return;
+    if (level == LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    else
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+}
+
+} // namespace detail
+} // namespace sassi

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention: panic() is reserved for internal
+ * invariant violations (bugs in this codebase), fatal() for user
+ * errors that make continuing impossible, warn()/inform() for
+ * diagnostics that do not stop the simulation.
+ */
+
+#ifndef SASSI_UTIL_LOGGING_H
+#define SASSI_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace sassi {
+
+/** Severity levels for log messages. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vstrFormat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Emit a log message. Fatal exits with code 1; Panic aborts.
+ *
+ * @param level Message severity.
+ * @param file Source file of the call site.
+ * @param line Source line of the call site.
+ * @param msg Preformatted message body.
+ */
+[[noreturn]] void logFail(LogLevel level, const char *file, int line,
+                          const std::string &msg);
+
+/** Emit a non-fatal log message. */
+void logNote(LogLevel level, const char *file, int line,
+             const std::string &msg);
+
+} // namespace detail
+
+/** Toggle inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace sassi
+
+/** Internal invariant violation: print and abort. */
+#define panic(...)                                                        \
+    ::sassi::detail::logFail(::sassi::LogLevel::Panic, __FILE__,          \
+                             __LINE__, ::sassi::detail::strFormat(__VA_ARGS__))
+
+/** Unrecoverable user error: print and exit(1). */
+#define fatal(...)                                                        \
+    ::sassi::detail::logFail(::sassi::LogLevel::Fatal, __FILE__,          \
+                             __LINE__, ::sassi::detail::strFormat(__VA_ARGS__))
+
+/** Suspicious condition worth telling the user about. */
+#define warn(...)                                                         \
+    ::sassi::detail::logNote(::sassi::LogLevel::Warn, __FILE__,           \
+                             __LINE__, ::sassi::detail::strFormat(__VA_ARGS__))
+
+/** Normal operating status message. */
+#define inform(...)                                                       \
+    ::sassi::detail::logNote(::sassi::LogLevel::Inform, __FILE__,         \
+                             __LINE__, ::sassi::detail::strFormat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+#endif // SASSI_UTIL_LOGGING_H

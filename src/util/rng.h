@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic pieces of the reproduction (dataset generators, the
+ * error-injection site selector) draw from this xorshift64* generator
+ * so that every experiment is exactly repeatable from a seed.
+ */
+
+#ifndef SASSI_UTIL_RNG_H
+#define SASSI_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace sassi {
+
+/** xorshift64* pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Construct from a seed; zero seeds are remapped to a constant. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** @return the next raw 64-bit sample. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** @return a uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi]. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(nextBelow(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return a uniform float in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** @return a uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextDouble());
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace sassi
+
+#endif // SASSI_UTIL_RNG_H

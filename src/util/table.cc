@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sassi {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "table row arity %zu != header arity %zu", cells.size(),
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+fmtCount(double v)
+{
+    std::ostringstream ss;
+    ss << std::fixed;
+    if (v >= 1e9)
+        ss << std::setprecision(2) << v / 1e9 << " B";
+    else if (v >= 1e6)
+        ss << std::setprecision(2) << v / 1e6 << " M";
+    else if (v >= 1e3)
+        ss << std::setprecision(2) << v / 1e3 << " K";
+    else
+        ss << std::setprecision(0) << v;
+    return ss.str();
+}
+
+std::string
+fmtPercent(double numer, double denom, int precision)
+{
+    double pct = denom == 0 ? 0.0 : 100.0 * numer / denom;
+    return fmtDouble(pct, precision);
+}
+
+} // namespace sassi

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table and CSV emission used by the benchmark harnesses to
+ * print paper-style tables and figure series.
+ */
+
+#ifndef SASSI_UTIL_TABLE_H
+#define SASSI_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sassi {
+
+/**
+ * A simple column-aligned text table. Rows are added as vectors of
+ * preformatted cells; print() pads every column to its widest cell.
+ */
+class Table
+{
+  public:
+    /** Construct with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, column aligned, to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV to the given stream. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return the number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmtDouble(double v, int precision = 1);
+
+/** Format a count with K/M suffixes, paper style (e.g.\ "3.66 M"). */
+std::string fmtCount(double v);
+
+/** Format a ratio as a percentage string. */
+std::string fmtPercent(double numer, double denom, int precision = 1);
+
+} // namespace sassi
+
+#endif // SASSI_UTIL_TABLE_H

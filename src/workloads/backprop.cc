@@ -1,0 +1,151 @@
+/**
+ * @file
+ * backprop-like: a layer forward pass. Each thread computes one
+ * output unit: a weighted reduction over the inputs followed by a
+ * sigmoid built from MUFU EX2. Convergent, FP-typical — a Table 2
+ * value-profiling subject.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Backprop : public Workload
+{
+  public:
+    Backprop(uint32_t in_n, uint32_t out_n)
+        : in_(in_n), out_(out_n)
+    {}
+
+    std::string name() const override { return "backprop"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("layerforward");
+        // Params: x(0), w(8), y(16), inN(24), outN(28).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 28);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        kb.ldc(6, 24); // inN
+        // w row base: w + gid*inN*4
+        kb.imul(7, 4, 6);
+        gen::ptrPlusIdx(kb, 8, 8, 7, 2, 3);
+        kb.ldc(10, 0, 8); // x base
+        kb.fmov32i(14, 0.f);
+        kb.mov32i(13, 0);
+
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 6);
+        kb.onP(0).bra(loop_done);
+        kb.ldg(15, 8);
+        kb.ldg(16, 10);
+        kb.ffma(14, 15, 16, 14);
+        kb.iaddcci(8, 8, 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddcci(10, 10, 4);
+        kb.iaddxi(11, 11, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+        // sigmoid(s) = 1 / (1 + 2^(-s * log2(e)))
+        kb.fmov32i(15, -1.44269504f);
+        kb.fmul(14, 14, 15);
+        kb.mufu(MufuOp::Ex2, 14, 14);
+        kb.fmov32i(15, 1.f);
+        kb.fadd(14, 14, 15);
+        kb.mufu(MufuOp::Rcp, 14, 14);
+        gen::ptrPlusIdx(kb, 8, 16, 4, 2, 3);
+        kb.stg(8, 0, 14);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0xbac6);
+        x_.resize(in_);
+        w_.resize(static_cast<size_t>(in_) * out_);
+        for (auto &v : x_)
+            v = rng.nextFloat() - 0.5f;
+        for (auto &v : w_)
+            v = rng.nextFloat() - 0.5f;
+        dx_ = upload(dev, x_);
+        dw_ = upload(dev, w_);
+        dy_ = dev.malloc(out_ * 4);
+        dev.memset(dy_, 0, out_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dx_);
+        args.addU64(dw_);
+        args.addU64(dy_);
+        args.addU32(in_);
+        args.addU32(out_);
+        return dev.launch("layerforward",
+                          simt::Dim3((out_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto y = download<float>(dev, dy_, out_);
+        for (uint32_t o = 0; o < out_; ++o) {
+            float s = 0.f;
+            for (uint32_t i = 0; i < in_; ++i)
+                s += w_[o * in_ + i] * x_[i];
+            float expect =
+                1.0f / (1.0f + std::exp2(s * -1.44269504f));
+            if (std::fabs(y[o] - expect) >
+                1e-3f * (1.f + std::fabs(expect))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dy_, out_);
+    }
+
+  private:
+    uint32_t in_, out_;
+    std::vector<float> x_, w_;
+    uint64_t dx_ = 0, dw_ = 0, dy_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBackprop(uint32_t in_n, uint32_t out_n)
+{
+    return std::make_unique<Backprop>(in_n, out_n);
+}
+
+} // namespace sassi::workloads

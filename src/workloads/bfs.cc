@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Breadth-first search, in both of the paper's flavors:
+ *
+ *  - Parboil-style worklist BFS: each thread expands one frontier
+ *    node, claiming unvisited neighbors with atomicCAS and
+ *    appending them to the next frontier with an atomic counter.
+ *    Data-dependent degree loops and claim branches make this the
+ *    paper's canonical divergence study (Table 1, Figures 5 and 7),
+ *    with dataset-dependent behaviour.
+ *
+ *  - Rodinia-style mask BFS: two kernels per level over boolean
+ *    frontier / updating masks, no atomics.
+ *
+ * Datasets are synthetic stand-ins: "1M" is a uniform random graph
+ * (high degree variance), NY/SF/UT are grid-plus-shortcut graphs
+ * approximating the road networks' low, regular degrees with
+ * dataset-specific shapes.
+ */
+
+#include <queue>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+/** A CSR graph. */
+struct Graph
+{
+    uint32_t nodes = 0;
+    std::vector<uint32_t> rowPtr;
+    std::vector<uint32_t> cols;
+};
+
+/** Random graph with degrees uniform in [lo, hi]. */
+Graph
+uniformGraph(uint32_t nodes, uint32_t lo, uint32_t hi, uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g;
+    g.nodes = nodes;
+    g.rowPtr.push_back(0);
+    for (uint32_t i = 0; i < nodes; ++i) {
+        auto deg = static_cast<uint32_t>(rng.nextRange(lo, hi));
+        for (uint32_t d = 0; d < deg; ++d)
+            g.cols.push_back(
+                static_cast<uint32_t>(rng.nextBelow(nodes)));
+        g.rowPtr.push_back(static_cast<uint32_t>(g.cols.size()));
+    }
+    return g;
+}
+
+/** Grid graph with random shortcut edges (road-network-like). */
+Graph
+roadGraph(uint32_t side, uint32_t shortcuts, uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g;
+    g.nodes = side * side;
+    std::vector<std::vector<uint32_t>> adj(g.nodes);
+    auto at = [&](uint32_t r, uint32_t c) { return r * side + c; };
+    for (uint32_t r = 0; r < side; ++r) {
+        for (uint32_t c = 0; c < side; ++c) {
+            if (c + 1 < side) {
+                adj[at(r, c)].push_back(at(r, c + 1));
+                adj[at(r, c + 1)].push_back(at(r, c));
+            }
+            if (r + 1 < side) {
+                adj[at(r, c)].push_back(at(r + 1, c));
+                adj[at(r + 1, c)].push_back(at(r, c));
+            }
+        }
+    }
+    for (uint32_t s = 0; s < shortcuts; ++s) {
+        auto a = static_cast<uint32_t>(rng.nextBelow(g.nodes));
+        auto b = static_cast<uint32_t>(rng.nextBelow(g.nodes));
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    g.rowPtr.push_back(0);
+    for (uint32_t i = 0; i < g.nodes; ++i) {
+        for (uint32_t nb : adj[i])
+            g.cols.push_back(nb);
+        g.rowPtr.push_back(static_cast<uint32_t>(g.cols.size()));
+    }
+    return g;
+}
+
+Graph
+makeGraph(GraphKind kind)
+{
+    switch (kind) {
+      case GraphKind::Uniform:
+        // Fixed degree: the expansion loop is warp-uniform, as in
+        // the paper's least-divergent bfs dataset (1M at 4.1%).
+        return uniformGraph(3000, 8, 8, 0x1a2b);
+      case GraphKind::RoadNY:
+        return roadGraph(48, 40, 0x6e79);
+      case GraphKind::RoadSF:
+        return roadGraph(56, 12, 0x5f5f);
+      case GraphKind::RoadUT:
+        return roadGraph(36, 80, 0x7574);
+    }
+    return {};
+}
+
+const char *
+graphTag(GraphKind kind)
+{
+    switch (kind) {
+      case GraphKind::Uniform: return "1M";
+      case GraphKind::RoadNY: return "NY";
+      case GraphKind::RoadSF: return "SF";
+      case GraphKind::RoadUT: return "UT";
+    }
+    return "?";
+}
+
+/** CPU reference distances. */
+std::vector<int32_t>
+cpuBfs(const Graph &g, uint32_t src)
+{
+    std::vector<int32_t> dist(g.nodes, -1);
+    std::queue<uint32_t> q;
+    dist[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        uint32_t n = q.front();
+        q.pop();
+        for (uint32_t e = g.rowPtr[n]; e < g.rowPtr[n + 1]; ++e) {
+            uint32_t nb = g.cols[e];
+            if (dist[nb] < 0) {
+                dist[nb] = dist[n] + 1;
+                q.push(nb);
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * The Parboil-style worklist kernel. Params: rowPtr(0), cols(8),
+ * dist(16), frontier(24), nextFrontier(32), nextSize(40),
+ * frontierSize(48), level(52).
+ */
+ir::Kernel
+buildWorklistKernel()
+{
+    KernelBuilder kb("bfs_expand");
+    Label oob = kb.newLabel();
+    gen::gid1D(kb, 4, 2, 3);
+    kb.ldc(5, 48);
+    kb.isetp(0, CmpOp::GE, 4, 5);
+    kb.onP(0).bra(oob);
+
+    // node = frontier[gid]
+    gen::ptrPlusIdx(kb, 12, 24, 4, 2, 3);
+    kb.ldg(8, 12);
+    // start/end = rowPtr[node], rowPtr[node+1]
+    gen::ptrPlusIdx(kb, 12, 0, 8, 2, 3);
+    kb.ldg(9, 12);
+    kb.ldg(10, 12, 4);
+    // newdist = level + 1
+    kb.ldc(11, 52);
+    kb.iaddi(11, 11, 1);
+    kb.mov(16, 9); // e = start
+
+    Label loop = kb.newLabel();
+    Label loop_done = kb.newLabel();
+    Label after = kb.newLabel();
+    kb.ssy(after);
+    kb.bind(loop);
+    kb.isetp(0, CmpOp::GE, 16, 10);
+    kb.onP(0).bra(loop_done);
+    // nb = cols[e]
+    gen::ptrPlusIdx(kb, 12, 8, 16, 2, 3);
+    kb.ldg(14, 12);
+    // old = atomicCAS(&dist[nb], -1, newdist)
+    gen::ptrPlusIdx(kb, 12, 16, 14, 2, 3);
+    kb.mov32i(18, -1);
+    kb.atom(AtomOp::Cas, 15, 12, 18, 11);
+    // if (old == -1) enqueue
+    Label skip = kb.newLabel();
+    Label inner_reconv = kb.newLabel();
+    kb.ssy(inner_reconv);
+    kb.isetpi(1, CmpOp::NE, 15, -1);
+    kb.onP(1).bra(skip);
+    kb.ldc(18, 40, 8); // &nextSize pair
+    kb.mov32i(20, 1);
+    kb.atom(AtomOp::Add, 21, 18, 20);
+    gen::ptrPlusIdx(kb, 18, 32, 21, 2, 3);
+    kb.stg(18, 0, 14);
+    kb.sync();
+    kb.bind(skip);
+    kb.sync();
+    kb.bind(inner_reconv);
+    kb.iaddi(16, 16, 1);
+    kb.bra(loop);
+    kb.bind(loop_done);
+    kb.sync();
+    kb.bind(after);
+    kb.exit();
+    kb.bind(oob);
+    kb.exit();
+    return kb.finish();
+}
+
+class BfsParboil : public Workload
+{
+  public:
+    explicit BfsParboil(GraphKind kind)
+        : kind_(kind), graph_(makeGraph(kind))
+    {}
+
+    std::string
+    name() const override
+    {
+        return std::string("bfs (") + graphTag(kind_) + ")";
+    }
+
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        ir::Module mod;
+        mod.kernels.push_back(buildWorklistKernel());
+        dev.loadModule(std::move(mod));
+
+        drow_ = upload(dev, graph_.rowPtr);
+        dcols_ = upload(dev, graph_.cols);
+        ddist_ = dev.malloc(graph_.nodes * 4);
+        dfrontier_ = dev.malloc(graph_.nodes * 4 + 4);
+        dnext_ = dev.malloc(graph_.nodes * 4 + 4);
+        dnext_size_ = dev.malloc(4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        // Reset per run (error-injection runs reuse the device).
+        dev.memset(ddist_, 0xff, graph_.nodes * 4);
+        dev.write<int32_t>(ddist_, 0); // dist[src=0] = 0
+        dev.write<uint32_t>(dfrontier_, 0);
+        uint32_t frontier_size = 1;
+        uint32_t level = 0;
+
+        simt::LaunchResult last;
+        while (frontier_size > 0) {
+            if (level > graph_.nodes) {
+                last.outcome = simt::Outcome::Hang;
+                last.message = "host-level BFS did not converge";
+                return last;
+            }
+            dev.write<uint32_t>(dnext_size_, 0);
+            simt::KernelArgs args;
+            args.addU64(drow_);
+            args.addU64(dcols_);
+            args.addU64(ddist_);
+            args.addU64(dfrontier_);
+            args.addU64(dnext_);
+            args.addU64(dnext_size_);
+            args.addU32(frontier_size);
+            args.addU32(level);
+            last = dev.launch(
+                "bfs_expand",
+                simt::Dim3((frontier_size + 127) / 128),
+                simt::Dim3(128), args, launchOptions);
+            if (!last.ok())
+                return last;
+            frontier_size = dev.read<uint32_t>(dnext_size_);
+            if (frontier_size > graph_.nodes) {
+                // A corrupted counter would index out of bounds on
+                // real hardware; report it as a fault.
+                last.outcome = simt::Outcome::MemFault;
+                last.message = "frontier overflow";
+                return last;
+            }
+            std::swap(dfrontier_, dnext_);
+            ++level;
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto dist = download<int32_t>(dev, ddist_, graph_.nodes);
+        return dist == cpuBfs(graph_, 0);
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, ddist_, graph_.nodes * 4);
+    }
+
+  private:
+    GraphKind kind_;
+    Graph graph_;
+    uint64_t drow_ = 0, dcols_ = 0, ddist_ = 0;
+    uint64_t dfrontier_ = 0, dnext_ = 0, dnext_size_ = 0;
+};
+
+/**
+ * Rodinia-style mask BFS kernels.
+ * k1 params: rowPtr(0), cols(8), cost(16), frontier(24),
+ *            updating(32), visited(40), n(48).
+ * k2 params: frontier(0), updating(8), visited(16), flag(24), n(32).
+ */
+void
+buildMaskKernels(ir::Module &mod)
+{
+    {
+        KernelBuilder kb("bfs_k1");
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 48);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        // if (!frontier[gid]) exit
+        gen::ptrPlusIdx(kb, 12, 24, 4, 2, 3);
+        kb.ldg(8, 12);
+        kb.isetpi(0, CmpOp::EQ, 8, 0);
+        kb.onP(0).bra(oob);
+        // frontier[gid] = 0
+        kb.mov32i(9, 0);
+        kb.stg(12, 0, 9);
+        // my cost
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.ldg(11, 12);
+        kb.iaddi(11, 11, 1);
+        // edges
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.ldg(9, 12);
+        kb.ldg(10, 12, 4);
+        kb.mov(16, 9);
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 16, 10);
+        kb.onP(0).bra(loop_done);
+        gen::ptrPlusIdx(kb, 12, 8, 16, 2, 3);
+        kb.ldg(14, 12);
+        // if (!visited[nb]) { cost[nb] = mycost; updating[nb] = 1 }
+        gen::ptrPlusIdx(kb, 12, 40, 14, 2, 3);
+        kb.ldg(15, 12);
+        Label skip = kb.newLabel();
+        Label inner = kb.newLabel();
+        kb.ssy(inner);
+        kb.isetpi(1, CmpOp::NE, 15, 0);
+        kb.onP(1).bra(skip);
+        gen::ptrPlusIdx(kb, 12, 16, 14, 2, 3);
+        kb.stg(12, 0, 11);
+        gen::ptrPlusIdx(kb, 12, 32, 14, 2, 3);
+        kb.mov32i(18, 1);
+        kb.stg(12, 0, 18);
+        kb.sync();
+        kb.bind(skip);
+        kb.sync();
+        kb.bind(inner);
+        kb.iaddi(16, 16, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+        kb.exit();
+        kb.bind(oob);
+        kb.exit();
+        mod.kernels.push_back(kb.finish());
+    }
+    {
+        KernelBuilder kb("bfs_k2");
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 32);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+        kb.ldg(8, 12);
+        kb.isetpi(0, CmpOp::EQ, 8, 0);
+        kb.onP(0).bra(oob);
+        // updating -> frontier, visited; flag = 1
+        kb.mov32i(9, 0);
+        kb.stg(12, 0, 9);
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.mov32i(9, 1);
+        kb.stg(12, 0, 9);
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.stg(12, 0, 9);
+        kb.ldc(12, 24, 8);
+        kb.stg(12, 0, 9);
+        kb.bind(oob);
+        kb.exit();
+        mod.kernels.push_back(kb.finish());
+    }
+}
+
+class BfsRodinia : public Workload
+{
+  public:
+    explicit BfsRodinia(uint32_t nodes)
+        : graph_(uniformGraph(nodes, 2, 8, 0x70d1))
+    {}
+
+    std::string name() const override { return "bfs"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        ir::Module mod;
+        buildMaskKernels(mod);
+        dev.loadModule(std::move(mod));
+
+        drow_ = upload(dev, graph_.rowPtr);
+        dcols_ = upload(dev, graph_.cols);
+        uint32_t n = graph_.nodes;
+        dcost_ = dev.malloc(n * 4);
+        dfrontier_ = dev.malloc(n * 4);
+        dupdating_ = dev.malloc(n * 4);
+        dvisited_ = dev.malloc(n * 4);
+        dflag_ = dev.malloc(4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        uint32_t n = graph_.nodes;
+        dev.memset(dcost_, 0, n * 4);
+        dev.memset(dfrontier_, 0, n * 4);
+        dev.memset(dupdating_, 0, n * 4);
+        dev.memset(dvisited_, 0, n * 4);
+        dev.write<uint32_t>(dfrontier_, 1);
+        dev.write<uint32_t>(dvisited_, 1);
+
+        simt::Dim3 grid((n + 127) / 128), block(128);
+        simt::LaunchResult last;
+        for (uint32_t iter = 0;; ++iter) {
+            if (iter > n) {
+                last.outcome = simt::Outcome::Hang;
+                last.message = "host-level BFS did not converge";
+                return last;
+            }
+            dev.write<uint32_t>(dflag_, 0);
+            simt::KernelArgs a1;
+            a1.addU64(drow_);
+            a1.addU64(dcols_);
+            a1.addU64(dcost_);
+            a1.addU64(dfrontier_);
+            a1.addU64(dupdating_);
+            a1.addU64(dvisited_);
+            a1.addU32(n);
+            last = dev.launch("bfs_k1", grid, block, a1,
+                              launchOptions);
+            if (!last.ok())
+                return last;
+            simt::KernelArgs a2;
+            a2.addU64(dfrontier_);
+            a2.addU64(dupdating_);
+            a2.addU64(dvisited_);
+            a2.addU64(dflag_);
+            a2.addU32(n);
+            last = dev.launch("bfs_k2", grid, block, a2,
+                              launchOptions);
+            if (!last.ok())
+                return last;
+            if (dev.read<uint32_t>(dflag_) == 0)
+                break;
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto cost = download<int32_t>(dev, dcost_, graph_.nodes);
+        auto expect = cpuBfs(graph_, 0);
+        for (uint32_t i = 0; i < graph_.nodes; ++i) {
+            int32_t want = expect[i] < 0 ? 0 : expect[i];
+            if (cost[i] != want)
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dcost_, graph_.nodes * 4);
+    }
+
+  private:
+    Graph graph_;
+    uint64_t drow_ = 0, dcols_ = 0, dcost_ = 0;
+    uint64_t dfrontier_ = 0, dupdating_ = 0, dvisited_ = 0, dflag_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfsParboil(GraphKind kind)
+{
+    return std::make_unique<BfsParboil>(kind);
+}
+
+std::unique_ptr<Workload>
+makeBfsRodinia(uint32_t nodes)
+{
+    return std::make_unique<BfsRodinia>(nodes);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * cutcp: Parboil-style cutoff Coulomb potential. Each thread owns
+ * one 2D grid point and accumulates charge/distance over all atoms,
+ * but only for atoms inside the cutoff radius — a data-dependent
+ * branch whose divergence follows the spatial atom distribution,
+ * with RSQ on the contributing path.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Cutcp : public Workload
+{
+  public:
+    Cutcp(uint32_t log2g, uint32_t atoms)
+        : log2g_(log2g), g_(1u << log2g), atoms_(atoms)
+    {}
+
+    std::string name() const override { return "cutcp"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("cutoff");
+        // Params: atoms(0) [x,y,q], pot(8), n(16), natoms(20),
+        //         cutoff2(24 f32).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 16);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        // Grid point coordinates (cell size 1.0).
+        kb.lopi(LogicOp::And, 6, 4, g_ - 1);
+        kb.shr(7, 4, static_cast<int64_t>(log2g_));
+        kb.i2f(20, 6); // px
+        kb.i2f(21, 7); // py
+
+        kb.ldc(14, 20);      // natoms
+        kb.ldc(26, 24);      // cutoff^2
+        kb.fmov32i(22, 0.f); // potential acc
+        kb.mov32i(13, 0);    // a
+        kb.ldc(8, 0, 8);     // atoms base
+
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 14);
+        kb.onP(0).bra(loop_done);
+        kb.ldg(16, 8);    // ax
+        kb.ldg(17, 8, 4); // ay
+        kb.ldg(18, 8, 8); // q
+        kb.fmov32i(19, -1.f);
+        kb.ffma(16, 16, 19, 20); // dx
+        kb.ffma(17, 17, 19, 21); // dy
+        kb.fmul(16, 16, 16);
+        kb.ffma(16, 17, 17, 16); // r2
+
+        // Cutoff test: only nearby atoms contribute.
+        Label skip = kb.newLabel();
+        Label reconv = kb.newLabel();
+        kb.ssy(reconv);
+        kb.fsetp(1, CmpOp::GT, 16, 26);
+        kb.onP(1).bra(skip);
+        kb.mufu(MufuOp::Rsq, 16, 16); // 1/r
+        kb.ffma(22, 18, 16, 22);      // acc += q / r
+        kb.sync();
+        kb.bind(skip);
+        kb.sync();
+        kb.bind(reconv);
+
+        kb.iaddcci(8, 8, 12);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+        gen::ptrPlusIdx(kb, 8, 8, 4, 2, 3);
+        kb.stg(8, 0, 22);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0xc07c);
+        atoms_v_.resize(static_cast<size_t>(atoms_) * 3);
+        for (uint32_t a = 0; a < atoms_; ++a) {
+            atoms_v_[a * 3] =
+                rng.nextFloat() * static_cast<float>(g_);
+            atoms_v_[a * 3 + 1] =
+                rng.nextFloat() * static_cast<float>(g_);
+            atoms_v_[a * 3 + 2] = rng.nextFloat() + 0.1f;
+        }
+        datoms_ = upload(dev, atoms_v_);
+        dpot_ = dev.malloc(static_cast<size_t>(g_) * g_ * 4);
+        dev.memset(dpot_, 0, static_cast<size_t>(g_) * g_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(datoms_);
+        args.addU64(dpot_);
+        args.addU32(g_ * g_);
+        args.addU32(atoms_);
+        args.addF32(cutoff2_);
+        return dev.launch("cutoff", simt::Dim3(g_ * g_ / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto pot = download<float>(dev, dpot_,
+                                   static_cast<size_t>(g_) * g_);
+        for (uint32_t cell = 0; cell < g_ * g_; ++cell) {
+            float px = static_cast<float>(cell & (g_ - 1));
+            float py = static_cast<float>(cell >> log2g_);
+            float acc = 0.f;
+            for (uint32_t a = 0; a < atoms_; ++a) {
+                float dx = px - atoms_v_[a * 3];
+                float dy = py - atoms_v_[a * 3 + 1];
+                float r2 = dx * dx + dy * dy;
+                if (r2 > cutoff2_)
+                    continue;
+                acc += atoms_v_[a * 3 + 2] / std::sqrt(r2);
+            }
+            if (std::fabs(pot[cell] - acc) >
+                2e-2f * (1.f + std::fabs(acc))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dpot_,
+                                static_cast<size_t>(g_) * g_);
+    }
+
+  private:
+    uint32_t log2g_, g_, atoms_;
+    float cutoff2_ = 6.25f; // cutoff = 2.5 cells
+    std::vector<float> atoms_v_;
+    uint64_t datoms_ = 0, dpot_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCutcp(uint32_t grid_log2, uint32_t atoms)
+{
+    return std::make_unique<Cutcp>(grid_log2, atoms);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * gaussian: Rodinia-style Gaussian elimination. Two kernels per
+ * elimination step (Fan1 computes the multiplier column, Fan2
+ * updates the trailing submatrix), launched 2(n-1) times from the
+ * host. Guard branches split warps only at the elimination
+ * boundary, giving the very low dynamic divergence the paper
+ * reports (0.2%), across a large number of small launches.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Gaussian : public Workload
+{
+  public:
+    explicit Gaussian(uint32_t n) : n_(n) {}
+
+    std::string name() const override { return "gaussian"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        ir::Module mod;
+        {
+            // Fan1: m[i] = a[i*n+k] / a[k*n+k] for i in (k, n).
+            // Params: a(0), m(8), n(16), k(20).
+            KernelBuilder kb("fan1");
+            Label oob = kb.newLabel();
+            gen::gid1D(kb, 4, 2, 3);
+            kb.ldc(5, 16); // n
+            kb.ldc(6, 20); // k
+            kb.isetp(0, CmpOp::GE, 4, 5);
+            kb.onP(0).bra(oob);
+            kb.isetp(0, CmpOp::LE, 4, 6);
+            kb.onP(0).bra(oob);
+            // pivot = a[k*n+k]
+            kb.imad(7, 6, 5, 6);
+            gen::ptrPlusIdx(kb, 12, 0, 7, 2, 3);
+            kb.ldg(8, 12);
+            // mine = a[i*n+k]
+            kb.imad(7, 4, 5, 6);
+            gen::ptrPlusIdx(kb, 12, 0, 7, 2, 3);
+            kb.ldg(9, 12);
+            kb.mufu(MufuOp::Rcp, 10, 8);
+            kb.fmul(9, 9, 10);
+            gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+            kb.stg(12, 0, 9);
+            kb.bind(oob);
+            kb.exit();
+            mod.kernels.push_back(kb.finish());
+        }
+        {
+            // Fan2: a[i*n+j] -= m[i] * a[k*n+j], b[i] -= m[i]*b[k]
+            // for i in (k, n), all j. One thread per (i, j).
+            // Params: a(0), b(8), m(16), n(24), k(28).
+            KernelBuilder kb("fan2");
+            Label oob = kb.newLabel();
+            kb.s2r(4, SpecialReg::TidX);
+            kb.s2r(2, SpecialReg::CtaIdX);
+            kb.s2r(3, SpecialReg::NTidX);
+            kb.imad(4, 2, 3, 4); // j
+            kb.s2r(5, SpecialReg::TidY);
+            kb.s2r(2, SpecialReg::CtaIdY);
+            kb.s2r(3, SpecialReg::NTidY);
+            kb.imad(5, 2, 3, 5); // i
+            kb.ldc(6, 24);       // n
+            kb.ldc(7, 28);       // k
+            kb.isetp(0, CmpOp::GE, 4, 6);
+            kb.onP(0).bra(oob);
+            kb.isetp(0, CmpOp::GE, 5, 6);
+            kb.onP(0).bra(oob);
+            kb.isetp(0, CmpOp::LE, 5, 7);
+            kb.onP(0).bra(oob);
+            // mult = m[i]
+            gen::ptrPlusIdx(kb, 12, 16, 5, 2, 3);
+            kb.ldg(8, 12);
+            // a[i*n+j] -= mult * a[k*n+j]
+            kb.imad(9, 7, 6, 4);
+            gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+            kb.ldg(10, 12); // a[k*n+j]
+            kb.imad(9, 5, 6, 4);
+            gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+            kb.ldg(11, 12); // a[i*n+j]
+            kb.fmov32i(14, -1.f);
+            kb.fmul(10, 10, 8);
+            kb.ffma(11, 10, 14, 11);
+            kb.stg(12, 0, 11);
+            // b[i] -= mult * b[k] only for the j == 0 thread. Done
+            // with predication (as the real compiler would emit for
+            // a tiny if-body) so the update does not split warps.
+            kb.isetpi(1, CmpOp::EQ, 4, 0);
+            gen::ptrPlusIdx(kb, 12, 8, 7, 2, 3);
+            kb.onP(1).ldg(10, 12); // b[k]
+            gen::ptrPlusIdx(kb, 12, 8, 5, 2, 3);
+            kb.onP(1).ldg(11, 12); // b[i]
+            kb.onP(1).fmul(10, 10, 8);
+            kb.onP(1).ffma(11, 10, 14, 11);
+            kb.onP(1).stg(12, 0, 11);
+            kb.bind(oob);
+            kb.exit();
+            mod.kernels.push_back(kb.finish());
+        }
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x6a55);
+        a_.resize(static_cast<size_t>(n_) * n_);
+        b_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            for (uint32_t j = 0; j < n_; ++j) {
+                a_[i * n_ + j] = rng.nextFloat();
+                if (i == j)
+                    a_[i * n_ + j] += static_cast<float>(n_);
+            }
+            b_[i] = rng.nextFloat() * 2.f;
+        }
+        da_ = upload(dev, a_);
+        db_ = upload(dev, b_);
+        dm_ = dev.malloc(n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        // Reset the working matrix for repeated runs.
+        dev.memcpyHtoD(da_, a_.data(), a_.size() * 4);
+        dev.memcpyHtoD(db_, b_.data(), b_.size() * 4);
+        dev.memset(dm_, 0, n_ * 4);
+
+        simt::LaunchResult last;
+        for (uint32_t k = 0; k + 1 < n_; ++k) {
+            simt::KernelArgs a1;
+            a1.addU64(da_);
+            a1.addU64(dm_);
+            a1.addU32(n_);
+            a1.addU32(k);
+            last = dev.launch("fan1", simt::Dim3((n_ + 63) / 64),
+                              simt::Dim3(64), a1, launchOptions);
+            if (!last.ok())
+                return last;
+            simt::KernelArgs a2;
+            a2.addU64(da_);
+            a2.addU64(db_);
+            a2.addU64(dm_);
+            a2.addU32(n_);
+            a2.addU32(k);
+            last = dev.launch(
+                "fan2",
+                simt::Dim3((n_ + 15) / 16, (n_ + 15) / 16),
+                simt::Dim3(16, 16), a2, launchOptions);
+            if (!last.ok())
+                return last;
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        // Reference elimination with the same operation shapes.
+        std::vector<float> a = a_;
+        std::vector<float> b = b_;
+        for (uint32_t k = 0; k + 1 < n_; ++k) {
+            for (uint32_t i = k + 1; i < n_; ++i) {
+                float mult = a[i * n_ + k] * (1.0f / a[k * n_ + k]);
+                for (uint32_t j = 0; j < n_; ++j)
+                    a[i * n_ + j] -= mult * a[k * n_ + j];
+                b[i] -= mult * b[k];
+            }
+        }
+        auto ga = download<float>(dev, da_, a.size());
+        auto gb = download<float>(dev, db_, b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (std::fabs(ga[i] - a[i]) > 2e-2f * (1.f + std::fabs(a[i])))
+                return false;
+        }
+        for (size_t i = 0; i < b.size(); ++i) {
+            if (std::fabs(gb[i] - b[i]) > 2e-2f * (1.f + std::fabs(b[i])))
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashCombine(
+            hashDeviceFloats(dev, da_, a_.size()),
+            hashDeviceFloats(dev, db_, b_.size()));
+    }
+
+  private:
+    uint32_t n_;
+    std::vector<float> a_, b_;
+    uint64_t da_ = 0, db_ = 0, dm_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGaussian(uint32_t n)
+{
+    return std::make_unique<Gaussian>(n);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * heartwall-like: every iteration of the per-thread tracking loop
+ * takes one of two data-dependent paths (plus a nested secondary
+ * branch), so warps diverge on almost every step — reproducing
+ * heartwall's standout 42% dynamic branch divergence (Table 1).
+ */
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Heartwall : public Workload
+{
+  public:
+    Heartwall(uint32_t threads, uint32_t steps)
+        : n_(threads), steps_(steps)
+    {}
+
+    std::string name() const override { return "heartwall"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("track");
+        // Params: data(0), next(8), out(16), n(24), steps(28).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        kb.mov(8, 4);      // idx = gid
+        kb.mov32i(9, 0);   // acc
+        kb.mov32i(10, 0);  // step
+        kb.ldc(11, 28);    // steps
+
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 10, 11);
+        kb.onP(0).bra(loop_done);
+        // v = data[idx]
+        gen::ptrPlusIdx(kb, 12, 0, 8, 2, 3);
+        kb.ldg(14, 12);
+
+        // Primary data-dependent branch: odd values take path A.
+        Label path_b = kb.newLabel();
+        Label reconv1 = kb.newLabel();
+        kb.lopi(LogicOp::And, 15, 14, 1);
+        kb.ssy(reconv1);
+        kb.isetpi(1, CmpOp::EQ, 15, 0);
+        kb.onP(1).bra(path_b);
+        // A: acc += v*3; idx = next[idx]
+        kb.imuli(16, 14, 3);
+        kb.iadd(9, 9, 16);
+        gen::ptrPlusIdx(kb, 12, 8, 8, 2, 3);
+        kb.ldg(8, 12);
+        kb.sync();
+        kb.bind(path_b);
+        // B: acc += v; idx = next[idx] ^ 1
+        kb.iadd(9, 9, 14);
+        gen::ptrPlusIdx(kb, 12, 8, 8, 2, 3);
+        kb.ldg(8, 12);
+        kb.lopi(LogicOp::Xor, 8, 8, 1);
+        kb.sync();
+        kb.bind(reconv1);
+
+        // Secondary nested branch on bit 1.
+        Label skip2 = kb.newLabel();
+        Label reconv2 = kb.newLabel();
+        kb.lopi(LogicOp::And, 15, 14, 2);
+        kb.ssy(reconv2);
+        kb.isetpi(1, CmpOp::EQ, 15, 0);
+        kb.onP(1).bra(skip2);
+        kb.shr(16, 14, 3);
+        kb.iadd(9, 9, 16);
+        kb.sync();
+        kb.bind(skip2);
+        kb.sync();
+        kb.bind(reconv2);
+
+        kb.iaddi(10, 10, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.stg(12, 0, 9);
+        kb.exit();
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x4ea7);
+        data_.resize(n_);
+        next_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            data_[i] = static_cast<uint32_t>(rng.next() & 0xffff);
+            next_[i] = static_cast<uint32_t>(rng.nextBelow(n_)) &
+                       ~1u; // Keep xor-by-1 in range.
+        }
+        ddata_ = upload(dev, data_);
+        dnext_ = upload(dev, next_);
+        dout_ = dev.malloc(n_ * 4);
+        dev.memset(dout_, 0, n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(ddata_);
+        args.addU64(dnext_);
+        args.addU64(dout_);
+        args.addU32(n_);
+        args.addU32(steps_);
+        return dev.launch("track", simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto out = download<uint32_t>(dev, dout_, n_);
+        for (uint32_t t = 0; t < n_; ++t) {
+            uint32_t idx = t, acc = 0;
+            for (uint32_t s = 0; s < steps_; ++s) {
+                uint32_t v = data_[idx];
+                if (v & 1) {
+                    acc += v * 3;
+                    idx = next_[idx];
+                } else {
+                    acc += v;
+                    idx = next_[idx] ^ 1;
+                }
+                if (v & 2)
+                    acc += v >> 3;
+            }
+            if (out[t] != acc)
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dout_, n_ * 4);
+    }
+
+  private:
+    uint32_t n_, steps_;
+    std::vector<uint32_t> data_, next_;
+    uint64_t ddata_ = 0, dnext_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHeartwall(uint32_t threads, uint32_t steps)
+{
+    return std::make_unique<Heartwall>(threads, steps);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * hotspot: Rodinia-style iterative thermal simulation. A 2D stencil
+ * applied over several host-driven timesteps with double buffering;
+ * boundaries are clamped branchlessly, so the kernel is convergent
+ * — a Table 2 / Table 3 subject.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Hotspot : public Workload
+{
+  public:
+    Hotspot(uint32_t log2g, uint32_t steps)
+        : log2g_(log2g), g_(1u << log2g), steps_(steps)
+    {}
+
+    std::string name() const override { return "hotspot"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("hotspot_step");
+        // Params: temp(0), power(8), out(16), n(24).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        kb.shr(7, 4, static_cast<int64_t>(log2g_));  // row
+        kb.lopi(LogicOp::And, 8, 4, g_ - 1);         // col
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.ldg(20, 12); // center temperature
+
+        // Clamped neighbor loads (branchless).
+        auto neighbor = [&](RegId dst, bool is_row, int delta) {
+            RegId coord = is_row ? RegId(7) : RegId(8);
+            kb.iaddi(9, coord, delta);
+            if (delta < 0) {
+                kb.imnmx(9, 9, RZ, false); // max(x, 0)
+            } else {
+                kb.mov32i(10, static_cast<int64_t>(g_) - 1);
+                kb.imnmx(9, 9, 10, true); // min(x, g-1)
+            }
+            if (is_row) {
+                kb.shl(9, 9, static_cast<int64_t>(log2g_));
+                kb.iadd(9, 9, 8);
+            } else {
+                kb.shl(10, 7, static_cast<int64_t>(log2g_));
+                kb.iadd(9, 10, 9);
+            }
+            gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+            kb.ldg(dst, 12);
+        };
+        neighbor(21, true, -1);
+        neighbor(22, true, 1);
+        neighbor(23, false, -1);
+        neighbor(24, false, 1);
+
+        // delta = power + k * (n + s + w + e - 4c); out = c + delta.
+        gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+        kb.ldg(25, 12); // power
+        kb.fadd(26, 21, 22);
+        kb.fadd(27, 23, 24);
+        kb.fadd(26, 26, 27);
+        kb.fmov32i(27, -4.f);
+        kb.ffma(26, 20, 27, 26);
+        kb.fmov32i(27, 0.1f);
+        kb.ffma(25, 26, 27, 25);
+        kb.fadd(25, 20, 25);
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.stg(12, 0, 25);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x407e);
+        temp0_.resize(static_cast<size_t>(g_) * g_);
+        power_.resize(temp0_.size());
+        for (auto &v : temp0_)
+            v = 320.f + rng.nextFloat() * 20.f;
+        for (auto &v : power_)
+            v = rng.nextFloat() * 0.5f;
+        dtemp_ = upload(dev, temp0_);
+        dpower_ = upload(dev, power_);
+        dout_ = dev.malloc(temp0_.size() * 4);
+        dev.memset(dout_, 0, temp0_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        dev.memcpyHtoD(dtemp_, temp0_.data(), temp0_.size() * 4);
+        simt::LaunchResult last;
+        for (uint32_t s = 0; s < steps_; ++s) {
+            simt::KernelArgs args;
+            args.addU64(dtemp_);
+            args.addU64(dpower_);
+            args.addU64(dout_);
+            args.addU32(g_ * g_);
+            last = dev.launch("hotspot_step",
+                              simt::Dim3(g_ * g_ / 128),
+                              simt::Dim3(128), args, launchOptions);
+            if (!last.ok())
+                return last;
+            std::swap(dtemp_, dout_);
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        std::vector<float> cur = temp0_;
+        std::vector<float> next(cur.size());
+        auto clamp = [&](int x) {
+            return std::min(std::max(x, 0),
+                            static_cast<int>(g_) - 1);
+        };
+        for (uint32_t s = 0; s < steps_; ++s) {
+            for (uint32_t r = 0; r < g_; ++r) {
+                for (uint32_t c = 0; c < g_; ++c) {
+                    auto at = [&](int rr, int cc) {
+                        return cur[static_cast<uint32_t>(
+                                       clamp(rr)) * g_ +
+                                   static_cast<uint32_t>(clamp(cc))];
+                    };
+                    float center = cur[r * g_ + c];
+                    float acc =
+                        (at(static_cast<int>(r) - 1, static_cast<int>(c)) +
+                         at(static_cast<int>(r) + 1, static_cast<int>(c))) +
+                        (at(static_cast<int>(r), static_cast<int>(c) - 1) +
+                         at(static_cast<int>(r), static_cast<int>(c) + 1));
+                    acc = center * -4.f + acc;
+                    float p = power_[r * g_ + c] + acc * 0.1f;
+                    next[r * g_ + c] = center + p;
+                }
+            }
+            std::swap(cur, next);
+        }
+        auto got = download<float>(dev, dtemp_, cur.size());
+        for (size_t i = 0; i < cur.size(); ++i) {
+            if (std::fabs(got[i] - cur[i]) >
+                1e-2f * (1.f + std::fabs(cur[i]))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dtemp_, temp0_.size());
+    }
+
+  private:
+    uint32_t log2g_, g_, steps_;
+    std::vector<float> temp0_, power_;
+    uint64_t dtemp_ = 0, dpower_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotspot(uint32_t grid_log2, uint32_t steps)
+{
+    return std::make_unique<Hotspot>(grid_log2, steps);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * kmeans: the assignment step over a few host-driven iterations.
+ * Distance minimization is branchless; the membership-change check
+ * adds a data-dependent branch whose divergence decays as the
+ * clustering converges.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+constexpr uint32_t kDims = 2;
+
+class Kmeans : public Workload
+{
+  public:
+    Kmeans(uint32_t points, uint32_t k, uint32_t iters)
+        : n_(points), k_(k), iters_(iters)
+    {}
+
+    std::string name() const override { return "kmeans"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("kmeans_assign");
+        // Params: pts(0), centers(8), membership(16), delta(24),
+        //         n(32), k(36).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 32);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        gen::ptrPlusIdx(kb, 8, 0, 4, 3, 3);
+        kb.ldg(20, 8, 0, 8); // px, py
+        kb.ldc(12, 36);
+        kb.mov32i(13, 0);       // j
+        kb.fmov32i(14, 1e30f);  // best
+        kb.mov32i(15, 0);       // best index
+        kb.ldc(8, 8, 8);        // centers
+
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 12);
+        kb.onP(0).bra(loop_done);
+        kb.ldg(24, 8, 0, 8); // cx, cy
+        kb.fmov32i(16, -1.f);
+        kb.ffma(17, 24, 16, 20);
+        kb.ffma(18, 25, 16, 21);
+        kb.fmul(19, 17, 17);
+        kb.ffma(19, 18, 18, 19);
+        kb.fsetp(1, CmpOp::LT, 19, 14);
+        kb.sel(15, 13, 15, 1);
+        kb.fmnmx(14, 19, 14, true);
+        kb.iaddcci(8, 8, kDims * 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+
+        // If membership changed, bump the delta counter (divergent).
+        gen::ptrPlusIdx(kb, 8, 16, 4, 2, 3);
+        kb.ldg(16, 8);
+        Label skip = kb.newLabel();
+        Label reconv = kb.newLabel();
+        kb.ssy(reconv);
+        kb.isetp(1, CmpOp::EQ, 16, 15);
+        kb.onP(1).bra(skip);
+        kb.ldc(18, 24, 8);
+        kb.mov32i(20, 1);
+        kb.red(AtomOp::Add, 18, 20);
+        kb.sync();
+        kb.bind(skip);
+        kb.sync();
+        kb.bind(reconv);
+        kb.stg(8, 0, 15);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x6b6d);
+        pts_.resize(static_cast<size_t>(n_) * kDims);
+        for (auto &v : pts_)
+            v = rng.nextFloat() * 8.f;
+        centers0_.resize(static_cast<size_t>(k_) * kDims);
+        for (auto &v : centers0_)
+            v = rng.nextFloat() * 8.f;
+        dpts_ = upload(dev, pts_);
+        dcenters_ = upload(dev, centers0_);
+        dmembership_ = dev.malloc(n_ * 4);
+        ddelta_ = dev.malloc(4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        dev.memset(dmembership_, 0xff, n_ * 4);
+        dev.memcpyHtoD(dcenters_, centers0_.data(),
+                       centers0_.size() * 4);
+        simt::LaunchResult last;
+        for (uint32_t it = 0; it < iters_; ++it) {
+            dev.write<uint32_t>(ddelta_, 0);
+            simt::KernelArgs args;
+            args.addU64(dpts_);
+            args.addU64(dcenters_);
+            args.addU64(dmembership_);
+            args.addU64(ddelta_);
+            args.addU32(n_);
+            args.addU32(k_);
+            last = dev.launch("kmeans_assign",
+                              simt::Dim3((n_ + 127) / 128),
+                              simt::Dim3(128), args, launchOptions);
+            if (!last.ok())
+                return last;
+            // Host-side center update (Rodinia does this on CPU).
+            updateCenters(dev);
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        // Replay the same iterations on the host.
+        std::vector<float> centers = centers0_;
+        std::vector<int32_t> member(n_, -1);
+        for (uint32_t it = 0; it < iters_; ++it) {
+            for (uint32_t i = 0; i < n_; ++i) {
+                float best = 1e30f;
+                int32_t bj = 0;
+                for (uint32_t j = 0; j < k_; ++j) {
+                    float dx = centers[j * 2] - pts_[i * 2];
+                    float dy = centers[j * 2 + 1] - pts_[i * 2 + 1];
+                    float d = dx * dx + dy * dy;
+                    if (d < best) {
+                        best = d;
+                        bj = static_cast<int32_t>(j);
+                    }
+                }
+                member[i] = bj;
+            }
+            hostUpdate(centers, member);
+        }
+        auto got = download<int32_t>(dev, dmembership_, n_);
+        return got == member;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dmembership_, n_ * 4);
+    }
+
+  private:
+    void
+    hostUpdate(std::vector<float> &centers,
+               const std::vector<int32_t> &member) const
+    {
+        std::vector<float> sum(centers.size(), 0.f);
+        std::vector<uint32_t> cnt(k_, 0);
+        for (uint32_t i = 0; i < n_; ++i) {
+            auto j = static_cast<uint32_t>(member[i]);
+            if (j >= k_)
+                continue;
+            sum[j * 2] += pts_[i * 2];
+            sum[j * 2 + 1] += pts_[i * 2 + 1];
+            ++cnt[j];
+        }
+        for (uint32_t j = 0; j < k_; ++j) {
+            if (cnt[j]) {
+                centers[j * 2] =
+                    sum[j * 2] / static_cast<float>(cnt[j]);
+                centers[j * 2 + 1] =
+                    sum[j * 2 + 1] / static_cast<float>(cnt[j]);
+            }
+        }
+    }
+
+    void
+    updateCenters(simt::Device &dev)
+    {
+        auto member = download<int32_t>(dev, dmembership_, n_);
+        std::vector<float> centers =
+            download<float>(dev, dcenters_, centers0_.size());
+        hostUpdate(centers, member);
+        dev.memcpyHtoD(dcenters_, centers.data(), centers.size() * 4);
+    }
+
+    uint32_t n_, k_, iters_;
+    std::vector<float> pts_, centers0_;
+    uint64_t dpts_ = 0, dcenters_ = 0, dmembership_ = 0, ddelta_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans(uint32_t points, uint32_t k, uint32_t iters)
+{
+    return std::make_unique<Kmeans>(points, k, iters);
+}
+
+} // namespace sassi::workloads

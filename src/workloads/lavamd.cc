@@ -1,0 +1,174 @@
+/**
+ * @file
+ * lavaMD-like: particle interactions. Each thread owns one particle
+ * and accumulates an exponential-kernel force against every
+ * particle in its box over a uniform loop — FP-heavy and mostly
+ * convergent, with a cutoff branch supplying light divergence.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Lavamd : public Workload
+{
+  public:
+    Lavamd(uint32_t boxes, uint32_t per_box)
+        : boxes_(boxes), per_box_(per_box)
+    {}
+
+    std::string name() const override { return "lavaMD"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("forces");
+        // Params: pos(0), force(8), perBox(16).
+        // gid = particle; box = ctaid (one CTA per box).
+        kb.s2r(4, SpecialReg::TidX);
+        kb.s2r(5, SpecialReg::CtaIdX);
+        kb.ldc(6, 16); // perBox
+        kb.imad(7, 5, 6, 4); // my particle index
+        // my position (x, y) into R20, R21.
+        gen::ptrPlusIdx(kb, 10, 0, 7, 3, 3);
+        kb.ldg(20, 10, 0, 8); // loads R20, R21
+
+        // Base of my box's particles.
+        kb.imul(9, 5, 6);
+        gen::ptrPlusIdx(kb, 10, 0, 9, 3, 3);
+        kb.fmov32i(22, 0.f); // fx
+        kb.fmov32i(23, 0.f); // fy
+        kb.mov32i(13, 0);    // j
+
+        Label loop = kb.newLabel();
+        Label loop_done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 6);
+        kb.onP(0).bra(loop_done);
+        kb.ldg(24, 10, 0, 8); // qx, qy -> R24, R25
+        // d2 = (px-qx)^2 + (py-qy)^2
+        kb.fmov32i(16, -1.f);
+        kb.ffma(17, 24, 16, 20);
+        kb.ffma(18, 25, 16, 21);
+        kb.fmul(19, 17, 17);
+        kb.ffma(19, 18, 18, 19);
+        // Cutoff: skip far particles (divergent branch).
+        Label skip = kb.newLabel();
+        Label reconv = kb.newLabel();
+        kb.fmov32i(26, 2.0f);
+        kb.ssy(reconv);
+        kb.fsetp(1, CmpOp::GT, 19, 26);
+        kb.onP(1).bra(skip);
+        // w = exp2(-d2); fx += w*dx; fy += w*dy
+        kb.fmul(19, 19, 16); // -d2
+        kb.mufu(MufuOp::Ex2, 19, 19);
+        kb.ffma(22, 19, 17, 22);
+        kb.ffma(23, 19, 18, 23);
+        kb.sync();
+        kb.bind(skip);
+        kb.sync();
+        kb.bind(reconv);
+        kb.iaddcci(10, 10, 8);
+        kb.iaddxi(11, 11, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(loop_done);
+        kb.sync();
+        kb.bind(after);
+        gen::ptrPlusIdx(kb, 10, 8, 7, 3, 3);
+        kb.stg(10, 0, 22);
+        kb.stg(10, 4, 23);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x1a3a);
+        uint32_t n = boxes_ * per_box_;
+        pos_.resize(static_cast<size_t>(n) * 2);
+        for (auto &v : pos_)
+            v = rng.nextFloat() * 4.f;
+        dpos_ = upload(dev, pos_);
+        dforce_ = dev.malloc(static_cast<size_t>(n) * 8);
+        dev.memset(dforce_, 0, static_cast<size_t>(n) * 8);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dpos_);
+        args.addU64(dforce_);
+        args.addU32(per_box_);
+        return dev.launch("forces", simt::Dim3(boxes_),
+                          simt::Dim3(per_box_), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        uint32_t n = boxes_ * per_box_;
+        auto force = download<float>(dev, dforce_, 2 * n);
+        for (uint32_t b = 0; b < boxes_; ++b) {
+            for (uint32_t i = 0; i < per_box_; ++i) {
+                uint32_t p = b * per_box_ + i;
+                float fx = 0.f, fy = 0.f;
+                for (uint32_t j = 0; j < per_box_; ++j) {
+                    uint32_t q = b * per_box_ + j;
+                    float dx = pos_[p * 2] - pos_[q * 2];
+                    float dy = pos_[p * 2 + 1] - pos_[q * 2 + 1];
+                    float d2 = dx * dx + dy * dy;
+                    if (d2 > 2.0f)
+                        continue;
+                    float w = std::exp2(-d2);
+                    fx += w * dx;
+                    fy += w * dy;
+                }
+                if (std::fabs(force[p * 2] - fx) >
+                        1e-3f * (1.f + std::fabs(fx)) ||
+                    std::fabs(force[p * 2 + 1] - fy) >
+                        1e-3f * (1.f + std::fabs(fy))) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(
+            dev, dforce_,
+            static_cast<size_t>(boxes_) * per_box_ * 2);
+    }
+
+  private:
+    uint32_t boxes_, per_box_;
+    std::vector<float> pos_;
+    uint64_t dpos_ = 0, dforce_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLavamd(uint32_t boxes, uint32_t per_box)
+{
+    return std::make_unique<Lavamd>(boxes, per_box);
+}
+
+} // namespace sassi::workloads

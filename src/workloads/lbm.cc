@@ -1,0 +1,217 @@
+/**
+ * @file
+ * lbm: Parboil-style lattice-Boltzmann step, reduced to a D2Q5
+ * lattice. Each cell gathers the five distributions streaming into
+ * it, collides toward equilibrium, and writes back; obstacle cells
+ * bounce back instead (a data-dependent branch whose divergence
+ * depends on the obstacle map). FP-heavy with many loads/stores —
+ * the paper's Table 3 lists lbm among the most instrumentation-
+ * sensitive kernels.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Lbm : public Workload
+{
+  public:
+    explicit Lbm(uint32_t log2g) : log2g_(log2g), g_(1u << log2g) {}
+
+    std::string name() const override { return "lbm"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        // f layout: direction-major, f[d * n + cell]; periodic
+        // neighbors via masked coordinate arithmetic.
+        KernelBuilder kb("lbm_step");
+        // Params: f(0), fnext(8), obstacle(16), n(24).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        // x = gid & (g-1), y = gid >> log2g.
+        kb.lopi(LogicOp::And, 6, 4, g_ - 1);
+        kb.shr(7, 4, static_cast<int64_t>(log2g_));
+
+        // Gather the five incoming distributions into R20..R24:
+        // center, from west (x-1), east (x+1), south (y-1),
+        // north (y+1), periodic.
+        auto gather = [&](RegId dst, int d, int dx, int dy) {
+            // nx = (x - dx) & (g-1); ny = (y - dy) & (g-1)
+            kb.iaddi(9, 6, -dx);
+            kb.lopi(LogicOp::And, 9, 9, g_ - 1);
+            kb.iaddi(10, 7, -dy);
+            kb.lopi(LogicOp::And, 10, 10, g_ - 1);
+            kb.shl(10, 10, static_cast<int64_t>(log2g_));
+            kb.iadd(9, 9, 10);
+            // + d * n
+            kb.ldc(10, 24);
+            kb.imuli(10, 10, d);
+            kb.iadd(9, 9, 10);
+            gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+            kb.ldg(dst, 12);
+        };
+        gather(20, 0, 0, 0);
+        gather(21, 1, 1, 0);
+        gather(22, 2, -1, 0);
+        gather(23, 3, 0, 1);
+        gather(24, 4, 0, -1);
+
+        // rho = sum f; relax each toward rho/5.
+        kb.fadd(25, 20, 21);
+        kb.fadd(26, 22, 23);
+        kb.fadd(25, 25, 26);
+        kb.fadd(25, 25, 24);
+        kb.fmov32i(26, 0.2f);
+        kb.fmul(25, 25, 26); // eq = rho / 5
+
+        // Obstacle branch: bounce-back (swap opposing pairs).
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.ldg(16, 12);
+        Label fluid = kb.newLabel();
+        Label reconv = kb.newLabel();
+        kb.ssy(reconv);
+        kb.isetpi(1, CmpOp::EQ, 16, 0);
+        kb.onP(1).bra(fluid);
+        // Obstacle: swap (w,e) and (s,n).
+        kb.mov(17, 21);
+        kb.mov(21, 22);
+        kb.mov(22, 17);
+        kb.mov(17, 23);
+        kb.mov(23, 24);
+        kb.mov(24, 17);
+        kb.sync();
+        kb.bind(fluid);
+        // Fluid: f' = f + omega * (eq - f), omega = 0.5.
+        kb.fmov32i(17, -1.f);
+        kb.fmov32i(18, 0.5f);
+        for (RegId r : {RegId(20), RegId(21), RegId(22), RegId(23),
+                        RegId(24)}) {
+            kb.ffma(19, r, 17, 25); // eq - f
+            kb.ffma(r, 19, 18, r);  // f + 0.5 (eq - f)
+        }
+        kb.sync();
+        kb.bind(reconv);
+
+        // Scatter back (same-cell write per direction).
+        for (int d = 0; d < 5; ++d) {
+            kb.ldc(10, 24);
+            kb.imuli(10, 10, d);
+            kb.iadd(9, 4, 10);
+            gen::ptrPlusIdx(kb, 12, 8, 9, 2, 3);
+            kb.stg(12, 0, static_cast<RegId>(20 + d));
+        }
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x1b3);
+        uint32_t n = g_ * g_;
+        f_.resize(static_cast<size_t>(n) * 5);
+        obstacle_.resize(n);
+        for (auto &v : f_)
+            v = rng.nextFloat();
+        for (auto &v : obstacle_)
+            v = rng.nextBelow(100) < 8 ? 1 : 0;
+        df_ = upload(dev, f_);
+        dobs_ = upload(dev, obstacle_);
+        dnext_ = dev.malloc(f_.size() * 4);
+        dev.memset(dnext_, 0, f_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(df_);
+        args.addU64(dnext_);
+        args.addU64(dobs_);
+        args.addU32(g_ * g_);
+        return dev.launch("lbm_step", simt::Dim3(g_ * g_ / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        uint32_t n = g_ * g_;
+        auto out = download<float>(dev, dnext_, f_.size());
+        const int dx[5] = {0, 1, -1, 0, 0};
+        const int dy[5] = {0, 0, 0, 1, -1};
+        for (uint32_t cell = 0; cell < n; ++cell) {
+            uint32_t x = cell & (g_ - 1);
+            uint32_t y = cell >> log2g_;
+            float fin[5];
+            for (int d = 0; d < 5; ++d) {
+                uint32_t nx = (x - static_cast<uint32_t>(dx[d])) &
+                              (g_ - 1);
+                uint32_t ny = (y - static_cast<uint32_t>(dy[d])) &
+                              (g_ - 1);
+                fin[d] = f_[static_cast<size_t>(d) * n +
+                            (ny << log2g_) + nx];
+            }
+            float rho = ((fin[0] + fin[1]) + (fin[2] + fin[3])) +
+                        fin[4];
+            float eq = rho * 0.2f;
+            float fout[5];
+            if (obstacle_[cell]) {
+                fout[0] = fin[0];
+                fout[1] = fin[2];
+                fout[2] = fin[1];
+                fout[3] = fin[4];
+                fout[4] = fin[3];
+            } else {
+                for (int d = 0; d < 5; ++d)
+                    fout[d] = fin[d] + 0.5f * (eq - fin[d]);
+            }
+            for (int d = 0; d < 5; ++d) {
+                float got = out[static_cast<size_t>(d) * n + cell];
+                if (std::fabs(got - fout[d]) >
+                    1e-3f * (1.f + std::fabs(fout[d]))) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dnext_, f_.size());
+    }
+
+  private:
+    uint32_t log2g_, g_;
+    std::vector<float> f_;
+    std::vector<uint32_t> obstacle_;
+    uint64_t df_ = 0, dnext_ = 0, dobs_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLbm(uint32_t grid_log2)
+{
+    return std::make_unique<Lbm>(grid_log2);
+}
+
+} // namespace sassi::workloads

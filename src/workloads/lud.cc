@@ -1,0 +1,182 @@
+/**
+ * @file
+ * lud: Rodinia-style LU decomposition of one block held entirely in
+ * shared memory by a single CTA — a shared-memory + barrier-loop
+ * workload (guarded updates are predicated, so the barriers stay
+ * convergent).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+constexpr uint32_t kDim = 16;
+
+class Lud : public Workload
+{
+  public:
+    Lud() = default;
+
+    std::string name() const override { return "lud"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("lud_block");
+        kb.setSharedBytes(kDim * kDim * 4);
+        // Params: a(0), out(8). One CTA of kDim x kDim threads.
+        kb.s2r(4, SpecialReg::TidX); // col
+        kb.s2r(5, SpecialReg::TidY); // row
+        // linear = row*kDim + col; shared offset = linear*4.
+        kb.imuli(6, 5, kDim);
+        kb.iadd(6, 6, 4);
+        kb.shl(7, 6, 2); // shared byte offset
+        gen::ptrPlusIdx(kb, 12, 0, 6, 2, 3);
+        kb.ldg(8, 12);
+        kb.sts(7, 0, 8);
+        kb.bar();
+
+        // for k in 0..kDim-2 (uniform loop):
+        //   if (col == k && row > k) s[row][k] *= rcp(s[k][k])
+        //   bar
+        //   if (col > k && row > k) s[row][col] -= s[row][k]*s[k][col]
+        //   bar
+        kb.mov32i(14, 0); // k
+        Label loop = kb.newLabel();
+        Label done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetpi(0, CmpOp::GE, 14, kDim - 1);
+        kb.onP(0).bra(done);
+
+        // Predicates: p1 = (row > k), p2 = (col == k), p3 = (col > k).
+        kb.isetp(1, CmpOp::GT, 5, 14);
+        kb.isetp(2, CmpOp::EQ, 4, 14);
+        kb.psetp(2, LogicOp::And, 1, false, 2, false);
+        kb.isetp(3, CmpOp::GT, 4, 14);
+        kb.psetp(3, LogicOp::And, 1, false, 3, false);
+
+        // pivot = s[k][k]
+        kb.imuli(15, 14, kDim + 1);
+        kb.shl(15, 15, 2);
+        kb.lds(16, 15);
+        kb.mufu(MufuOp::Rcp, 16, 16);
+        // s[row][k]: offset = (row*kDim + k)*4
+        kb.imuli(17, 5, kDim);
+        kb.iadd(17, 17, 14);
+        kb.shl(17, 17, 2);
+        kb.onP(2).lds(18, 17);
+        kb.onP(2).fmul(18, 18, 16);
+        kb.onP(2).sts(17, 0, 18);
+        kb.bar();
+
+        // s[k][col]: offset = (k*kDim + col)*4
+        kb.imuli(19, 14, kDim);
+        kb.iadd(19, 19, 4);
+        kb.shl(19, 19, 2);
+        kb.onP(3).lds(16, 17); // s[row][k] (updated)
+        kb.onP(3).lds(20, 19); // s[k][col]
+        kb.onP(3).lds(21, 7);  // s[row][col]
+        kb.onP(3).fmul(16, 16, 20);
+        kb.fmov32i(22, -1.f);
+        kb.onP(3).ffma(21, 16, 22, 21);
+        kb.onP(3).sts(7, 0, 21);
+        kb.bar();
+
+        kb.iaddi(14, 14, 1);
+        kb.bra(loop);
+        kb.bind(done);
+        kb.sync();
+        kb.bind(after);
+
+        kb.lds(8, 7);
+        gen::ptrPlusIdx(kb, 12, 8, 6, 2, 3);
+        kb.stg(12, 0, 8);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x10d);
+        a_.resize(kDim * kDim);
+        for (uint32_t i = 0; i < kDim; ++i) {
+            for (uint32_t j = 0; j < kDim; ++j) {
+                a_[i * kDim + j] = rng.nextFloat();
+                if (i == j)
+                    a_[i * kDim + j] += kDim;
+            }
+        }
+        da_ = upload(dev, a_);
+        dout_ = dev.malloc(a_.size() * 4);
+        dev.memset(dout_, 0, a_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(da_);
+        args.addU64(dout_);
+        return dev.launch("lud_block", simt::Dim3(1),
+                          simt::Dim3(kDim, kDim), args,
+                          launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        std::vector<float> s = a_;
+        for (uint32_t k = 0; k + 1 < kDim; ++k) {
+            float rcp = 1.0f / s[k * kDim + k];
+            for (uint32_t row = k + 1; row < kDim; ++row)
+                s[row * kDim + k] *= rcp;
+            for (uint32_t row = k + 1; row < kDim; ++row) {
+                for (uint32_t col = k + 1; col < kDim; ++col) {
+                    s[row * kDim + col] -=
+                        s[row * kDim + k] * s[k * kDim + col];
+                }
+            }
+        }
+        auto got = download<float>(dev, dout_, s.size());
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (std::fabs(got[i] - s[i]) >
+                1e-2f * (1.f + std::fabs(s[i]))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dout_, a_.size());
+    }
+
+  private:
+    std::vector<float> a_;
+    uint64_t da_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLud()
+{
+    return std::make_unique<Lud>();
+}
+
+} // namespace sassi::workloads

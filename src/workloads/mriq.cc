@@ -1,0 +1,154 @@
+/**
+ * @file
+ * mri-q-like: Q-matrix computation — each thread accumulates
+ * sin/cos contributions of every sample point over a uniform loop.
+ * Trig-heavy, fully convergent floating point; a good value-profile
+ * subject (paper Table 2 lists mri-q).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Mriq : public Workload
+{
+  public:
+    Mriq(uint32_t samples, uint32_t terms)
+        : n_(samples), m_(terms)
+    {}
+
+    std::string name() const override { return "mri-q"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("computeQ");
+        // Params: x(0), kvals(8), qr(16), qi(24), n(32), m(36).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 32);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        gen::ptrPlusIdx(kb, 8, 0, 4, 2, 3);
+        kb.ldg(20, 8);        // x[i]
+        kb.ldc(12, 36);       // m
+        kb.mov32i(13, 0);     // j
+        kb.fmov32i(14, 0.f);  // qr acc
+        kb.fmov32i(15, 0.f);  // qi acc
+        kb.ldc(8, 8, 8);      // kvals pair
+
+        Label loop = kb.newLabel();
+        Label after = kb.newLabel();
+        Label done = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 12);
+        kb.onP(0).bra(done);
+        kb.ldg(16, 8);            // k value
+        kb.fmul(17, 16, 20);      // phi = k * x
+        kb.mufu(MufuOp::Cos, 18, 17);
+        kb.mufu(MufuOp::Sin, 19, 17);
+        kb.fadd(14, 14, 18);
+        kb.fadd(15, 15, 19);
+        kb.iaddcci(8, 8, 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(done);
+        kb.sync();
+        kb.bind(after);
+        gen::ptrPlusIdx(kb, 8, 16, 4, 2, 3);
+        kb.stg(8, 0, 14);
+        gen::ptrPlusIdx(kb, 8, 24, 4, 2, 3);
+        kb.stg(8, 0, 15);
+        kb.exit();
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x3019);
+        x_.resize(n_);
+        kv_.resize(m_);
+        for (auto &v : x_)
+            v = rng.nextFloat() * 2.f;
+        for (auto &v : kv_)
+            v = rng.nextFloat() * 3.f;
+        dx_ = upload(dev, x_);
+        dk_ = upload(dev, kv_);
+        dqr_ = dev.malloc(n_ * 4);
+        dqi_ = dev.malloc(n_ * 4);
+        dev.memset(dqr_, 0, n_ * 4);
+        dev.memset(dqi_, 0, n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dx_);
+        args.addU64(dk_);
+        args.addU64(dqr_);
+        args.addU64(dqi_);
+        args.addU32(n_);
+        args.addU32(m_);
+        return dev.launch("computeQ", simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto qr = download<float>(dev, dqr_, n_);
+        auto qi = download<float>(dev, dqi_, n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            float er = 0.f, ei = 0.f;
+            for (uint32_t j = 0; j < m_; ++j) {
+                float phi = kv_[j] * x_[i];
+                er += std::cos(phi);
+                ei += std::sin(phi);
+            }
+            if (std::fabs(qr[i] - er) > 1e-3f * (1.f + std::fabs(er)))
+                return false;
+            if (std::fabs(qi[i] - ei) > 1e-3f * (1.f + std::fabs(ei)))
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashCombine(hashDeviceFloats(dev, dqr_, n_),
+                           hashDeviceFloats(dev, dqi_, n_));
+    }
+
+  private:
+    uint32_t n_, m_;
+    std::vector<float> x_, kv_;
+    uint64_t dx_ = 0, dk_ = 0, dqr_ = 0, dqi_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMriq(uint32_t samples, uint32_t terms)
+{
+    return std::make_unique<Mriq>(samples, terms);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * nn: Rodinia-style nearest neighbor. A tiny convergent kernel
+ * computes Euclidean distances from every record to a query point;
+ * the host scans for the minimum. The most host-bound application
+ * in the paper's Table 3 (t = 0.3 s vs k = 0.1 ms).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Nn : public Workload
+{
+  public:
+    explicit Nn(uint32_t records) : n_(records) {}
+
+    std::string name() const override { return "nn"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("euclid");
+        // Params: locations(0), dist(8), n(16), qlat(20), qlng(24).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 16);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        gen::ptrPlusIdx(kb, 8, 0, 4, 3, 3);
+        kb.ldg(10, 8, 0, 8); // lat, lng
+        kb.ldc(12, 20);      // qlat
+        kb.ldc(13, 24);      // qlng
+        kb.fmov32i(14, -1.f);
+        kb.ffma(12, 12, 14, 10); // lat - qlat
+        kb.ffma(13, 13, 14, 11); // lng - qlng
+        kb.fmul(12, 12, 12);
+        kb.ffma(12, 13, 13, 12);
+        kb.mufu(MufuOp::Sqrt, 12, 12);
+        gen::ptrPlusIdx(kb, 8, 8, 4, 2, 3);
+        kb.stg(8, 0, 12);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x4e4e);
+        loc_.resize(static_cast<size_t>(n_) * 2);
+        for (auto &v : loc_)
+            v = rng.nextFloat() * 180.f - 90.f;
+        dloc_ = upload(dev, loc_);
+        ddist_ = dev.malloc(n_ * 4);
+        dev.memset(ddist_, 0, n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dloc_);
+        args.addU64(ddist_);
+        args.addU32(n_);
+        args.addF32(qlat_);
+        args.addF32(qlng_);
+        simt::LaunchResult r =
+            dev.launch("euclid", simt::Dim3((n_ + 127) / 128),
+                       simt::Dim3(128), args, launchOptions);
+        if (!r.ok())
+            return r;
+        // Host-side top-1 scan (as Rodinia's nn does on the CPU).
+        auto dist = download<float>(dev, ddist_, n_);
+        best_ = 0;
+        for (uint32_t i = 1; i < n_; ++i) {
+            if (dist[i] < dist[best_])
+                best_ = i;
+        }
+        return r;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        (void)dev;
+        uint32_t expect = 0;
+        float best = 1e30f;
+        for (uint32_t i = 0; i < n_; ++i) {
+            float dlat = loc_[i * 2] - qlat_;
+            float dlng = loc_[i * 2 + 1] - qlng_;
+            float d = std::sqrt(dlat * dlat + dlng * dlng);
+            if (d < best) {
+                best = d;
+                expect = i;
+            }
+        }
+        return best_ == expect;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashCombine(hashDeviceFloats(dev, ddist_, n_), best_);
+    }
+
+  private:
+    uint32_t n_;
+    float qlat_ = 12.5f, qlng_ = -33.25f;
+    std::vector<float> loc_;
+    uint64_t dloc_ = 0, ddist_ = 0;
+    uint32_t best_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNn(uint32_t records)
+{
+    return std::make_unique<Nn>(records);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * nw: Needleman-Wunsch-style wavefront alignment scoring. One
+ * kernel launch per anti-diagonal (many small launches, like the
+ * paper's nw with 258 launches in Table 3); cells take a max of
+ * three predecessors, computed branchlessly.
+ */
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+constexpr int32_t kGapPenalty = -1;
+
+class Nw : public Workload
+{
+  public:
+    explicit Nw(uint32_t n) : n_(n) {}
+
+    std::string name() const override { return "nw"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("nw_diag");
+        // Computes cells (i, d - i) of diagonal d, for i in
+        // [lo, hi]. score has (n+1)x(n+1) layout.
+        // Params: score(0), sim(8), n(16), d(20), lo(24), count(28).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 28);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        kb.ldc(6, 24);
+        kb.iadd(4, 4, 6); // i = lo + gid
+        kb.ldc(6, 20);
+        kb.lopi(LogicOp::Not, 7, 4, 0);
+        kb.iaddi(7, 7, 1);
+        kb.iadd(7, 6, 7); // j = d - i
+        kb.ldc(8, 16);
+        kb.iaddi(8, 8, 1); // stride = n+1
+        // idx = i*stride + j
+        kb.imad(9, 4, 8, 7);
+        // up = idx - stride; left = idx - 1; diag = idx - stride - 1.
+        kb.lopi(LogicOp::Not, 10, 8, 0);
+        kb.iaddi(10, 10, 1); // -stride
+        kb.iadd(11, 9, 10);  // up
+        kb.iaddi(12, 9, -1); // left
+        kb.iaddi(13, 11, -1); // diag
+        gen::ptrPlusIdx(kb, 14, 0, 13, 2, 3);
+        kb.ldg(16, 14); // score[diag]
+        // sim index: (i-1)*n + (j-1)
+        kb.ldc(17, 16); // n
+        kb.iaddi(18, 4, -1);
+        kb.iaddi(19, 7, -1);
+        kb.imad(18, 18, 17, 19);
+        gen::ptrPlusIdx(kb, 14, 8, 18, 2, 3);
+        kb.ldg(17, 14);
+        kb.iadd(16, 16, 17) /* diag + sim */;
+        gen::ptrPlusIdx(kb, 14, 0, 11, 2, 3);
+        kb.ldg(17, 14);
+        kb.iaddi(17, 17, kGapPenalty); // up + gap
+        gen::ptrPlusIdx(kb, 14, 0, 12, 2, 3);
+        kb.ldg(18, 14);
+        kb.iaddi(18, 18, kGapPenalty); // left + gap
+        kb.imnmx(16, 16, 17, false);
+        kb.imnmx(16, 16, 18, false);
+        gen::ptrPlusIdx(kb, 14, 0, 9, 2, 3);
+        kb.stg(14, 0, 16);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x0417);
+        sim_.resize(static_cast<size_t>(n_) * n_);
+        for (auto &v : sim_)
+            v = static_cast<int32_t>(rng.nextRange(-3, 3));
+        dsim_ = upload(dev, sim_);
+        uint32_t cells = (n_ + 1) * (n_ + 1);
+        dscore_ = dev.malloc(cells * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        // Boundary conditions: score[0][j] = j*gap, score[i][0] = i*gap.
+        uint32_t stride = n_ + 1;
+        std::vector<int32_t> init(stride * stride, 0);
+        for (uint32_t k = 0; k < stride; ++k) {
+            init[k] = static_cast<int32_t>(k) * kGapPenalty;
+            init[k * stride] = static_cast<int32_t>(k) * kGapPenalty;
+        }
+        dev.memcpyHtoD(dscore_, init.data(), init.size() * 4);
+
+        simt::LaunchResult last;
+        // Diagonals d = i + j, with i, j in [1, n].
+        for (uint32_t d = 2; d <= 2 * n_; ++d) {
+            uint32_t lo = d <= n_ ? 1 : d - n_;
+            uint32_t hi = std::min(d - 1, n_);
+            uint32_t count = hi - lo + 1;
+            simt::KernelArgs args;
+            args.addU64(dscore_);
+            args.addU64(dsim_);
+            args.addU32(n_);
+            args.addU32(d);
+            args.addU32(lo);
+            args.addU32(count);
+            last = dev.launch("nw_diag",
+                              simt::Dim3((count + 63) / 64),
+                              simt::Dim3(64), args, launchOptions);
+            if (!last.ok())
+                return last;
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        uint32_t stride = n_ + 1;
+        std::vector<int32_t> ref(stride * stride, 0);
+        for (uint32_t k = 0; k < stride; ++k) {
+            ref[k] = static_cast<int32_t>(k) * kGapPenalty;
+            ref[k * stride] = static_cast<int32_t>(k) * kGapPenalty;
+        }
+        for (uint32_t i = 1; i <= n_; ++i) {
+            for (uint32_t j = 1; j <= n_; ++j) {
+                int32_t diag = ref[(i - 1) * stride + (j - 1)] +
+                               sim_[(i - 1) * n_ + (j - 1)];
+                int32_t up = ref[(i - 1) * stride + j] + kGapPenalty;
+                int32_t left = ref[i * stride + (j - 1)] + kGapPenalty;
+                ref[i * stride + j] =
+                    std::max(diag, std::max(up, left));
+            }
+        }
+        return download<int32_t>(dev, dscore_, ref.size()) == ref;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        uint32_t cells = (n_ + 1) * (n_ + 1);
+        return hashDeviceBuffer(dev, dscore_, cells * 4);
+    }
+
+  private:
+    uint32_t n_;
+    std::vector<int32_t> sim_;
+    uint64_t dsim_ = 0, dscore_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNw(uint32_t n)
+{
+    return std::make_unique<Nw>(n);
+}
+
+} // namespace sassi::workloads

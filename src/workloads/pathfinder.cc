@@ -1,0 +1,139 @@
+/**
+ * @file
+ * pathfinder: Rodinia-style dynamic programming. Each kernel step
+ * computes next[j] = data[row][j] + min(cur[j-1], cur[j], cur[j+1])
+ * with clamped boundaries; minimums are branchless (IMNMX), so the
+ * only branches are bounds checks.
+ */
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Pathfinder : public Workload
+{
+  public:
+    Pathfinder(uint32_t cols, uint32_t rows)
+        : cols_(cols), rows_(rows)
+    {}
+
+    std::string name() const override { return "pathfinder"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("dynproc");
+        // Params: data(0), cur(8), next(16), cols(24).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+        // left = max(j-1, 0); right = min(j+1, cols-1)
+        kb.iaddi(6, 4, -1);
+        kb.imnmx(6, 6, static_cast<RegId>(sass::RZ), false); // max(,0)
+        kb.iaddi(7, 4, 1);
+        kb.iaddi(8, 5, -1);
+        kb.imnmx(7, 7, 8, true); // min(, cols-1)
+        // min3 of cur
+        gen::ptrPlusIdx(kb, 12, 8, 6, 2, 3);
+        kb.ldg(9, 12);
+        gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+        kb.ldg(10, 12);
+        gen::ptrPlusIdx(kb, 12, 8, 7, 2, 3);
+        kb.ldg(11, 12);
+        kb.imnmx(9, 9, 10, true);
+        kb.imnmx(9, 9, 11, true);
+        // next[j] = data[j] + min3
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.ldg(10, 12);
+        kb.iadd(9, 9, 10);
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.stg(12, 0, 9);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x9a7f);
+        data_.resize(static_cast<size_t>(rows_) * cols_);
+        for (auto &v : data_)
+            v = static_cast<uint32_t>(rng.nextBelow(10));
+        ddata_ = upload(dev, data_);
+        dcur_ = dev.malloc(cols_ * 4);
+        dnext_ = dev.malloc(cols_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        // Row 0 seeds the wavefront.
+        dev.memcpyHtoD(dcur_, data_.data(), cols_ * 4);
+        simt::LaunchResult last;
+        for (uint32_t r = 1; r < rows_; ++r) {
+            simt::KernelArgs args;
+            args.addU64(ddata_ + static_cast<uint64_t>(r) * cols_ * 4);
+            args.addU64(dcur_);
+            args.addU64(dnext_);
+            args.addU32(cols_);
+            last = dev.launch("dynproc",
+                              simt::Dim3((cols_ + 127) / 128),
+                              simt::Dim3(128), args, launchOptions);
+            if (!last.ok())
+                return last;
+            std::swap(dcur_, dnext_);
+        }
+        return last;
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        std::vector<uint32_t> cur(data_.begin(),
+                                  data_.begin() + cols_);
+        for (uint32_t r = 1; r < rows_; ++r) {
+            std::vector<uint32_t> next(cols_);
+            for (uint32_t j = 0; j < cols_; ++j) {
+                uint32_t l = cur[j == 0 ? 0 : j - 1];
+                uint32_t m = cur[j];
+                uint32_t rr = cur[j == cols_ - 1 ? j : j + 1];
+                next[j] = data_[r * cols_ + j] +
+                          std::min(l, std::min(m, rr));
+            }
+            cur = std::move(next);
+        }
+        return download<uint32_t>(dev, dcur_, cols_) == cur;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dcur_, cols_ * 4);
+    }
+
+  private:
+    uint32_t cols_, rows_;
+    std::vector<uint32_t> data_;
+    uint64_t ddata_ = 0, dcur_ = 0, dnext_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePathfinder(uint32_t cols, uint32_t rows)
+{
+    return std::make_unique<Pathfinder>(cols, rows);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * sad: Parboil-style sum-of-absolute-differences block matching.
+ * Each thread owns one 16-pixel block of the current frame and
+ * scans a small search window in the reference frame, tracking the
+ * best (minimum-SAD) displacement — integer-heavy, uniform loops,
+ * branchless min tracking.
+ */
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+constexpr uint32_t kBlockPixels = 16;
+constexpr uint32_t kWindow = 8;
+
+class Sad : public Workload
+{
+  public:
+    explicit Sad(uint32_t blocks) : n_(blocks) {}
+
+    std::string name() const override { return "sad"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("sad_search");
+        // Params: cur(0), ref(8), bestSad(16), bestPos(24), n(32).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 32);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        kb.imuli(6, 4, kBlockPixels); // block base pixel
+        kb.mov32i(14, 0x7fffffff);    // best SAD
+        kb.mov32i(15, 0);             // best pos
+        kb.mov32i(13, 0);             // w: window position
+
+        Label wloop = kb.newLabel();
+        Label wdone = kb.newLabel();
+        Label wafter = kb.newLabel();
+        kb.ssy(wafter);
+        kb.bind(wloop);
+        kb.isetpi(0, CmpOp::GE, 13, kWindow);
+        kb.onP(0).bra(wdone);
+
+        // acc = sum |cur[base+p] - ref[base+w+p]|
+        kb.mov32i(16, 0); // acc
+        kb.mov32i(17, 0); // p
+        kb.iadd(7, 6, 13);                   // ref index first: R9 is
+        gen::ptrPlusIdx(kb, 8, 0, 6, 2, 3);  // about to become the cur
+        gen::ptrPlusIdx(kb, 10, 8, 7, 2, 3); // pointer's high half
+        Label ploop = kb.newLabel();
+        Label pdone = kb.newLabel();
+        Label pafter = kb.newLabel();
+        kb.ssy(pafter);
+        kb.bind(ploop);
+        kb.isetpi(1, CmpOp::GE, 17, kBlockPixels);
+        kb.onP(1).bra(pdone);
+        kb.ldg(18, 8);
+        kb.ldg(19, 10);
+        // |a - b| = max(a-b, b-a) via NOT/+1 negation.
+        kb.lopi(LogicOp::Not, 20, 19, 0);
+        kb.iaddi(20, 20, 1);
+        kb.iadd(20, 18, 20); // a - b
+        kb.lopi(LogicOp::Not, 21, 20, 0);
+        kb.iaddi(21, 21, 1); // b - a
+        kb.imnmx(20, 20, 21, false);
+        kb.iadd(16, 16, 20);
+        kb.iaddcci(8, 8, 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddcci(10, 10, 4);
+        kb.iaddxi(11, 11, 0);
+        kb.iaddi(17, 17, 1);
+        kb.bra(ploop);
+        kb.bind(pdone);
+        kb.sync();
+        kb.bind(pafter);
+
+        // Branchless min tracking.
+        kb.isetp(1, CmpOp::LT, 16, 14);
+        kb.sel(15, 13, 15, 1);
+        kb.imnmx(14, 16, 14, true);
+        kb.iaddi(13, 13, 1);
+        kb.bra(wloop);
+        kb.bind(wdone);
+        kb.sync();
+        kb.bind(wafter);
+
+        gen::ptrPlusIdx(kb, 8, 16, 4, 2, 3);
+        kb.stg(8, 0, 14);
+        gen::ptrPlusIdx(kb, 8, 24, 4, 2, 3);
+        kb.stg(8, 0, 15);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x5ad);
+        cur_.resize(static_cast<size_t>(n_) * kBlockPixels);
+        ref_.resize(cur_.size() + kWindow);
+        for (auto &v : cur_)
+            v = static_cast<uint32_t>(rng.nextBelow(256));
+        for (auto &v : ref_)
+            v = static_cast<uint32_t>(rng.nextBelow(256));
+        dcur_ = upload(dev, cur_);
+        dref_ = upload(dev, ref_);
+        dsad_ = dev.malloc(n_ * 4);
+        dpos_ = dev.malloc(n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dcur_);
+        args.addU64(dref_);
+        args.addU64(dsad_);
+        args.addU64(dpos_);
+        args.addU32(n_);
+        return dev.launch("sad_search",
+                          simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto sad = download<uint32_t>(dev, dsad_, n_);
+        auto pos = download<uint32_t>(dev, dpos_, n_);
+        for (uint32_t b = 0; b < n_; ++b) {
+            uint32_t best = 0x7fffffff, best_w = 0;
+            for (uint32_t w = 0; w < kWindow; ++w) {
+                uint32_t acc = 0;
+                for (uint32_t p = 0; p < kBlockPixels; ++p) {
+                    auto a = static_cast<int32_t>(
+                        cur_[b * kBlockPixels + p]);
+                    auto r = static_cast<int32_t>(
+                        ref_[b * kBlockPixels + w + p]);
+                    acc += static_cast<uint32_t>(
+                        a > r ? a - r : r - a);
+                }
+                if (acc < best) {
+                    best = acc;
+                    best_w = w;
+                }
+            }
+            if (sad[b] != best || pos[b] != best_w)
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashCombine(hashDeviceBuffer(dev, dsad_, n_ * 4),
+                           hashDeviceBuffer(dev, dpos_, n_ * 4));
+    }
+
+  private:
+    uint32_t n_;
+    std::vector<uint32_t> cur_, ref_;
+    uint64_t dcur_ = 0, dref_ = 0, dsad_ = 0, dpos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSad(uint32_t blocks)
+{
+    return std::make_unique<Sad>(blocks);
+}
+
+} // namespace sassi::workloads

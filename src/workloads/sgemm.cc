@@ -1,0 +1,153 @@
+/**
+ * @file
+ * sgemm: dense C = A x B, one thread per output element, uniform
+ * inner loop. Fully convergent (the paper's Table 1 shows sgemm
+ * with zero divergent branches) with regular, coalesced access.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Sgemm : public Workload
+{
+  public:
+    Sgemm(uint32_t n, std::string tag) : n_(n), tag_(std::move(tag)) {}
+
+    std::string
+    name() const override
+    {
+        return "sgemm (" + tag_ + ")";
+    }
+
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("sgemm");
+        // Params: A(0), B(8), C(16), n(24).
+        // col = ctaid.x * ntid.x + tid.x; row = ctaid.y * 16 + tid.y
+        kb.s2r(4, SpecialReg::TidX);
+        kb.s2r(2, SpecialReg::CtaIdX);
+        kb.s2r(3, SpecialReg::NTidX);
+        kb.imad(4, 2, 3, 4); // col
+        kb.s2r(5, SpecialReg::TidY);
+        kb.s2r(2, SpecialReg::CtaIdY);
+        kb.s2r(3, SpecialReg::NTidY);
+        kb.imad(5, 2, 3, 5); // row
+        kb.ldc(12, 24);      // n
+        // ptrA = A + row*n*4 (advances by 4)
+        kb.imul(13, 5, 12);
+        gen::ptrPlusIdx(kb, 8, 0, 13, 2, 14);
+        // ptrB = B + col*4 (advances by n*4)
+        gen::ptrPlusIdx(kb, 10, 8, 4, 2, 14);
+        kb.shl(15, 12, 2);  // row stride in bytes
+        kb.fmov32i(7, 0.f); // acc
+        kb.mov32i(6, 0);    // k
+        Label loop = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        Label done = kb.newLabel();
+        kb.isetp(0, CmpOp::GE, 6, 12);
+        kb.onP(0).bra(done);
+        kb.ldg(14, 8);       // a
+        kb.ldg(16, 10);      // b
+        kb.ffma(7, 14, 16, 7);
+        kb.iaddcci(8, 8, 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddcc(10, 10, 15);
+        kb.iaddx(11, 11, RZ);
+        kb.iaddi(6, 6, 1);
+        kb.bra(loop);
+        kb.bind(done);
+        kb.sync();
+        kb.bind(after);
+        // C[row*n + col] = acc
+        kb.imad(13, 5, 12, 4);
+        gen::ptrPlusIdx(kb, 8, 16, 13, 2, 14);
+        kb.stg(8, 0, 7);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x5eed + n_);
+        a_.resize(static_cast<size_t>(n_) * n_);
+        b_.resize(static_cast<size_t>(n_) * n_);
+        for (auto &v : a_)
+            v = rng.nextFloat() - 0.5f;
+        for (auto &v : b_)
+            v = rng.nextFloat() - 0.5f;
+        da_ = upload(dev, a_);
+        db_ = upload(dev, b_);
+        dc_ = dev.malloc(a_.size() * 4);
+        dev.memset(dc_, 0, a_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(da_);
+        args.addU64(db_);
+        args.addU64(dc_);
+        args.addU32(n_);
+        return dev.launch("sgemm", simt::Dim3(n_ / 16, n_ / 16),
+                          simt::Dim3(16, 16), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto out = download<float>(dev, dc_, a_.size());
+        for (uint32_t r = 0; r < n_; ++r) {
+            for (uint32_t c = 0; c < n_; ++c) {
+                float acc = 0.f;
+                for (uint32_t k = 0; k < n_; ++k)
+                    acc += a_[r * n_ + k] * b_[k * n_ + c];
+                float got = out[r * n_ + c];
+                if (std::fabs(got - acc) >
+                    1e-4f + 1e-4f * std::fabs(acc)) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dc_, a_.size());
+    }
+
+  private:
+    uint32_t n_;
+    std::string tag_;
+    std::vector<float> a_, b_;
+    uint64_t da_ = 0, db_ = 0, dc_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSgemm(uint32_t n, const std::string &tag)
+{
+    return std::make_unique<Sgemm>(n, tag);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Sparse matrix-vector multiply workloads:
+ *
+ *  - spmv: Parboil-style CSR, one thread per row. Row-length
+ *    variance drives branch divergence; x-vector gathers and
+ *    unaligned row starts drive address divergence (Figure 7).
+ *
+ *  - miniFE (ELL / CSR): the same 27-point-stencil matrix stored
+ *    two ways. CSR rows start at irregular offsets so a warp's
+ *    lanes touch ~32 unique lines (the paper's "73% of accesses
+ *    fully diverged"); ELL is column-major so lanes read
+ *    consecutive words (Figure 8's contrast).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+/** A CSR float matrix. */
+struct Csr
+{
+    uint32_t rows = 0;
+    std::vector<uint32_t> rowPtr;
+    std::vector<uint32_t> cols;
+    std::vector<float> vals;
+};
+
+/** y = A x on the host. */
+std::vector<float>
+cpuSpmv(const Csr &m, const std::vector<float> &x)
+{
+    std::vector<float> y(m.rows, 0.f);
+    for (uint32_t r = 0; r < m.rows; ++r) {
+        float acc = 0.f;
+        for (uint32_t e = m.rowPtr[r]; e < m.rowPtr[r + 1]; ++e)
+            acc += m.vals[e] * x[m.cols[e]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Csr
+randomCsr(uint32_t rows, uint32_t lo, uint32_t hi, double skew,
+          uint64_t seed)
+{
+    Rng rng(seed);
+    Csr m;
+    m.rows = rows;
+    m.rowPtr.push_back(0);
+    for (uint32_t r = 0; r < rows; ++r) {
+        auto deg = static_cast<uint32_t>(rng.nextRange(lo, hi));
+        if (skew > 0 && rng.nextDouble() < skew)
+            deg *= 8; // A heavy row: drives warp-level imbalance.
+        for (uint32_t d = 0; d < deg; ++d) {
+            m.cols.push_back(
+                static_cast<uint32_t>(rng.nextBelow(rows)));
+            m.vals.push_back(rng.nextFloat() - 0.5f);
+        }
+        m.rowPtr.push_back(static_cast<uint32_t>(m.cols.size()));
+    }
+    return m;
+}
+
+/** 27-point stencil matrix on a grid_dim^3 grid (miniFE-like). */
+Csr
+stencilCsr(uint32_t g, uint64_t seed)
+{
+    Rng rng(seed);
+    Csr m;
+    m.rows = g * g * g;
+    m.rowPtr.push_back(0);
+    for (uint32_t z = 0; z < g; ++z) {
+        for (uint32_t y = 0; y < g; ++y) {
+            for (uint32_t x = 0; x < g; ++x) {
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            int nx = static_cast<int>(x) + dx;
+                            int ny = static_cast<int>(y) + dy;
+                            int nz = static_cast<int>(z) + dz;
+                            if (nx < 0 || ny < 0 || nz < 0 ||
+                                nx >= static_cast<int>(g) ||
+                                ny >= static_cast<int>(g) ||
+                                nz >= static_cast<int>(g)) {
+                                continue;
+                            }
+                            uint32_t col =
+                                (static_cast<uint32_t>(nz) * g +
+                                 static_cast<uint32_t>(ny)) * g +
+                                static_cast<uint32_t>(nx);
+                            bool diag = dx == 0 && dy == 0 && dz == 0;
+                            m.cols.push_back(col);
+                            m.vals.push_back(
+                                diag ? 26.5f
+                                     : -1.f + 0.1f * rng.nextFloat());
+                        }
+                    }
+                }
+                m.rowPtr.push_back(
+                    static_cast<uint32_t>(m.cols.size()));
+            }
+        }
+    }
+    return m;
+}
+
+/**
+ * CSR spmv kernel. Params: rowPtr(0), cols(8), vals(16), x(24),
+ * y(32), rows(40).
+ */
+ir::Kernel
+buildCsrKernel()
+{
+    KernelBuilder kb("spmv_csr");
+    Label oob = kb.newLabel();
+    gen::gid1D(kb, 4, 2, 3);
+    kb.ldc(5, 40);
+    kb.isetp(0, CmpOp::GE, 4, 5);
+    kb.onP(0).bra(oob);
+
+    gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+    kb.ldg(9, 12);      // start
+    kb.ldg(10, 12, 4);  // end
+    kb.fmov32i(7, 0.f); // acc
+    kb.mov(16, 9);      // e
+
+    Label loop = kb.newLabel();
+    Label loop_done = kb.newLabel();
+    Label after = kb.newLabel();
+    kb.ssy(after);
+    kb.bind(loop);
+    kb.isetp(0, CmpOp::GE, 16, 10);
+    kb.onP(0).bra(loop_done);
+    gen::ptrPlusIdx(kb, 12, 8, 16, 2, 3);
+    kb.ldg(14, 12); // col
+    gen::ptrPlusIdx(kb, 12, 16, 16, 2, 3);
+    kb.ldg(15, 12); // val
+    gen::ptrPlusIdx(kb, 12, 24, 14, 2, 3);
+    kb.ldg(18, 12); // x[col]
+    kb.ffma(7, 15, 18, 7);
+    kb.iaddi(16, 16, 1);
+    kb.bra(loop);
+    kb.bind(loop_done);
+    kb.sync();
+    kb.bind(after);
+    gen::ptrPlusIdx(kb, 12, 32, 4, 2, 3);
+    kb.stg(12, 0, 7);
+    kb.exit();
+    kb.bind(oob);
+    kb.exit();
+    return kb.finish();
+}
+
+/**
+ * ELL spmv kernel (branchless body; padding is col 0 / val 0).
+ * Params: ellCols(0), ellVals(8), x(16), y(24), rows(32), K(36).
+ */
+ir::Kernel
+buildEllKernel()
+{
+    KernelBuilder kb("spmv_ell");
+    Label oob = kb.newLabel();
+    gen::gid1D(kb, 4, 2, 3);
+    kb.ldc(5, 32);
+    kb.isetp(0, CmpOp::GE, 4, 5);
+    kb.onP(0).bra(oob);
+
+    kb.ldc(12, 36);      // K
+    kb.fmov32i(7, 0.f);  // acc
+    kb.mov32i(13, 0);    // j
+    // Column-major: entry (j, row) at j*rows + row.
+    gen::ptrPlusIdx(kb, 8, 0, 4, 2, 3);   // &ellCols[row]
+    gen::ptrPlusIdx(kb, 10, 8, 4, 2, 3);  // &ellVals[row]
+    kb.shl(17, 5, 2); // row stride bytes
+
+    Label loop = kb.newLabel();
+    Label loop_done = kb.newLabel();
+    Label after = kb.newLabel();
+    kb.ssy(after);
+    kb.bind(loop);
+    kb.isetp(0, CmpOp::GE, 13, 12);
+    kb.onP(0).bra(loop_done);
+    kb.ldg(14, 8);  // col
+    kb.ldg(15, 10); // val
+    gen::ptrPlusIdx(kb, 18, 16, 14, 2, 3);
+    kb.ldg(20, 18); // x[col]
+    kb.ffma(7, 15, 20, 7);
+    kb.iaddcc(8, 8, 17);
+    kb.iaddx(9, 9, RZ);
+    kb.iaddcc(10, 10, 17);
+    kb.iaddx(11, 11, RZ);
+    kb.iaddi(13, 13, 1);
+    kb.bra(loop);
+    kb.bind(loop_done);
+    kb.sync();
+    kb.bind(after);
+    gen::ptrPlusIdx(kb, 12, 24, 4, 2, 3);
+    kb.stg(12, 0, 7);
+    kb.exit();
+    kb.bind(oob);
+    kb.exit();
+    return kb.finish();
+}
+
+/** Shared CSR-workload implementation. */
+class SpmvBase : public Workload
+{
+  public:
+    SpmvBase(Csr matrix, std::string display, std::string suite)
+        : m_(std::move(matrix)), display_(std::move(display)),
+          suite_(std::move(suite))
+    {
+        Rng rng(0x9a7e);
+        x_.resize(m_.rows);
+        for (auto &v : x_)
+            v = rng.nextFloat() * 2.f - 1.f;
+    }
+
+    std::string name() const override { return display_; }
+    std::string suite() const override { return suite_; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        ir::Module mod;
+        mod.kernels.push_back(buildCsrKernel());
+        dev.loadModule(std::move(mod));
+        drow_ = upload(dev, m_.rowPtr);
+        dcols_ = upload(dev, m_.cols);
+        dvals_ = upload(dev, m_.vals);
+        dx_ = upload(dev, x_);
+        dy_ = dev.malloc(m_.rows * 4);
+        dev.memset(dy_, 0, m_.rows * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(drow_);
+        args.addU64(dcols_);
+        args.addU64(dvals_);
+        args.addU64(dx_);
+        args.addU64(dy_);
+        args.addU32(m_.rows);
+        return dev.launch("spmv_csr",
+                          simt::Dim3((m_.rows + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto y = download<float>(dev, dy_, m_.rows);
+        auto expect = cpuSpmv(m_, x_);
+        for (uint32_t r = 0; r < m_.rows; ++r) {
+            if (std::fabs(y[r] - expect[r]) >
+                1e-3f * (1.f + std::fabs(expect[r]))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dy_, m_.rows);
+    }
+
+  protected:
+    Csr m_;
+    std::string display_;
+    std::string suite_;
+    std::vector<float> x_;
+    uint64_t drow_ = 0, dcols_ = 0, dvals_ = 0, dx_ = 0, dy_ = 0;
+};
+
+/** miniFE with ELL storage. */
+class MiniFeEll : public Workload
+{
+  public:
+    explicit MiniFeEll(uint32_t g)
+        : m_(stencilCsr(g, 0xfe11))
+    {
+        Rng rng(0x9a7e);
+        x_.resize(m_.rows);
+        for (auto &v : x_)
+            v = rng.nextFloat() * 2.f - 1.f;
+        // Convert to column-major ELL with K = 27.
+        k_ = 0;
+        for (uint32_t r = 0; r < m_.rows; ++r)
+            k_ = std::max(k_, m_.rowPtr[r + 1] - m_.rowPtr[r]);
+        ell_cols_.assign(static_cast<size_t>(k_) * m_.rows, 0);
+        ell_vals_.assign(static_cast<size_t>(k_) * m_.rows, 0.f);
+        for (uint32_t r = 0; r < m_.rows; ++r) {
+            uint32_t len = m_.rowPtr[r + 1] - m_.rowPtr[r];
+            for (uint32_t j = 0; j < len; ++j) {
+                ell_cols_[j * m_.rows + r] =
+                    m_.cols[m_.rowPtr[r] + j];
+                ell_vals_[j * m_.rows + r] =
+                    m_.vals[m_.rowPtr[r] + j];
+            }
+        }
+    }
+
+    std::string name() const override { return "miniFE (ELL)"; }
+    std::string suite() const override { return "miniFE"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        ir::Module mod;
+        mod.kernels.push_back(buildEllKernel());
+        dev.loadModule(std::move(mod));
+        dec_ = upload(dev, ell_cols_);
+        dev_vals_ = upload(dev, ell_vals_);
+        dx_ = upload(dev, x_);
+        dy_ = dev.malloc(m_.rows * 4);
+        dev.memset(dy_, 0, m_.rows * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dec_);
+        args.addU64(dev_vals_);
+        args.addU64(dx_);
+        args.addU64(dy_);
+        args.addU32(m_.rows);
+        args.addU32(k_);
+        return dev.launch("spmv_ell",
+                          simt::Dim3((m_.rows + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto y = download<float>(dev, dy_, m_.rows);
+        auto expect = cpuSpmv(m_, x_);
+        for (uint32_t r = 0; r < m_.rows; ++r) {
+            if (std::fabs(y[r] - expect[r]) >
+                1e-2f * (1.f + std::fabs(expect[r]))) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dy_, m_.rows);
+    }
+
+  private:
+    Csr m_;
+    std::vector<float> x_;
+    uint32_t k_ = 0;
+    std::vector<uint32_t> ell_cols_;
+    std::vector<float> ell_vals_;
+    uint64_t dec_ = 0, dev_vals_ = 0, dx_ = 0, dy_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSpmv(SpmvShape shape)
+{
+    switch (shape) {
+      case SpmvShape::Small:
+        return std::make_unique<SpmvBase>(
+            randomCsr(512, 1, 8, 0.0, 0x51), "spmv (small)",
+            "Parboil");
+      case SpmvShape::Medium:
+        return std::make_unique<SpmvBase>(
+            randomCsr(1024, 1, 8, 0.15, 0x52), "spmv (medium)",
+            "Parboil");
+      case SpmvShape::Large:
+        return std::make_unique<SpmvBase>(
+            randomCsr(2048, 1, 12, 0.25, 0x53), "spmv (large)",
+            "Parboil");
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Workload>
+makeMiniFE(bool ell, uint32_t grid_dim)
+{
+    if (ell)
+        return std::make_unique<MiniFeEll>(grid_dim);
+    return std::make_unique<SpmvBase>(stencilCsr(grid_dim, 0xfe11),
+                                      "miniFE (CSR)", "miniFE");
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * srad v1 / v2: 4-neighbor diffusion stencils on a 2D image.
+ *
+ * v1 handles boundaries with explicit branches (rarely divergent —
+ * only warps straddling the image edge split, matching srad_v1's
+ * 0.5% dynamic divergence in Table 1).
+ *
+ * v2 is a different implementation of the same computation whose
+ * update path is guarded by a data-dependent threshold, diverging
+ * frequently (srad_v2's 21% in Table 1).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Srad : public Workload
+{
+  public:
+    Srad(int version, uint32_t log2g)
+        : version_(version), log2g_(log2g), g_(1u << log2g)
+    {}
+
+    std::string
+    name() const override
+    {
+        return version_ == 1 ? "srad_v1" : "srad_v2";
+    }
+
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb(version_ == 1 ? "srad1" : "srad2");
+        // Params: img(0), out(8), n(16), log2g(20), thresh(24 f32).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 16);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        // row = gid >> log2g; col = gid & (g-1). The image side is
+        // baked in as an immediate, as a compiler would.
+        kb.shr(7, 4, static_cast<int64_t>(log2g_)); // row
+        kb.lopi(LogicOp::And, 8, 4, g_ - 1);        // col
+        // center value
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.ldg(20, 12); // c
+
+        auto emitNeighborLoad =
+            [&](RegId dst, RegId coord, int64_t limit_lo,
+                int64_t delta_idx) {
+                // Branch at the boundary: use the center value.
+                // Warps never span rows here, so the row checks are
+                // warp-uniform (srad_v1's near-zero dynamic
+                // divergence despite divergent-looking code).
+                Label use_center = kb.newLabel();
+                Label reconv = kb.newLabel();
+                kb.ssy(reconv);
+                if (limit_lo >= 0) {
+                    kb.isetpi(1, CmpOp::EQ, coord,
+                              limit_lo);
+                } else {
+                    kb.isetpi(1, CmpOp::EQ, coord,
+                              static_cast<int64_t>(g_) - 1);
+                }
+                kb.onP(1).bra(use_center);
+                kb.iaddi(9, 4, delta_idx);
+                gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+                kb.ldg(dst, 12);
+                kb.sync();
+                kb.bind(use_center);
+                kb.mov(dst, 20);
+                kb.sync();
+                kb.bind(reconv);
+            };
+
+        // N and S into R21, R22 (branches, warp-uniform).
+        emitNeighborLoad(21, 7, 0, -static_cast<int64_t>(g_));
+        emitNeighborLoad(22, 7, -1, static_cast<int64_t>(g_));
+
+        if (version_ == 1) {
+            // W and E with clamped indices (branchless): the column
+            // checks would split nearly every warp as plain
+            // branches, so the compiler predicated them away.
+            kb.shl(9, 7, static_cast<int64_t>(log2g_)); // row*g
+            kb.iaddi(10, 8, -1);
+            kb.imnmx(10, 10, RZ, false); // max(col-1, 0)
+            kb.iadd(10, 9, 10);
+            gen::ptrPlusIdx(kb, 12, 0, 10, 2, 3);
+            kb.ldg(23, 12);
+            kb.iaddi(10, 8, 1);
+            kb.mov32i(11, static_cast<int64_t>(g_) - 1);
+            kb.imnmx(10, 10, 11, true); // min(col+1, g-1)
+            kb.iadd(10, 9, 10);
+            gen::ptrPlusIdx(kb, 12, 0, 10, 2, 3);
+            kb.ldg(24, 12);
+            // A rare data-dependent branch: extreme center values
+            // get clamped (the residual 0.5%-style divergence).
+            Label no_clamp = kb.newLabel();
+            Label reconv = kb.newLabel();
+            kb.fmov32i(10, 3.996f);
+            kb.ssy(reconv);
+            kb.fsetp(1, CmpOp::LE, 20, 10);
+            kb.onP(1).bra(no_clamp);
+            kb.fmov32i(20, 3.9f);
+            kb.sync();
+            kb.bind(no_clamp);
+            kb.sync();
+            kb.bind(reconv);
+        } else {
+            // v2 keeps the branchy W/E of the original code.
+            emitNeighborLoad(23, 8, 0, -1);
+            emitNeighborLoad(24, 8, -1, 1);
+        }
+
+        // d = (n + s + w + e) - 4c   (via FFMA with -4)
+        kb.fadd(25, 21, 22);
+        kb.fadd(26, 23, 24);
+        kb.fadd(25, 25, 26);
+        kb.fmov32i(26, -4.f);
+        kb.ffma(25, 20, 26, 25);
+
+        if (version_ == 2) {
+            // Data-dependent update: only cells whose |d| exceeds
+            // the threshold take the slow path.
+            Label cheap = kb.newLabel();
+            Label reconv = kb.newLabel();
+            kb.fmov32i(26, -1.f);
+            kb.fmul(27, 25, 26); // -d
+            kb.fmnmx(27, 25, 27, false); // |d|
+            kb.ldc(28, 24);
+            kb.ssy(reconv);
+            kb.fsetp(1, CmpOp::LT, 27, 28);
+            kb.onP(1).bra(cheap);
+            // Slow path: nonlinear damping.
+            kb.mufu(MufuOp::Rcp, 29, 27);
+            kb.fmul(25, 25, 29);
+            kb.fmul(25, 25, 28);
+            kb.sync();
+            kb.bind(cheap);
+            kb.sync();
+            kb.bind(reconv);
+        }
+
+        // out = c + 0.2 * d
+        kb.fmov32i(26, 0.2f);
+        kb.ffma(27, 25, 26, 20);
+        gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+        kb.stg(12, 0, 27);
+        kb.exit();
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x5bad + static_cast<uint64_t>(version_));
+        img_.resize(static_cast<size_t>(g_) * g_);
+        for (auto &v : img_)
+            v = rng.nextFloat() * 4.f;
+        dimg_ = upload(dev, img_);
+        dout_ = dev.malloc(img_.size() * 4);
+        dev.memset(dout_, 0, img_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dimg_);
+        args.addU64(dout_);
+        args.addU32(g_ * g_);
+        args.addU32(log2g_);
+        args.addF32(thresh_);
+        return dev.launch(version_ == 1 ? "srad1" : "srad2",
+                          simt::Dim3(g_ * g_ / 128), simt::Dim3(128),
+                          args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto out = download<float>(dev, dout_, img_.size());
+        for (uint32_t r = 0; r < g_; ++r) {
+            for (uint32_t c = 0; c < g_; ++c) {
+                float expect = reference(r, c);
+                float got = out[r * g_ + c];
+                if (std::fabs(got - expect) >
+                    1e-3f * (1.f + std::fabs(expect))) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dout_, img_.size());
+    }
+
+  private:
+    float
+    reference(uint32_t r, uint32_t c) const
+    {
+        auto at = [&](uint32_t rr, uint32_t cc) {
+            return img_[rr * g_ + cc];
+        };
+        float center = at(r, c);
+        // Neighbor fallbacks use the raw center (the kernel loads
+        // them before the rare v1 clamp).
+        float n = r == 0 ? center : at(r - 1, c);
+        float s = r == g_ - 1 ? center : at(r + 1, c);
+        float w = c == 0 ? center : at(r, c - 1);
+        float e = c == g_ - 1 ? center : at(r, c + 1);
+        if (version_ == 1 && center > 3.996f)
+            center = 3.9f;
+        float d = (n + s) + (w + e) - 4.f * center;
+        if (version_ == 2) {
+            float ad = std::fabs(d);
+            if (ad >= thresh_)
+                d = d * (1.0f / ad) * thresh_;
+        }
+        return center + 0.2f * d;
+    }
+
+    int version_;
+    uint32_t log2g_, g_;
+    float thresh_ = 1.5f;
+    std::vector<float> img_;
+    uint64_t dimg_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSrad(int version, uint32_t grid_log2)
+{
+    return std::make_unique<Srad>(version, grid_log2);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * stencil: Parboil-style 3D 7-point Jacobi sweep. Interior cells
+ * apply the stencil; boundary cells copy through — the boundary
+ * check is the only branch, warp-uniform for all but the edge
+ * warps (a low-divergence, bandwidth-bound Table 2/3 subject).
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Stencil : public Workload
+{
+  public:
+    explicit Stencil(uint32_t log2g) : log2g_(log2g), g_(1u << log2g)
+    {}
+
+    std::string name() const override { return "stencil"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("stencil7");
+        // Params: in(0), out(8), n(16).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 16);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        // x = gid & (g-1); y = (gid >> log2g) & (g-1); z = gid >> 2*log2g
+        kb.lopi(LogicOp::And, 6, 4, g_ - 1);
+        kb.shr(7, 4, static_cast<int64_t>(log2g_));
+        kb.lopi(LogicOp::And, 7, 7, g_ - 1);
+        kb.shr(10, 4, static_cast<int64_t>(2 * log2g_));
+
+        gen::ptrPlusIdx(kb, 12, 0, 4, 2, 3);
+        kb.ldg(20, 12); // center
+
+        // Interior test: all coords in [1, g-2].
+        kb.isetpi(1, CmpOp::GE, 6, 1);
+        kb.isetpi(2, CmpOp::LE, 6, static_cast<int64_t>(g_) - 2);
+        kb.psetp(1, LogicOp::And, 1, false, 2, false);
+        kb.isetpi(2, CmpOp::GE, 7, 1);
+        kb.psetp(1, LogicOp::And, 1, false, 2, false);
+        kb.isetpi(2, CmpOp::LE, 7, static_cast<int64_t>(g_) - 2);
+        kb.psetp(1, LogicOp::And, 1, false, 2, false);
+        kb.isetpi(2, CmpOp::GE, 10, 1);
+        kb.psetp(1, LogicOp::And, 1, false, 2, false);
+        kb.isetpi(2, CmpOp::LE, 10, static_cast<int64_t>(g_) - 2);
+        kb.psetp(1, LogicOp::And, 1, false, 2, false);
+
+        Label boundary = kb.newLabel();
+        Label reconv = kb.newLabel();
+        kb.mov(21, 20); // result defaults to the center copy
+        kb.ssy(reconv);
+        kb.onNotP(1).bra(boundary);
+        // Interior: +-1 in x, +-g in y, +-g^2 in z.
+        kb.fmov32i(22, 0.f);
+        for (int64_t d : {int64_t(1), -int64_t(1),
+                          int64_t(g_), -int64_t(g_),
+                          int64_t(g_) * g_, -int64_t(g_) * g_}) {
+            kb.iaddi(9, 4, d);
+            gen::ptrPlusIdx(kb, 12, 0, 9, 2, 3);
+            kb.ldg(23, 12);
+            kb.fadd(22, 22, 23);
+        }
+        kb.fmov32i(23, 1.f / 6.f);
+        kb.fmov32i(24, -0.9f);
+        kb.fmul(22, 22, 23);
+        kb.ffma(21, 20, 24, 22); // 1/6 sum - 0.9 c
+        kb.sync();
+        kb.bind(boundary);
+        kb.sync();
+        kb.bind(reconv);
+        gen::ptrPlusIdx(kb, 12, 8, 4, 2, 3);
+        kb.stg(12, 0, 21);
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x57e4);
+        in_.resize(static_cast<size_t>(g_) * g_ * g_);
+        for (auto &v : in_)
+            v = rng.nextFloat() * 2.f;
+        din_ = upload(dev, in_);
+        dout_ = dev.malloc(in_.size() * 4);
+        dev.memset(dout_, 0, in_.size() * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(din_);
+        args.addU64(dout_);
+        args.addU32(static_cast<uint32_t>(in_.size()));
+        return dev.launch(
+            "stencil7",
+            simt::Dim3(static_cast<uint32_t>(in_.size()) / 128),
+            simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto out = download<float>(dev, dout_, in_.size());
+        for (uint32_t z = 0; z < g_; ++z) {
+            for (uint32_t y = 0; y < g_; ++y) {
+                for (uint32_t x = 0; x < g_; ++x) {
+                    size_t i = (static_cast<size_t>(z) * g_ + y) * g_ + x;
+                    float expect;
+                    bool interior = x >= 1 && x <= g_ - 2 && y >= 1 &&
+                                    y <= g_ - 2 && z >= 1 && z <= g_ - 2;
+                    if (!interior) {
+                        expect = in_[i];
+                    } else {
+                        float sum = 0.f;
+                        sum += in_[i + 1];
+                        sum += in_[i - 1];
+                        sum += in_[i + g_];
+                        sum += in_[i - g_];
+                        sum += in_[i + static_cast<size_t>(g_) * g_];
+                        sum += in_[i - static_cast<size_t>(g_) * g_];
+                        expect = in_[i] * -0.9f + sum * (1.f / 6.f);
+                    }
+                    if (std::fabs(out[i] - expect) >
+                        1e-3f * (1.f + std::fabs(expect))) {
+                        return false;
+                    }
+                }
+            }
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceFloats(dev, dout_, in_.size());
+    }
+
+  private:
+    uint32_t log2g_, g_;
+    std::vector<float> in_;
+    uint64_t din_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStencil(uint32_t grid_log2)
+{
+    return std::make_unique<Stencil>(grid_log2);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * streamcluster-like: nearest-center assignment over a uniform
+ * center loop, with branchless (select-based) minimum tracking.
+ * Table 1 shows streamcluster with zero divergent branches — this
+ * kernel's only branches are the warp-uniform loop back-edge and
+ * the bounds check.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+constexpr uint32_t kDims = 4;
+
+class Streamcluster : public Workload
+{
+  public:
+    Streamcluster(uint32_t points, uint32_t centers)
+        : n_(points), k_(centers)
+    {}
+
+    std::string name() const override { return "streamcluster"; }
+    std::string suite() const override { return "Rodinia"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("assign");
+        // Params: points(0), centers(8), assign(16), dist(24),
+        //         n(32), k(36).
+        Label out_of_range = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 32);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(out_of_range);
+
+        // Load this point's 4 dims into R20..R23.
+        gen::ptrPlusIdx(kb, 8, 0, 4, 4, 3);
+        kb.ldg(20, 8, 0, 16);
+
+        kb.ldc(12, 36);          // k
+        kb.mov32i(13, 0);        // j
+        kb.fmov32i(14, 1e30f);   // best dist
+        kb.mov32i(15, 0);        // best index
+        kb.ldc(8, 8, 8);         // centers base pair (R8:R9)
+
+        Label loop = kb.newLabel();
+        Label after = kb.newLabel();
+        Label done = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(loop);
+        kb.isetp(0, CmpOp::GE, 13, 12);
+        kb.onP(0).bra(done);
+        // Load center j dims into R24..R27.
+        kb.ldg(24, 8, 0, 16);
+        // dist = sum (p-c)^2: via (p-c) with FADD of negated? We
+        // lack FSUB/FNEG; compute d = p + (-1)*c with FFMA.
+        kb.fmov32i(16, -1.f);
+        kb.fmov32i(17, 0.f); // acc
+        for (int d = 0; d < 4; ++d) {
+            kb.ffma(18, 24 + d, 16, static_cast<RegId>(20 + d)); // p-c
+            kb.ffma(17, 18, 18, 17);
+        }
+        // Branchless min tracking.
+        kb.fsetp(1, CmpOp::LT, 17, 14);
+        kb.sel(15, 13, 15, 1);
+        kb.fmnmx(14, 17, 14, true);
+        // Advance.
+        kb.iaddcci(8, 8, kDims * 4);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(loop);
+        kb.bind(done);
+        kb.sync();
+        kb.bind(after);
+        gen::ptrPlusIdx(kb, 8, 16, 4, 2, 3);
+        kb.stg(8, 0, 15);
+        gen::ptrPlusIdx(kb, 8, 24, 4, 2, 3);
+        kb.stg(8, 0, 14);
+        kb.exit();
+        kb.bind(out_of_range);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0xc105);
+        points_.resize(static_cast<size_t>(n_) * kDims);
+        centers_.resize(static_cast<size_t>(k_) * kDims);
+        for (auto &v : points_)
+            v = rng.nextFloat() * 10.f;
+        for (auto &v : centers_)
+            v = rng.nextFloat() * 10.f;
+        dpoints_ = upload(dev, points_);
+        dcenters_ = upload(dev, centers_);
+        dassign_ = dev.malloc(n_ * 4);
+        ddist_ = dev.malloc(n_ * 4);
+        dev.memset(dassign_, 0xff, n_ * 4);
+        dev.memset(ddist_, 0, n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(dpoints_);
+        args.addU64(dcenters_);
+        args.addU64(dassign_);
+        args.addU64(ddist_);
+        args.addU32(n_);
+        args.addU32(k_);
+        return dev.launch("assign", simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto assign = download<uint32_t>(dev, dassign_, n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            float best = 1e30f;
+            uint32_t best_j = 0;
+            for (uint32_t j = 0; j < k_; ++j) {
+                float acc = 0.f;
+                for (uint32_t d = 0; d < kDims; ++d) {
+                    float diff = points_[i * kDims + d] -
+                                 centers_[j * kDims + d];
+                    acc += diff * diff;
+                }
+                if (acc < best) {
+                    best = acc;
+                    best_j = j;
+                }
+            }
+            if (assign[i] != best_j)
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashCombine(hashDeviceBuffer(dev, dassign_, n_ * 4),
+                           hashDeviceFloats(dev, ddist_, n_));
+    }
+
+  private:
+    uint32_t n_, k_;
+    std::vector<float> points_, centers_;
+    uint64_t dpoints_ = 0, dcenters_ = 0, dassign_ = 0, ddist_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStreamcluster(uint32_t points, uint32_t centers)
+{
+    return std::make_unique<Streamcluster>(points, centers);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,145 @@
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+namespace {
+
+template <typename F>
+SuiteEntry
+entry(std::string name, std::string suite, F f)
+{
+    return SuiteEntry{std::move(name), std::move(suite), f};
+}
+
+} // namespace
+
+std::vector<SuiteEntry>
+fullSuite()
+{
+    return {
+        entry("vecadd", "Quickstart", [] { return makeVecAdd(4096); }),
+        entry("sgemm (small)", "Parboil",
+              [] { return makeSgemm(16, "small"); }),
+        entry("sgemm (medium)", "Parboil",
+              [] { return makeSgemm(32, "medium"); }),
+        entry("bfs (1M)", "Parboil",
+              [] { return makeBfsParboil(GraphKind::Uniform); }),
+        entry("bfs (NY)", "Parboil",
+              [] { return makeBfsParboil(GraphKind::RoadNY); }),
+        entry("bfs (SF)", "Parboil",
+              [] { return makeBfsParboil(GraphKind::RoadSF); }),
+        entry("bfs (UT)", "Parboil",
+              [] { return makeBfsParboil(GraphKind::RoadUT); }),
+        entry("spmv (small)", "Parboil",
+              [] { return makeSpmv(SpmvShape::Small); }),
+        entry("spmv (medium)", "Parboil",
+              [] { return makeSpmv(SpmvShape::Medium); }),
+        entry("spmv (large)", "Parboil",
+              [] { return makeSpmv(SpmvShape::Large); }),
+        entry("tpacf (small)", "Parboil",
+              [] { return makeTpacf(256, 16); }),
+        entry("histo", "Parboil", [] { return makeHisto(4096, 64); }),
+        entry("mri-q", "Parboil", [] { return makeMriq(512, 64); }),
+        entry("stencil", "Parboil", [] { return makeStencil(4); }),
+        entry("sad", "Parboil", [] { return makeSad(1024); }),
+        entry("lbm", "Parboil", [] { return makeLbm(5); }),
+        entry("cutcp", "Parboil", [] { return makeCutcp(5, 64); }),
+        entry("bfs", "Rodinia", [] { return makeBfsRodinia(2048); }),
+        entry("gaussian", "Rodinia", [] { return makeGaussian(32); }),
+        entry("heartwall", "Rodinia",
+              [] { return makeHeartwall(512, 64); }),
+        entry("srad_v1", "Rodinia", [] { return makeSrad(1); }),
+        entry("srad_v2", "Rodinia", [] { return makeSrad(2); }),
+        entry("streamcluster", "Rodinia",
+              [] { return makeStreamcluster(2048, 8); }),
+        entry("pathfinder", "Rodinia",
+              [] { return makePathfinder(1024, 64); }),
+        entry("nw", "Rodinia", [] { return makeNw(48); }),
+        entry("lavaMD", "Rodinia", [] { return makeLavamd(16, 64); }),
+        entry("kmeans", "Rodinia",
+              [] { return makeKmeans(1024, 8, 3); }),
+        entry("backprop", "Rodinia",
+              [] { return makeBackprop(256, 512); }),
+        entry("hotspot", "Rodinia", [] { return makeHotspot(6, 6); }),
+        entry("lud", "Rodinia", [] { return makeLud(); }),
+        entry("nn", "Rodinia", [] { return makeNn(2048); }),
+        entry("b+tree", "Rodinia", [] { return makeBTree(4, 512); }),
+        entry("miniFE (ELL)", "miniFE",
+              [] { return makeMiniFE(true); }),
+        entry("miniFE (CSR)", "miniFE",
+              [] { return makeMiniFE(false); }),
+    };
+}
+
+namespace {
+
+std::vector<SuiteEntry>
+pick(const std::vector<std::string> &names)
+{
+    std::vector<SuiteEntry> out;
+    auto all = fullSuite();
+    for (const auto &name : names) {
+        for (auto &e : all) {
+            if (e.name == name) {
+                out.push_back(e);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SuiteEntry>
+table1Suite()
+{
+    // The paper's Table 1 rows, in order.
+    return pick({
+        "bfs (1M)", "bfs (NY)", "bfs (SF)", "bfs (UT)",
+        "sgemm (small)", "sgemm (medium)", "tpacf (small)",
+        "bfs", "gaussian", "heartwall", "srad_v1", "srad_v2",
+        "streamcluster",
+    });
+}
+
+std::vector<SuiteEntry>
+fig7Suite()
+{
+    // Figure 7's applications; histo stands in for mri-gridding
+    // (both are data-dependent scatter workloads; see DESIGN.md).
+    return pick({
+        "bfs (NY)", "bfs (SF)", "bfs (UT)",
+        "spmv (small)", "spmv (medium)", "spmv (large)",
+        "bfs", "heartwall", "histo",
+        "miniFE (ELL)", "miniFE (CSR)",
+    });
+}
+
+std::vector<SuiteEntry>
+fig10Suite()
+{
+    // Error injection runs each application ~1000 times, so the
+    // datasets are scaled down (the paper makes the same kind of
+    // concession by capping injections at 1000 per app).
+    return {
+        entry("sgemm", "Parboil", [] { return makeSgemm(16, "small"); }),
+        entry("bfs", "Parboil",
+              [] { return makeBfsParboil(GraphKind::RoadUT); }),
+        entry("spmv", "Parboil",
+              [] { return makeSpmv(SpmvShape::Small); }),
+        entry("tpacf", "Parboil", [] { return makeTpacf(128, 16); }),
+        entry("gaussian", "Rodinia", [] { return makeGaussian(16); }),
+        entry("heartwall", "Rodinia",
+              [] { return makeHeartwall(256, 32); }),
+        entry("srad_v1", "Rodinia", [] { return makeSrad(1, 5); }),
+        entry("pathfinder", "Rodinia",
+              [] { return makePathfinder(512, 32); }),
+        entry("kmeans", "Rodinia",
+              [] { return makeKmeans(512, 8, 2); }),
+        entry("backprop", "Rodinia",
+              [] { return makeBackprop(128, 256); }),
+    };
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The workload registry: factories for every benchmark application
+ * standing in for the paper's Parboil / Rodinia / miniFE programs,
+ * and named suites matching each case study's benchmark list.
+ */
+
+#ifndef SASSI_WORKLOADS_SUITE_H
+#define SASSI_WORKLOADS_SUITE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace sassi::workloads {
+
+/// @name Individual factories
+/// @{
+
+std::unique_ptr<Workload> makeVecAdd(uint32_t n = 4096);
+
+/** Parboil-style sgemm (dense matmul, n multiple of 16). */
+std::unique_ptr<Workload> makeSgemm(uint32_t n, const std::string &tag);
+
+/** streamcluster-like: branchless nearest-center assignment. */
+std::unique_ptr<Workload> makeStreamcluster(uint32_t points,
+                                            uint32_t centers);
+
+/** mri-q-like: trig-heavy convergent FP kernel. */
+std::unique_ptr<Workload> makeMriq(uint32_t samples, uint32_t terms);
+
+/** Graph flavors for the BFS workloads. */
+enum class GraphKind {
+    Uniform, //!< Random uniform-degree graph ("1M"-like).
+    RoadNY,  //!< Grid + few shortcuts ("NY"-like).
+    RoadSF,  //!< Sparser grid, different seed ("SF"-like).
+    RoadUT,  //!< Small grid, more shortcuts ("UT"-like).
+};
+
+/** Parboil-style worklist BFS with atomic frontier queues. */
+std::unique_ptr<Workload> makeBfsParboil(GraphKind kind);
+
+/** Rodinia-style mask BFS (two kernels per level). */
+std::unique_ptr<Workload> makeBfsRodinia(uint32_t nodes);
+
+/** Sparse-matrix shapes for spmv. */
+enum class SpmvShape {
+    Small,  //!< Few rows, mild length variance.
+    Medium, //!< Skewed row lengths.
+    Large,  //!< More rows, heavier skew.
+};
+
+/** Parboil-style CSR spmv, one thread per row. */
+std::unique_ptr<Workload> makeSpmv(SpmvShape shape);
+
+/** miniFE-like 27-point stencil matvec; ELL or CSR storage. */
+std::unique_ptr<Workload> makeMiniFE(bool ell, uint32_t grid_dim = 10);
+
+/** tpacf-like: histogram binning with data-dependent search. */
+std::unique_ptr<Workload> makeTpacf(uint32_t points, uint32_t bins);
+
+/** heartwall-like: data-dependent per-lane branching every step. */
+std::unique_ptr<Workload> makeHeartwall(uint32_t threads,
+                                        uint32_t steps);
+
+/** srad v1 (branchy boundaries) / v2 (data-dependent threshold). */
+std::unique_ptr<Workload> makeSrad(int version, uint32_t grid_log2 = 6);
+
+/** Rodinia-style gaussian elimination (two kernels per step). */
+std::unique_ptr<Workload> makeGaussian(uint32_t n);
+
+/** Rodinia-style pathfinder dynamic programming. */
+std::unique_ptr<Workload> makePathfinder(uint32_t cols, uint32_t rows);
+
+/** Parboil-style histogramming with atomics. */
+std::unique_ptr<Workload> makeHisto(uint32_t n, uint32_t bins);
+
+/** Needleman-Wunsch-style wavefront DP (many small launches). */
+std::unique_ptr<Workload> makeNw(uint32_t n);
+
+/** lavaMD-like particle interactions (FP heavy). */
+std::unique_ptr<Workload> makeLavamd(uint32_t boxes,
+                                     uint32_t per_box);
+
+/** kmeans assignment step. */
+std::unique_ptr<Workload> makeKmeans(uint32_t points, uint32_t k,
+                                     uint32_t iters);
+
+/** backprop-like layer forward pass. */
+std::unique_ptr<Workload> makeBackprop(uint32_t in_n, uint32_t out_n);
+
+/** Rodinia-style hotspot thermal stencil (iterated, convergent). */
+std::unique_ptr<Workload> makeHotspot(uint32_t grid_log2,
+                                      uint32_t steps);
+
+/** Rodinia-style shared-memory blocked LU decomposition. */
+std::unique_ptr<Workload> makeLud();
+
+/** Rodinia-style nearest neighbor (tiny kernel, host-bound). */
+std::unique_ptr<Workload> makeNn(uint32_t records);
+
+/** Rodinia-style b+tree batched lookups (divergent, scalar-rich). */
+std::unique_ptr<Workload> makeBTree(uint32_t depth, uint32_t queries);
+
+/** Parboil-style 3D 7-point Jacobi stencil. */
+std::unique_ptr<Workload> makeStencil(uint32_t grid_log2);
+
+/** Parboil-style sum-of-absolute-differences block matching. */
+std::unique_ptr<Workload> makeSad(uint32_t blocks);
+
+/** Parboil-style lattice-Boltzmann step (D2Q5 reduction). */
+std::unique_ptr<Workload> makeLbm(uint32_t grid_log2);
+
+/** Parboil-style cutoff Coulomb potential. */
+std::unique_ptr<Workload> makeCutcp(uint32_t grid_log2,
+                                    uint32_t atoms);
+
+/// @}
+
+/** A named workload factory. */
+struct SuiteEntry
+{
+    std::string name;  //!< Display name (dataset included).
+    std::string suite; //!< Parboil / Rodinia / miniFE.
+    std::function<std::unique_ptr<Workload>()> make;
+};
+
+/** Everything, for broad sweeps (Tables 2 and 3). */
+std::vector<SuiteEntry> fullSuite();
+
+/** The Table 1 benchmark list (branch divergence). */
+std::vector<SuiteEntry> table1Suite();
+
+/** The Figure 7 benchmark list (memory divergence). */
+std::vector<SuiteEntry> fig7Suite();
+
+/** The Figure 10 benchmark list (error injection). */
+std::vector<SuiteEntry> fig10Suite();
+
+} // namespace sassi::workloads
+
+#endif // SASSI_WORKLOADS_SUITE_H

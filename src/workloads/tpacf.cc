@@ -1,0 +1,180 @@
+/**
+ * @file
+ * tpacf-like: two-point angular correlation. Each thread pairs its
+ * point against every other point, computes a dot product, and
+ * walks a bin-boundary search loop whose trip count depends on the
+ * data — the classic source of tpacf's high dynamic branch
+ * divergence (25% in the paper's Table 1) — then histograms with
+ * global atomics.
+ */
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workloads/common.h"
+#include "workloads/suite.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class Tpacf : public Workload
+{
+  public:
+    Tpacf(uint32_t points, uint32_t bins) : n_(points), bins_(bins) {}
+
+    std::string name() const override { return "tpacf (small)"; }
+    std::string suite() const override { return "Parboil"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("tpacf");
+        // Params: pts(0), binMax(8), hist(16), n(24), bins(28).
+        Label oob = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(oob);
+
+        // My point (3 floats) into R20..R22.
+        kb.imuli(6, 4, 12);
+        gen::ptrPlusIdx(kb, 8, 0, 6, 0, 3);
+        kb.ldg(20, 8);
+        kb.ldg(21, 8, 4);
+        kb.ldg(22, 8, 8);
+
+        kb.mov32i(13, 0); // j
+        kb.ldc(8, 0, 8);  // pts base
+        Label jloop = kb.newLabel();
+        Label jdone = kb.newLabel();
+        Label jafter = kb.newLabel();
+        kb.ssy(jafter);
+        kb.bind(jloop);
+        kb.isetp(0, CmpOp::GE, 13, 5);
+        kb.onP(0).bra(jdone);
+        // dot = p . q
+        kb.ldg(14, 8);
+        kb.ldg(15, 8, 4);
+        kb.ldg(16, 8, 8);
+        kb.fmul(17, 14, 20);
+        kb.ffma(17, 15, 21, 17);
+        kb.ffma(17, 16, 22, 17);
+
+        // Walk bin boundaries until dot >= binMax[bin]: the trip
+        // count is data dependent, so warps diverge here.
+        kb.mov32i(18, 0); // bin
+        kb.ldc(10, 8, 8); // binMax base
+        kb.ldc(12, 28);   // bins
+        Label bloop = kb.newLabel();
+        Label bdone = kb.newLabel();
+        Label bafter = kb.newLabel();
+        kb.ssy(bafter);
+        kb.bind(bloop);
+        kb.iaddi(19, 12, -1);
+        kb.isetp(1, CmpOp::GE, 18, 19);
+        kb.onP(1).bra(bdone);
+        kb.ldg(19, 10); // binMax[bin]
+        kb.fsetp(1, CmpOp::LT, 17, 19);
+        kb.onP(1).bra(bdone); // Stop at the first bin with dot < max.
+        kb.iaddcci(10, 10, 4);
+        kb.iaddxi(11, 11, 0);
+        kb.iaddi(18, 18, 1);
+        kb.bra(bloop);
+        kb.bind(bdone);
+        kb.sync();
+        kb.bind(bafter);
+
+        // hist[bin] += 1 (atomic).
+        gen::ptrPlusIdx(kb, 10, 16, 18, 2, 3);
+        kb.mov32i(19, 1);
+        kb.red(AtomOp::Add, 10, 19);
+
+        kb.iaddcci(8, 8, 12);
+        kb.iaddxi(9, 9, 0);
+        kb.iaddi(13, 13, 1);
+        kb.bra(jloop);
+        kb.bind(jdone);
+        kb.sync();
+        kb.bind(jafter);
+        kb.exit();
+        kb.bind(oob);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        Rng rng(0x7acf);
+        pts_.resize(static_cast<size_t>(n_) * 3);
+        for (auto &v : pts_)
+            v = rng.nextFloat() * 2.f - 1.f;
+        // Bin boundaries concentrated so trip counts vary.
+        bin_max_.resize(bins_);
+        for (uint32_t b = 0; b < bins_; ++b)
+            bin_max_[b] = -1.f + 2.2f * static_cast<float>(b + 1) /
+                                     static_cast<float>(bins_);
+        dpts_ = upload(dev, pts_);
+        dbin_ = upload(dev, bin_max_);
+        dhist_ = dev.malloc(bins_ * 4);
+        dev.memset(dhist_, 0, bins_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        dev.memset(dhist_, 0, bins_ * 4);
+        simt::KernelArgs args;
+        args.addU64(dpts_);
+        args.addU64(dbin_);
+        args.addU64(dhist_);
+        args.addU32(n_);
+        args.addU32(bins_);
+        return dev.launch("tpacf", simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto hist = download<uint32_t>(dev, dhist_, bins_);
+        std::vector<uint32_t> expect(bins_, 0);
+        for (uint32_t i = 0; i < n_; ++i) {
+            for (uint32_t j = 0; j < n_; ++j) {
+                float dot = 0.f;
+                for (int d = 0; d < 3; ++d)
+                    dot += pts_[i * 3 + d] * pts_[j * 3 + d];
+                uint32_t bin = 0;
+                while (bin < bins_ - 1 && dot >= bin_max_[bin])
+                    ++bin;
+                ++expect[bin];
+            }
+        }
+        return hist == expect;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dhist_, bins_ * 4);
+    }
+
+  private:
+    uint32_t n_, bins_;
+    std::vector<float> pts_, bin_max_;
+    uint64_t dpts_ = 0, dbin_ = 0, dhist_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTpacf(uint32_t points, uint32_t bins)
+{
+    return std::make_unique<Tpacf>(points, bins);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * vecadd: the quickstart workload. One thread per element,
+ * fully convergent, perfectly coalesced.
+ */
+
+#include "workloads/suite.h"
+
+#include "workloads/common.h"
+
+namespace sassi::workloads {
+
+using namespace sass;
+using ir::KernelBuilder;
+using ir::Label;
+
+namespace {
+
+class VecAdd : public Workload
+{
+  public:
+    explicit VecAdd(uint32_t n) : n_(n) {}
+
+    std::string name() const override { return "vecadd"; }
+    std::string suite() const override { return "Quickstart"; }
+
+    void
+    setup(simt::Device &dev) override
+    {
+        KernelBuilder kb("vecadd");
+        // Params: a(0), b(8), out(16), n(24).
+        Label done = kb.newLabel();
+        gen::gid1D(kb, 4, 2, 3);
+        kb.ldc(5, 24);
+        kb.isetp(0, CmpOp::GE, 4, 5);
+        kb.onP(0).bra(done);
+        gen::ptrPlusIdx(kb, 8, 0, 4, 2, 3);
+        gen::ptrPlusIdx(kb, 10, 8, 4, 2, 3);
+        gen::ptrPlusIdx(kb, 12, 16, 4, 2, 3);
+        kb.ldg(14, 8);
+        kb.ldg(15, 10);
+        kb.iadd(14, 14, 15);
+        kb.stg(12, 0, 14);
+        kb.bind(done);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        dev.loadModule(std::move(mod));
+
+        a_.resize(n_);
+        b_.resize(n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            a_[i] = i * 3 + 17;
+            b_[i] = 0x10000u - i;
+        }
+        da_ = upload(dev, a_);
+        db_ = upload(dev, b_);
+        dout_ = dev.malloc(n_ * 4);
+        dev.memset(dout_, 0, n_ * 4);
+    }
+
+    simt::LaunchResult
+    run(simt::Device &dev) override
+    {
+        simt::KernelArgs args;
+        args.addU64(da_);
+        args.addU64(db_);
+        args.addU64(dout_);
+        args.addU32(n_);
+        return dev.launch("vecadd", simt::Dim3((n_ + 127) / 128),
+                          simt::Dim3(128), args, launchOptions);
+    }
+
+    bool
+    verify(simt::Device &dev) override
+    {
+        auto out = download<uint32_t>(dev, dout_, n_);
+        for (uint32_t i = 0; i < n_; ++i) {
+            if (out[i] != a_[i] + b_[i])
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t
+    outputHash(simt::Device &dev) override
+    {
+        return hashDeviceBuffer(dev, dout_, n_ * 4);
+    }
+
+  private:
+    uint32_t n_;
+    std::vector<uint32_t> a_, b_;
+    uint64_t da_ = 0, db_ = 0, dout_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVecAdd(uint32_t n)
+{
+    return std::make_unique<VecAdd>(n);
+}
+
+} // namespace sassi::workloads

@@ -1,0 +1,51 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace sassi::workloads {
+
+uint64_t
+hashDeviceBuffer(const simt::Device &dev, uint64_t addr, size_t bytes)
+{
+    std::vector<uint8_t> buf(bytes);
+    dev.memcpyDtoH(buf.data(), addr, bytes);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : buf) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+hashDeviceFloats(const simt::Device &dev, uint64_t addr, size_t count)
+{
+    std::vector<float> buf(count);
+    dev.memcpyDtoH(buf.data(), addr, count * sizeof(float));
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (float f : buf) {
+        int64_t q;
+        if (!std::isfinite(f)) {
+            q = std::isnan(f) ? INT64_MIN : INT64_MAX;
+        } else if (f == 0.f || std::fabs(f) < 1e-30f) {
+            q = 0;
+        } else {
+            // Keep ~4 significant decimal digits, like a printed
+            // output file compared with relative tolerance.
+            int exp10 = static_cast<int>(
+                std::floor(std::log10(std::fabs(f))));
+            double scale = std::pow(10.0, exp10 - 3);
+            q = static_cast<int64_t>(std::llround(f / scale));
+            q = q * 64 + exp10;
+        }
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<uint8_t>(q >> (8 * i));
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+} // namespace sassi::workloads

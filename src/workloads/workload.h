@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The benchmark-application interface.
+ *
+ * Workloads stand in for the Parboil / Rodinia / miniFE applications
+ * the paper evaluates (§4): each builds its kernels through the
+ * backend-compiler DSL, prepares inputs, launches (possibly many)
+ * kernels, and can verify its outputs against a host reference —
+ * which is also how the error-injection study (§8) detects silent
+ * data corruption.
+ */
+
+#ifndef SASSI_WORKLOADS_WORKLOAD_H
+#define SASSI_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simt/device.h"
+
+namespace sassi::workloads {
+
+/** One benchmark application. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Display name, dataset included (e.g.\ "bfs (UT)"). */
+    virtual std::string name() const = 0;
+
+    /** Which suite the paper attributes it to. */
+    virtual std::string suite() const { return "Synthetic"; }
+
+    /**
+     * Build the module, load it into the device, and stage inputs.
+     * Called exactly once per device, before any instrumentation.
+     */
+    virtual void setup(simt::Device &dev) = 0;
+
+    /**
+     * Launch all kernels of the application. Aborts at the first
+     * faulting launch and returns its result; otherwise returns the
+     * last launch's result (with the device accumulating totals).
+     */
+    virtual simt::LaunchResult run(simt::Device &dev) = 0;
+
+    /** Compare device outputs against the host reference. */
+    virtual bool verify(simt::Device &dev) = 0;
+
+    /** Hash of the output buffers (SDC detection, §8). */
+    virtual uint64_t outputHash(simt::Device &dev) = 0;
+
+    /** Launch options every launch should use (watchdog etc.). */
+    simt::LaunchOptions launchOptions;
+};
+
+/** Factory signature used by the suite registry. */
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+/** A named factory in the registry. */
+struct WorkloadEntry
+{
+    std::string name;
+    std::unique_ptr<Workload> (*make)();
+};
+
+/** FNV-1a over a device buffer (output hashing). */
+uint64_t hashDeviceBuffer(const simt::Device &dev, uint64_t addr,
+                          size_t bytes);
+
+/**
+ * Hash a float buffer quantized to ~4 significant digits. This is
+ * how SDCs are detected for floating-point outputs: the paper
+ * diffs program output *files*, and the Parboil/Rodinia comparison
+ * tools accept small relative error, so low-mantissa corruption
+ * does not count as an SDC.
+ */
+uint64_t hashDeviceFloats(const simt::Device &dev, uint64_t addr,
+                          size_t count);
+
+/** Combine hashes. */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+} // namespace sassi::workloads
+
+#endif // SASSI_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Pins the structure of the injected ABI-call sequence to the
+ * paper's Figure 2: frame allocation, liveness-driven spills,
+ * predicate/CC saves, parameter materialization (including the
+ * IADD.CC/IADD.X address recomputation and the STL.64 address
+ * store), generic pointer setup, JCAL, and the restore epilogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sassi.h"
+#include "sassir/builder.h"
+#include "simt/device.h"
+
+using namespace sassi;
+using namespace sassi::sass;
+using namespace sassi::simt;
+using sassi::ir::KernelBuilder;
+
+namespace {
+
+/** The Figure 2 scenario: a guarded store with live R0, R10, R11. */
+ir::Module
+figure2Module()
+{
+    KernelBuilder kb("vadd");
+    kb.s2r(0, SpecialReg::TidX);    // R0 live across the store
+    kb.ldc(10, 0, 8);               // R10:R11 = pointer (live)
+    kb.isetpi(0, CmpOp::LT, 0, 16);
+    kb.onP(0).st(MemSpace::Generic, 10, 0, 0); // @P0 ST.E [R10], R0
+    kb.stg(10, 4, 0);               // keeps R0/R10/R11 live after
+    kb.exit();
+    ir::Module mod;
+    mod.kernels.push_back(kb.finish());
+    return mod;
+}
+
+TEST(Figure2, InjectedSequenceMatchesThePaper)
+{
+    Device dev;
+    dev.loadModule(figure2Module());
+    core::SassiRuntime rt(dev);
+    core::InstrumentOptions opts;
+    opts.beforeMem = true;
+    opts.memoryInfo = true;
+    rt.instrument(opts);
+
+    // Find the guarded generic store and walk backwards/forwards.
+    const auto &code = dev.module().kernels[0].code;
+    size_t store_idx = SIZE_MAX;
+    for (size_t i = 0; i < code.size(); ++i) {
+        if (!code[i].synthetic && code[i].op == Opcode::ST) {
+            store_idx = i;
+            break;
+        }
+    }
+    ASSERT_NE(store_idx, SIZE_MAX);
+
+    // Collect the synthetic prologue immediately preceding it.
+    size_t begin = store_idx;
+    while (begin > 0 && code[begin - 1].synthetic)
+        --begin;
+    std::vector<Instruction> seq(code.begin() + begin,
+                                 code.begin() + store_idx);
+    ASSERT_GT(seq.size(), 15u);
+
+    // 1: frame allocation of 0xe0 bytes on R1.
+    EXPECT_EQ(seq[0].op, Opcode::IADD32I);
+    EXPECT_EQ(seq[0].dst, sass::abi::StackPtr);
+    EXPECT_EQ(seq[0].imm, -core::frame::FrameBytes);
+
+    // 2: spills of exactly the live caller-saved registers R0, R10,
+    //    R11 into GPRSpill slots indexed by register number
+    //    (Figure 2: STL [R1+0x18], R0 ... STL [R1+0x40], R10 ...).
+    std::set<int64_t> spill_offsets;
+    for (const auto &ins : seq) {
+        if (ins.spillFill && ins.op == Opcode::STL &&
+            ins.imm >= core::frame::GPRSpill &&
+            ins.imm < core::frame::InsEncoding) {
+            spill_offsets.insert(ins.imm);
+        }
+    }
+    EXPECT_EQ(spill_offsets,
+              (std::set<int64_t>{core::frame::GPRSpill + 4 * 0,
+                                 core::frame::GPRSpill + 4 * 10,
+                                 core::frame::GPRSpill + 4 * 11}));
+
+    // 3: the guarded instrWillExecute flag via @P0 / @!P0 IADDs.
+    int guarded_flag_writes = 0;
+    for (const auto &ins : seq) {
+        if (ins.op == Opcode::IADD32I && ins.guard == 0)
+            ++guarded_flag_writes;
+    }
+    EXPECT_EQ(guarded_flag_writes, 2);
+
+    // 4: the 64-bit effective-address recomputation (IADD.CC +
+    //    IADD.X) and its STL.64 into SASSIMemoryParams.
+    bool saw_cc = false, saw_x = false, saw_addr_store = false;
+    for (const auto &ins : seq) {
+        if (ins.op == Opcode::IADD32I && ins.setCC)
+            saw_cc = true;
+        if (ins.op == Opcode::IADD32I && ins.useCC)
+            saw_x = true;
+        if (ins.op == Opcode::STL && ins.width == 8 &&
+            ins.imm == core::frame::MemAddress) {
+            saw_addr_store = true;
+        }
+    }
+    EXPECT_TRUE(saw_cc);
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_addr_store);
+
+    // 5: predicate and CC saves through P2R.
+    int p2r = 0;
+    for (const auto &ins : seq)
+        p2r += ins.op == Opcode::P2R;
+    EXPECT_EQ(p2r, 2);
+
+    // 6: ABI pointers in R4:R5 and R6:R7 via L2G, then the JCAL.
+    std::vector<size_t> l2g_idx;
+    size_t jcal_idx = SIZE_MAX;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        if (seq[i].op == Opcode::L2G)
+            l2g_idx.push_back(i);
+        if (seq[i].op == Opcode::JCAL)
+            jcal_idx = i;
+    }
+    ASSERT_EQ(l2g_idx.size(), 2u);
+    EXPECT_EQ(seq[l2g_idx[0]].dst, sass::abi::Arg0Lo);
+    EXPECT_EQ(seq[l2g_idx[1]].dst, sass::abi::Arg1Lo);
+    ASSERT_NE(jcal_idx, SIZE_MAX);
+    EXPECT_GT(jcal_idx, l2g_idx[1]);
+    EXPECT_GE(seq[jcal_idx].target, HandlerBase);
+
+    // 7: the epilogue after the JCAL: R2P restores, fills of the
+    //    same three registers, frame release — and nothing else
+    //    before the original store.
+    int r2p = 0, fills = 0;
+    for (size_t i = jcal_idx + 1; i < seq.size(); ++i) {
+        if (seq[i].op == Opcode::R2P)
+            ++r2p;
+        if (seq[i].op == Opcode::LDL && seq[i].spillFill &&
+            seq[i].imm >= core::frame::GPRSpill &&
+            seq[i].imm < core::frame::InsEncoding) {
+            ++fills;
+        }
+    }
+    EXPECT_EQ(r2p, 2);
+    EXPECT_EQ(fills, 3);
+    EXPECT_EQ(seq.back().op, Opcode::IADD32I);
+    EXPECT_EQ(seq.back().dst, sass::abi::StackPtr);
+    EXPECT_EQ(seq.back().imm, core::frame::FrameBytes);
+
+    // 8: the original instruction is untouched (paper §3.2: "SASSI
+    //    does not change the original SASS instructions in any
+    //    way").
+    EXPECT_EQ(code[store_idx].op, Opcode::ST);
+    EXPECT_EQ(code[store_idx].guard, 0);
+    EXPECT_EQ(code[store_idx].srcA, 10);
+    EXPECT_EQ(code[store_idx].srcB, 0);
+}
+
+} // namespace

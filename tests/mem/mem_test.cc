@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests of the memory-hierarchy substrate: coalescer properties
+ * (including a brute-force property sweep) and cache behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/cache.h"
+#include "mem/coalescer.h"
+#include "util/rng.h"
+
+using namespace sassi;
+using namespace sassi::mem;
+
+namespace {
+
+TEST(Coalescer, SameLineCollapsesToOneTransaction)
+{
+    std::vector<uint64_t> addrs;
+    for (int i = 0; i < 32; ++i)
+        addrs.push_back(0x1000 + static_cast<uint64_t>(i));
+    auto r = coalesce(addrs, 32);
+    EXPECT_EQ(r.uniqueLines(), 1);
+    EXPECT_EQ(r.lines[0], 0x1000u);
+}
+
+TEST(Coalescer, StridedAccessesSplitPredictably)
+{
+    std::vector<uint64_t> addrs;
+    for (int i = 0; i < 32; ++i)
+        addrs.push_back(static_cast<uint64_t>(i) * 128);
+    auto r = coalesce(addrs, 32);
+    EXPECT_EQ(r.uniqueLines(), 32);
+    r = coalesce(addrs, 128);
+    EXPECT_EQ(r.uniqueLines(), 32);
+    r = coalesce(addrs, 4096);
+    EXPECT_EQ(r.uniqueLines(), 1);
+}
+
+/** Property sweep: unique count matches a brute-force set. */
+class CoalesceProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoalesceProperty, MatchesBruteForceSet)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+    for (int trial = 0; trial < 50; ++trial) {
+        uint32_t line = 1u << rng.nextRange(4, 8);
+        std::vector<uint64_t> addrs;
+        int n = static_cast<int>(rng.nextRange(1, 32));
+        for (int i = 0; i < n; ++i)
+            addrs.push_back(rng.nextBelow(1 << 16));
+        auto r = coalesce(addrs, line);
+        std::set<uint64_t> expect;
+        for (uint64_t a : addrs)
+            expect.insert(a / line);
+        EXPECT_EQ(static_cast<size_t>(r.uniqueLines()), expect.size());
+        // First-touch order and full coverage.
+        std::set<uint64_t> got(r.lines.begin(), r.lines.end());
+        EXPECT_EQ(got.size(), r.lines.size());
+        for (uint64_t l : r.lines) {
+            EXPECT_EQ(l % line, 0u);
+            EXPECT_TRUE(expect.count(l / line));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalesceProperty,
+                         ::testing::Range(0, 8));
+
+TEST(Cache, HitsAfterFill)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x100, false));
+    EXPECT_TRUE(c.access(0x13f, false)); // same line
+    EXPECT_FALSE(c.access(0x140, false));
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64; // one set, two ways
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    cfg.writeAllocate = true;
+    Cache c(cfg);
+    c.access(0x0000, false);  // A
+    c.access(0x1000, false);  // B
+    c.access(0x0000, false);  // A again (B becomes LRU)
+    c.access(0x2000, false);  // C evicts B
+    EXPECT_TRUE(c.access(0x0000, false));
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_GE(c.stats().evictions, 1u);
+}
+
+TEST(Cache, WriteBackCountsDirtyEvictions)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64;
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    cfg.writeAllocate = true;
+    Cache c(cfg);
+    c.access(0x0000, true);  // dirty A
+    c.access(0x1000, false); // B
+    c.access(0x2000, false); // evicts A (LRU), dirty
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, NoWriteAllocateBypassesStores)
+{
+    CacheConfig cfg;
+    cfg.writeAllocate = false;
+    Cache c(cfg);
+    EXPECT_FALSE(c.access(0x40, true));
+    // Store miss must not fill the line.
+    EXPECT_FALSE(c.access(0x40, false));
+}
+
+TEST(Hierarchy, CoalescesBeforeL1)
+{
+    CacheConfig l1;
+    l1.sizeBytes = 16 * 1024;
+    l1.lineBytes = 128;
+    l1.ways = 4;
+    CacheConfig l2;
+    l2.sizeBytes = 256 * 1024;
+    l2.lineBytes = 128;
+    l2.ways = 8;
+    l2.writeAllocate = true;
+    Hierarchy h(2, l1, l2);
+
+    WarpAccess wa;
+    for (int i = 0; i < 32; ++i)
+        wa.addresses.push_back(0x10000 + static_cast<uint64_t>(i) * 4);
+    h.access(wa);
+    EXPECT_EQ(h.transactions(), 1u); // 128B line covers the warp.
+    h.access(wa);
+    EXPECT_EQ(h.transactions(), 2u);
+    EXPECT_EQ(h.l1Stats().hits, 1u);
+    EXPECT_EQ(h.dramAccesses(), 1u);
+}
+
+TEST(Hierarchy, SeparateL1sSharedL2)
+{
+    CacheConfig l1;
+    l1.sizeBytes = 1024;
+    l1.lineBytes = 64;
+    l1.ways = 2;
+    CacheConfig l2;
+    l2.sizeBytes = 64 * 1024;
+    l2.lineBytes = 64;
+    l2.ways = 8;
+    l2.writeAllocate = true;
+    Hierarchy h(2, l1, l2);
+
+    WarpAccess wa;
+    wa.addresses.push_back(0x4000);
+    wa.smId = 0;
+    h.access(wa); // L1[0] miss, L2 miss
+    wa.smId = 1;
+    h.access(wa); // L1[1] miss, L2 hit
+    EXPECT_EQ(h.l1Stats().misses, 2u);
+    EXPECT_EQ(h.l2Stats().hits, 1u);
+    EXPECT_EQ(h.dramAccesses(), 1u);
+}
+
+} // namespace
+
+#include "mem/timing.h"
+
+namespace {
+
+TEST(Timing, IssueOnlyWithoutMemory)
+{
+    TimingConfig cfg;
+    auto est = estimateCycles(1000, 10, {}, cfg);
+    EXPECT_DOUBLE_EQ(est.memCycles, 0.0);
+    EXPECT_DOUBLE_EQ(est.totalCycles,
+                     1000 * cfg.issueCycles + 10 * cfg.mufuCycles);
+    EXPECT_EQ(est.transactions, 0u);
+}
+
+TEST(Timing, DivergedAccessesCostMore)
+{
+    // Same thread count, same instruction count: one coalesced
+    // access stream vs a fully diverged one.
+    std::vector<WarpAccess> coalesced, diverged;
+    for (int i = 0; i < 64; ++i) {
+        WarpAccess c, d;
+        for (int lane = 0; lane < 32; ++lane) {
+            c.addresses.push_back(
+                static_cast<uint64_t>(i) * 128 +
+                static_cast<uint64_t>(lane) * 4);
+            d.addresses.push_back(
+                (static_cast<uint64_t>(lane) * 64 +
+                 static_cast<uint64_t>(i)) * 512);
+        }
+        coalesced.push_back(c);
+        diverged.push_back(d);
+    }
+    auto est_c = estimateCycles(1000, 0, coalesced);
+    auto est_d = estimateCycles(1000, 0, diverged);
+    EXPECT_GT(est_d.transactions, 8 * est_c.transactions);
+    EXPECT_GT(est_d.memCycles, 4 * est_c.memCycles);
+    EXPECT_GT(est_d.totalCycles, est_c.totalCycles);
+}
+
+TEST(Timing, ReuseHitsInL1AndCostsLess)
+{
+    std::vector<WarpAccess> once, repeated;
+    WarpAccess wa;
+    for (int lane = 0; lane < 32; ++lane)
+        wa.addresses.push_back(static_cast<uint64_t>(lane) * 4);
+    once.push_back(wa);
+    for (int r = 0; r < 10; ++r)
+        repeated.push_back(wa);
+    auto est1 = estimateCycles(100, 0, once);
+    auto est10 = estimateCycles(100, 0, repeated);
+    // 9 of 10 transactions hit L1.
+    EXPECT_EQ(est10.l1.hits, 9u);
+    EXPECT_LT(est10.memCycles, 10 * est1.memCycles);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the ISA layer: opcode classification, per-instruction
+ * operand derivation, and the insEncoding pack/decode round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sass/encoding.h"
+#include "sass/instr.h"
+
+using namespace sassi::sass;
+
+namespace {
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (int i = 0; i < NumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opFromName(opName(op)), op);
+    }
+    EXPECT_EQ(opFromName("BOGUS"), Opcode::NumOpcodes);
+}
+
+TEST(Opcode, ClassificationMatchesPaperCategories)
+{
+    EXPECT_TRUE(opFlags(Opcode::LDG) & OF_Mem);
+    EXPECT_TRUE(opFlags(Opcode::LDG) & OF_MemRead);
+    EXPECT_FALSE(opFlags(Opcode::LDG) & OF_MemWrite);
+    EXPECT_TRUE(opFlags(Opcode::STG) & OF_MemWrite);
+    EXPECT_TRUE(opFlags(Opcode::ATOM) & OF_Atomic);
+    EXPECT_TRUE(opFlags(Opcode::ATOM) & OF_MemRead);
+    EXPECT_TRUE(opFlags(Opcode::BRA) & OF_Control);
+    EXPECT_TRUE(opFlags(Opcode::JCAL) & OF_Call);
+    EXPECT_TRUE(opFlags(Opcode::BAR) & OF_Sync);
+    EXPECT_TRUE(opFlags(Opcode::SSY) & OF_Sync);
+    EXPECT_TRUE(opFlags(Opcode::FFMA) & OF_Numeric);
+    EXPECT_FALSE(opFlags(Opcode::IADD) & OF_Numeric);
+    EXPECT_TRUE(opFlags(Opcode::TLD) & OF_Texture);
+    EXPECT_TRUE(opFlags(Opcode::SULD) & OF_Surface);
+    EXPECT_TRUE(opFlags(Opcode::EXIT) & OF_Exit);
+}
+
+TEST(Instruction, WideLoadsClaimRegisterRanges)
+{
+    Instruction ld;
+    ld.op = Opcode::LDG;
+    ld.space = MemSpace::Global;
+    ld.dst = 12;
+    ld.srcA = 8;
+    ld.width = 16;
+    auto dsts = ld.dstRegs();
+    ASSERT_EQ(dsts.size(), 4u);
+    EXPECT_EQ(dsts[0], 12);
+    EXPECT_EQ(dsts[3], 15);
+    // The 64-bit address operand is a register pair.
+    auto srcs = ld.srcRegs();
+    ASSERT_EQ(srcs.size(), 2u);
+    EXPECT_EQ(srcs[0], 8);
+    EXPECT_EQ(srcs[1], 9);
+}
+
+TEST(Instruction, StoresReadDataAndAddress)
+{
+    Instruction st;
+    st.op = Opcode::STG;
+    st.space = MemSpace::Global;
+    st.srcA = 6;
+    st.srcB = 10;
+    st.width = 8;
+    EXPECT_TRUE(st.dstRegs().empty());
+    auto srcs = st.srcRegs();
+    // Address pair (R6, R7) + data pair (R10, R11).
+    EXPECT_EQ(srcs.size(), 4u);
+    EXPECT_NE(std::find(srcs.begin(), srcs.end(), 7), srcs.end());
+    EXPECT_NE(std::find(srcs.begin(), srcs.end(), 11), srcs.end());
+}
+
+TEST(Instruction, LocalAccessesUse32BitAddressing)
+{
+    Instruction stl;
+    stl.op = Opcode::STL;
+    stl.space = MemSpace::Local;
+    stl.srcA = 1;
+    stl.srcB = 0;
+    EXPECT_FALSE(stl.addrIsPair());
+    auto srcs = stl.srcRegs();
+    EXPECT_EQ(srcs.size(), 2u); // R1 + R0, no pair extension.
+}
+
+TEST(Instruction, GuardedWritesDoNotKill)
+{
+    Instruction i;
+    i.op = Opcode::IADD;
+    i.dst = 4;
+    i.srcA = 5;
+    i.srcB = 6;
+    i.guard = 0;
+    auto preds = i.srcPreds();
+    ASSERT_EQ(preds.size(), 1u);
+    EXPECT_EQ(preds[0], 0);
+}
+
+TEST(Instruction, PredicateProducers)
+{
+    Instruction isetp;
+    isetp.op = Opcode::ISETP;
+    isetp.pDst = 3;
+    auto dsts = isetp.dstPreds();
+    ASSERT_EQ(dsts.size(), 1u);
+    EXPECT_EQ(dsts[0], 3);
+
+    Instruction r2p;
+    r2p.op = Opcode::R2P;
+    r2p.srcA = 3;
+    r2p.imm = 0b0101;
+    auto r2p_dsts = r2p.dstPreds();
+    ASSERT_EQ(r2p_dsts.size(), 2u);
+    EXPECT_EQ(r2p_dsts[0], 0);
+    EXPECT_EQ(r2p_dsts[1], 2);
+}
+
+TEST(Instruction, CondControlNeedsGuard)
+{
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.target = 5;
+    EXPECT_TRUE(bra.isControl());
+    EXPECT_FALSE(bra.isCondControl());
+    bra.guard = 2;
+    EXPECT_TRUE(bra.isCondControl());
+}
+
+TEST(Encoding, RoundTripsStaticProperties)
+{
+    Instruction ld;
+    ld.op = Opcode::LDG;
+    ld.space = MemSpace::Global;
+    ld.dst = 4;
+    ld.srcA = 8;
+    ld.width = 8;
+    uint32_t word = encodeInstr(ld);
+    EXPECT_EQ(encodedOpcode(word), Opcode::LDG);
+    EXPECT_EQ(encodedWidth(word), 8);
+    EXPECT_EQ(encodedSpace(word), MemSpace::Global);
+    EXPECT_TRUE(word & enc::IsMem);
+    EXPECT_TRUE(word & enc::IsMemRead);
+    EXPECT_TRUE(word & enc::WritesGPR);
+    EXPECT_FALSE(word & enc::IsMemWrite);
+    EXPECT_FALSE(word & enc::IsControl);
+}
+
+TEST(Encoding, SpillFillFlagSurvives)
+{
+    Instruction stl;
+    stl.op = Opcode::STL;
+    stl.space = MemSpace::Local;
+    stl.spillFill = true;
+    EXPECT_TRUE(encodeInstr(stl) & enc::IsSpillFill);
+    stl.spillFill = false;
+    EXPECT_FALSE(encodeInstr(stl) & enc::IsSpillFill);
+}
+
+TEST(Encoding, CondBranchBitReflectsGuard)
+{
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    EXPECT_FALSE(encodeInstr(bra) & enc::IsCondControl);
+    bra.guard = 1;
+    EXPECT_TRUE(encodeInstr(bra) & enc::IsCondControl);
+    EXPECT_TRUE(encodeInstr(bra) & enc::IsControl);
+}
+
+TEST(Disasm, RepresentativeForms)
+{
+    Instruction i;
+    i.op = Opcode::IADD32I;
+    i.dst = 1;
+    i.srcA = 1;
+    i.imm = -0xe0;
+    i.bIsImm = true;
+    EXPECT_EQ(i.disasm(), "IADD32I R1, R1, -0xe0");
+
+    Instruction st;
+    st.op = Opcode::STL;
+    st.space = MemSpace::Local;
+    st.srcA = 1;
+    st.imm = 0x18;
+    st.srcB = 0;
+    EXPECT_EQ(st.disasm(), "STL [R1+0x18], R0");
+
+    Instruction guarded;
+    guarded.op = Opcode::ST;
+    guarded.space = MemSpace::Generic;
+    guarded.srcA = 10;
+    guarded.srcB = 0;
+    guarded.guard = 0;
+    EXPECT_EQ(guarded.disasm(), "@P0 ST.E [R10], R0");
+
+    Instruction s2r;
+    s2r.op = Opcode::S2R;
+    s2r.dst = 0;
+    s2r.sreg = SpecialReg::TidX;
+    EXPECT_EQ(s2r.disasm(), "S2R R0, SR_TID.X");
+}
+
+} // namespace

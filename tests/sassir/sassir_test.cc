@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests of the compiler substrate: builder label resolution, the
+ * textual assembler (including a property sweep that round-trips
+ * randomly generated kernels through print/parse), CFG shape, and
+ * liveness facts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sassir/builder.h"
+#include "sassir/cfg.h"
+#include "sassir/liveness.h"
+#include "sassir/parser.h"
+#include "util/rng.h"
+
+using namespace sassi;
+using namespace sassi::sass;
+using sassi::ir::KernelBuilder;
+using sassi::ir::Label;
+
+namespace {
+
+TEST(Builder, ResolvesForwardAndBackwardLabels)
+{
+    KernelBuilder kb("k");
+    Label fwd = kb.newLabel();
+    Label back = kb.newLabel();
+    kb.bind(back);
+    kb.nop();             // 0
+    kb.bra(fwd);          // 1 -> 3
+    kb.bra(back);         // 2 -> 0
+    kb.bind(fwd);
+    kb.exit();            // 3
+    ir::Kernel k = kb.finish();
+    EXPECT_EQ(k.code[1].target, 3);
+    EXPECT_EQ(k.code[2].target, 0);
+}
+
+TEST(Builder, TracksRegisterBudget)
+{
+    KernelBuilder kb("k");
+    kb.mov32i(40, 1);
+    kb.exit();
+    ir::Kernel k = kb.finish();
+    EXPECT_GE(k.numRegs, 41);
+
+    KernelBuilder kb2("k2");
+    kb2.ldg(4, 30, 0, 16); // dst R4..R7, addr pair R30:R31
+    kb2.exit();
+    EXPECT_GE(kb2.finish().numRegs, 32);
+}
+
+TEST(Builder, GuardAppliesToNextInstructionOnly)
+{
+    KernelBuilder kb("k");
+    kb.onP(2).nop();
+    kb.nop();
+    ir::Kernel k = kb.finish();
+    EXPECT_EQ(k.code[0].guard, 2);
+    EXPECT_EQ(k.code[1].guard, PT);
+}
+
+TEST(Parser, ParsesRepresentativeProgram)
+{
+    const char *src = R"(
+.kernel demo
+.local 2048
+.shared 256
+    S2R R0, SR_TID.X
+    ISETP.GE.U32 P0, R0, 0x10
+@!P0 BRA body
+    EXIT
+body:
+    LDG.64 R4, [R8+0x10]
+    ATOM.ADD R6, [R10], R4
+    VOTE.BALLOT R7, P0
+    SHFL.IDX R9, R7, 0x0
+    STS [R3+0x4], R9
+    BAR
+    EXIT
+.endkernel
+)";
+    ir::Module mod = ir::parseAssembly(src);
+    ASSERT_EQ(mod.kernels.size(), 1u);
+    const ir::Kernel &k = mod.kernels[0];
+    EXPECT_EQ(k.name, "demo");
+    EXPECT_EQ(k.localBytes, 2048u);
+    EXPECT_EQ(k.sharedBytes, 256u);
+    ASSERT_EQ(k.code.size(), 11u);
+    EXPECT_EQ(k.code[0].op, Opcode::S2R);
+    EXPECT_EQ(k.code[1].op, Opcode::ISETP);
+    EXPECT_FALSE(k.code[1].sExt); // .U32
+    EXPECT_EQ(k.code[2].op, Opcode::BRA);
+    EXPECT_TRUE(k.code[2].guardNeg);
+    EXPECT_EQ(k.code[2].target, 4);
+    EXPECT_EQ(k.code[4].width, 8);
+    EXPECT_EQ(k.code[5].atom, AtomOp::Add);
+    EXPECT_EQ(k.code[6].vote, VoteMode::Ballot);
+    EXPECT_EQ(k.code[9].op, Opcode::BAR);
+}
+
+/** Generate a random but well-formed kernel via the builder. */
+ir::Kernel
+randomKernel(uint64_t seed)
+{
+    Rng rng(seed);
+    KernelBuilder kb("rnd");
+    auto reg = [&]() {
+        return static_cast<RegId>(rng.nextRange(2, 20));
+    };
+    auto pred = [&]() {
+        return static_cast<PredId>(rng.nextRange(0, 5));
+    };
+    int n = static_cast<int>(rng.nextRange(5, 40));
+    Label end = kb.newLabel();
+    for (int i = 0; i < n; ++i) {
+        if (rng.nextBelow(4) == 0)
+            kb.onP(pred());
+        switch (rng.nextBelow(16)) {
+          case 0: kb.iadd(reg(), reg(), reg()); break;
+          case 1: kb.iaddi(reg(), reg(), rng.nextRange(-64, 64)); break;
+          case 2: kb.mov32i(reg(), rng.nextRange(0, 1 << 20)); break;
+          case 3: kb.imad(reg(), reg(), reg(), reg()); break;
+          case 4: kb.shl(reg(), reg(), rng.nextRange(0, 31)); break;
+          case 5:
+            kb.lop(static_cast<LogicOp>(rng.nextBelow(3)), reg(),
+                   reg(), reg());
+            break;
+          case 6:
+            kb.isetpi(pred(), static_cast<CmpOp>(rng.nextBelow(6)),
+                      reg(), rng.nextRange(0, 128));
+            break;
+          case 7: kb.ldg(reg(), reg(), rng.nextRange(0, 64)); break;
+          case 8: kb.stg(reg(), rng.nextRange(0, 64), reg()); break;
+          case 9: kb.lds(reg(), reg(), rng.nextRange(0, 64)); break;
+          case 10: kb.ffma(reg(), reg(), reg(), reg()); break;
+          case 11: kb.ballot(reg(), pred()); break;
+          case 12:
+            kb.shfli(ShflMode::Idx, reg(), reg(),
+                     rng.nextRange(0, 31));
+            break;
+          case 13:
+            kb.s2r(reg(), static_cast<SpecialReg>(rng.nextBelow(15)));
+            break;
+          case 14:
+            kb.atom(static_cast<AtomOp>(rng.nextBelow(6)), reg(),
+                    reg(), reg());
+            break;
+          case 15: kb.popc(reg(), reg()); break;
+        }
+    }
+    kb.bind(end);
+    kb.exit();
+    return kb.finish();
+}
+
+class ParserRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ParserRoundTrip, PrintParsePreservesKernels)
+{
+    ir::Kernel k = randomKernel(static_cast<uint64_t>(GetParam()));
+    std::string text = ir::printKernel(k);
+    ir::Module mod = ir::parseAssembly(text);
+    ASSERT_EQ(mod.kernels.size(), 1u);
+    const ir::Kernel &p = mod.kernels[0];
+    ASSERT_EQ(p.code.size(), k.code.size());
+    for (size_t i = 0; i < k.code.size(); ++i) {
+        // Canonical comparison: identical disassembly and identical
+        // operand derivation.
+        EXPECT_EQ(p.code[i].disasm(), k.code[i].disasm()) << i;
+        EXPECT_EQ(p.code[i].op, k.code[i].op) << i;
+        EXPECT_EQ(p.code[i].srcRegs(), k.code[i].srcRegs()) << i;
+        EXPECT_EQ(p.code[i].dstRegs(), k.code[i].dstRegs()) << i;
+        EXPECT_EQ(p.code[i].target, k.code[i].target) << i;
+        EXPECT_EQ(p.code[i].guard, k.code[i].guard) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip,
+                         ::testing::Range(0, 24));
+
+TEST(Cfg, SplitsAtBranchesAndTargets)
+{
+    KernelBuilder kb("k");
+    Label a = kb.newLabel();
+    kb.nop();                 // 0 (block 0)
+    kb.isetpi(0, CmpOp::EQ, 4, 0);
+    kb.onP(0).bra(a);         // 2 cond -> block boundary
+    kb.nop();                 // 3 (block 1)
+    kb.bind(a);
+    kb.exit();                // 4 (block 2)
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    // Conditional branch: target + fall-through successors.
+    EXPECT_EQ(cfg.blocks[0].succs.size(), 2u);
+    EXPECT_EQ(cfg.blocks[1].succs.size(), 1u);
+    EXPECT_TRUE(cfg.blocks[2].succs.empty());
+    // Predecessors derived consistently.
+    EXPECT_EQ(cfg.blocks[2].preds.size(), 2u);
+}
+
+TEST(Cfg, SyncLinksToSsyTargets)
+{
+    KernelBuilder kb("k");
+    Label reconv = kb.newLabel();
+    Label other = kb.newLabel();
+    kb.ssy(reconv);           // 0
+    kb.isetpi(0, CmpOp::EQ, 4, 0);
+    kb.onP(0).bra(other);     // 2
+    kb.sync();                // 3
+    kb.bind(other);
+    kb.sync();                // 4
+    kb.bind(reconv);
+    kb.exit();                // 5
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    // Both SYNCs must reach the reconvergence block.
+    int reconv_block = cfg.blockOf[5];
+    for (int pc : {3, 4}) {
+        const auto &bb = cfg.blocks[static_cast<size_t>(
+            cfg.blockOf[static_cast<size_t>(pc)])];
+        EXPECT_NE(std::find(bb.succs.begin(), bb.succs.end(),
+                            reconv_block),
+                  bb.succs.end());
+    }
+}
+
+TEST(Liveness, UseBeforeDefIsLiveIn)
+{
+    KernelBuilder kb("k");
+    kb.iadd(4, 5, 6);   // 0: uses R5, R6; defs R4
+    kb.stg(8, 0, 4);    // 1: uses R8, R9 (pair), R4
+    kb.exit();          // 2
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    ir::Liveness live(k, cfg);
+    EXPECT_TRUE(live.liveIn(0).gpr.test(5));
+    EXPECT_TRUE(live.liveIn(0).gpr.test(6));
+    EXPECT_TRUE(live.liveIn(0).gpr.test(8));
+    EXPECT_FALSE(live.liveIn(0).gpr.test(4)); // defined at 0
+    EXPECT_TRUE(live.liveIn(1).gpr.test(4));
+    EXPECT_FALSE(live.liveOut(1).gpr.test(4));
+}
+
+TEST(Liveness, GuardedDefDoesNotKill)
+{
+    KernelBuilder kb("k");
+    kb.onP(0).mov32i(4, 1); // 0: conditional def of R4
+    kb.stg(8, 0, 4);        // 1: uses R4
+    kb.exit();
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    ir::Liveness live(k, cfg);
+    // R4 must be live into the guarded def (old value may survive).
+    EXPECT_TRUE(live.liveIn(0).gpr.test(4));
+    EXPECT_TRUE(live.liveIn(0).pred & 1); // guard P0 is read
+}
+
+TEST(Liveness, LoopCarriesValuesAround)
+{
+    KernelBuilder kb("k");
+    Label top = kb.newLabel();
+    Label out_l = kb.newLabel();
+    kb.mov32i(4, 0);        // 0
+    kb.ssy(out_l);          // 1
+    kb.bind(top);
+    kb.iaddi(4, 4, 1);      // 2
+    kb.isetpi(0, CmpOp::LT, 4, 10); // 3
+    kb.onP(0).bra(top);     // 4
+    kb.sync();              // 5
+    kb.bind(out_l);
+    kb.stg(8, 0, 4);        // 6
+    kb.exit();
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    ir::Liveness live(k, cfg);
+    // R4 live around the back edge and across the SYNC.
+    EXPECT_TRUE(live.liveOut(4).gpr.test(4));
+    EXPECT_TRUE(live.liveIn(2).gpr.test(4));
+    EXPECT_TRUE(live.liveOut(5).gpr.test(4));
+    // R8 (the pair base used after the loop) is live throughout.
+    EXPECT_TRUE(live.liveIn(2).gpr.test(8));
+}
+
+TEST(Liveness, CcAndPredicateTracking)
+{
+    KernelBuilder kb("k");
+    kb.iaddcc(4, 5, 6);  // 0: defs CC
+    kb.iaddx(7, 8, 9);   // 1: uses CC
+    kb.exit();
+    ir::Kernel k = kb.finish();
+    ir::Cfg cfg = ir::buildCfg(k);
+    ir::Liveness live(k, cfg);
+    EXPECT_FALSE(live.liveIn(0).cc);
+    EXPECT_TRUE(live.liveOut(0).cc);
+    EXPECT_TRUE(live.liveIn(1).cc);
+    EXPECT_FALSE(live.liveOut(1).cc);
+}
+
+} // namespace

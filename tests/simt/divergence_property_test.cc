@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Property tests for the SIMT divergence machinery: randomly
+ * generated nested if/else trees (SSY / divergent BRA / SYNC) with
+ * data-dependent conditions must produce exactly the results of a
+ * per-thread scalar evaluation, for every lane, at every nesting
+ * depth — with and without SASSI instrumentation spliced in.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sassi.h"
+#include "sassir/builder.h"
+#include "simt/device.h"
+#include "util/rng.h"
+
+using namespace sassi;
+using namespace sassi::sass;
+using namespace sassi::simt;
+using sassi::ir::KernelBuilder;
+using sassi::ir::Label;
+
+namespace {
+
+/** A randomly generated expression tree of nested conditionals. */
+struct CondNode
+{
+    uint32_t mask;        //!< Condition: (input & mask) != 0.
+    uint32_t thenAdd;     //!< Accumulator delta on the then path.
+    uint32_t elseAdd;     //!< Accumulator delta on the else path.
+    std::unique_ptr<CondNode> thenChild;
+    std::unique_ptr<CondNode> elseChild;
+};
+
+std::unique_ptr<CondNode>
+randomTree(Rng &rng, int depth)
+{
+    auto node = std::make_unique<CondNode>();
+    node->mask = static_cast<uint32_t>(rng.next() & 0xff);
+    if (node->mask == 0)
+        node->mask = 1;
+    node->thenAdd = static_cast<uint32_t>(rng.nextRange(1, 1000));
+    node->elseAdd = static_cast<uint32_t>(rng.nextRange(1, 1000));
+    if (depth > 0) {
+        if (rng.nextBelow(2))
+            node->thenChild = randomTree(rng, depth - 1);
+        if (rng.nextBelow(2))
+            node->elseChild = randomTree(rng, depth - 1);
+    }
+    return node;
+}
+
+/** Scalar (per-thread) reference evaluation. */
+uint32_t
+evalTree(const CondNode &node, uint32_t input)
+{
+    uint32_t acc;
+    if (input & node.mask) {
+        acc = node.thenAdd;
+        if (node.thenChild)
+            acc += evalTree(*node.thenChild, input);
+    } else {
+        acc = node.elseAdd;
+        if (node.elseChild)
+            acc += evalTree(*node.elseChild, input);
+    }
+    return acc;
+}
+
+/** Emit the tree as SSY/BRA/SYNC structured code.
+ *  Input value in R4, accumulator in R5, scratch R6/P1. */
+void
+emitTree(KernelBuilder &kb, const CondNode &node)
+{
+    Label else_path = kb.newLabel();
+    Label reconv = kb.newLabel();
+    kb.ssy(reconv);
+    kb.lopi(LogicOp::And, 6, 4, node.mask);
+    kb.isetpi(1, CmpOp::EQ, 6, 0);
+    kb.onP(1).bra(else_path);
+    kb.iaddi(5, 5, node.thenAdd);
+    if (node.thenChild)
+        emitTree(kb, *node.thenChild);
+    kb.sync();
+    kb.bind(else_path);
+    kb.iaddi(5, 5, node.elseAdd);
+    if (node.elseChild)
+        emitTree(kb, *node.elseChild);
+    kb.sync();
+    kb.bind(reconv);
+}
+
+class DivergenceProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DivergenceProperty, NestedTreesMatchScalarEvaluation)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 5);
+    for (int trial = 0; trial < 6; ++trial) {
+        auto tree = randomTree(rng, 4);
+
+        // Kernel: load input, walk the tree, store the accumulator.
+        // Params: in(0), out(8).
+        KernelBuilder kb("tree");
+        kb.s2r(4, SpecialReg::TidX);
+        kb.ldc(8, 0, 8);
+        kb.shl(6, 4, 2);
+        kb.iaddcc(8, 8, 6);
+        kb.iaddx(9, 9, RZ);
+        kb.ldg(4, 8); // input value
+        kb.mov32i(5, 0);
+        emitTree(kb, *tree);
+        kb.ldc(8, 8, 8);
+        kb.s2r(6, SpecialReg::TidX);
+        kb.shl(6, 6, 2);
+        kb.iaddcc(8, 8, 6);
+        kb.iaddx(9, 9, RZ);
+        kb.stg(8, 0, 5);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+
+        const uint32_t n = 96; // Three warps.
+        std::vector<uint32_t> in(n);
+        for (auto &v : in)
+            v = static_cast<uint32_t>(rng.next());
+
+        for (bool instrumented : {false, true}) {
+            Device dev;
+            dev.loadModule(mod);
+            std::unique_ptr<core::SassiRuntime> rt;
+            if (instrumented) {
+                rt = std::make_unique<core::SassiRuntime>(dev);
+                core::InstrumentOptions opts;
+                opts.beforeCondBranch = true;
+                opts.branchInfo = true;
+                rt->instrument(opts);
+                rt->setBeforeHandler([](const core::HandlerEnv &env) {
+                    (void)cuda::ballot(env.brp.GetDirection());
+                });
+            }
+            uint64_t din = dev.malloc(n * 4);
+            uint64_t dout = dev.malloc(n * 4);
+            dev.memcpyHtoD(din, in.data(), n * 4);
+            KernelArgs args;
+            args.addU64(din);
+            args.addU64(dout);
+            LaunchResult r =
+                dev.launch("tree", Dim3(1), Dim3(n), args);
+            ASSERT_TRUE(r.ok()) << r.message;
+            for (uint32_t i = 0; i < n; ++i) {
+                EXPECT_EQ(dev.read<uint32_t>(dout + 4 * i),
+                          evalTree(*tree, in[i]))
+                    << "lane " << i << " instrumented="
+                    << instrumented;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivergenceProperty,
+                         ::testing::Range(0, 8));
+
+} // namespace
+
+namespace {
+
+class LoopDivergenceProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LoopDivergenceProperty, DataDependentTripCountsMatchScalar)
+{
+    // Each lane loops a data-dependent number of times, with a
+    // nested conditional inside the body; an accumulator checks
+    // that every lane executed exactly its own iterations.
+    Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 9);
+    for (int trial = 0; trial < 5; ++trial) {
+        uint32_t trip_mask = static_cast<uint32_t>(rng.nextBelow(31)) + 1;
+        uint32_t body_mask = static_cast<uint32_t>(rng.next() & 0xf);
+        uint32_t add_a = static_cast<uint32_t>(rng.nextRange(1, 100));
+        uint32_t add_b = static_cast<uint32_t>(rng.nextRange(1, 100));
+
+        KernelBuilder kb("loopfuzz");
+        kb.ldc(8, 0, 8);
+        kb.s2r(4, SpecialReg::TidX);
+        kb.lopi(LogicOp::And, 10, 4, trip_mask); // trips = tid & mask
+        kb.mov32i(5, 0);  // acc
+        kb.mov32i(11, 0); // i
+        Label top = kb.newLabel();
+        Label done = kb.newLabel();
+        Label after = kb.newLabel();
+        kb.ssy(after);
+        kb.bind(top);
+        kb.isetp(0, CmpOp::GE, 11, 10);
+        kb.onP(0).bra(done);
+        // Nested data-dependent diamond on (tid + i) & body_mask.
+        Label els = kb.newLabel();
+        Label rec = kb.newLabel();
+        kb.iadd(12, 4, 11);
+        kb.lopi(LogicOp::And, 12, 12, body_mask);
+        kb.ssy(rec);
+        kb.isetpi(1, CmpOp::EQ, 12, 0);
+        kb.onP(1).bra(els);
+        kb.iaddi(5, 5, add_a);
+        kb.sync();
+        kb.bind(els);
+        kb.iaddi(5, 5, add_b);
+        kb.sync();
+        kb.bind(rec);
+        kb.iaddi(11, 11, 1);
+        kb.bra(top);
+        kb.bind(done);
+        kb.sync();
+        kb.bind(after);
+        kb.shl(6, 4, 2);
+        kb.iaddcc(8, 8, 6);
+        kb.iaddx(9, 9, RZ);
+        kb.stg(8, 0, 5);
+        kb.exit();
+
+        ir::Module mod;
+        mod.kernels.push_back(kb.finish());
+        Device dev;
+        dev.loadModule(std::move(mod));
+        const uint32_t n = 64;
+        uint64_t dout = dev.malloc(n * 4);
+        KernelArgs args;
+        args.addU64(dout);
+        LaunchResult r =
+            dev.launch("loopfuzz", Dim3(1), Dim3(n), args);
+        ASSERT_TRUE(r.ok()) << r.message;
+
+        for (uint32_t t = 0; t < n; ++t) {
+            uint32_t trips = t & trip_mask;
+            uint32_t acc = 0;
+            for (uint32_t i = 0; i < trips; ++i) {
+                if ((t + i) & body_mask)
+                    acc += add_a;
+                else
+                    acc += add_b;
+            }
+            EXPECT_EQ(dev.read<uint32_t>(dout + 4 * t), acc)
+                << "thread " << t << " trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopDivergenceProperty,
+                         ::testing::Range(0, 6));
+
+} // namespace

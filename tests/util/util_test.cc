@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the util substrate: fibers (the warp-synchronous
+ * execution engine), RNG determinism, bit helpers, and tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bitops.h"
+#include "util/fiber.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace sassi;
+
+namespace {
+
+TEST(Bitops, PopcAndFfs)
+{
+    EXPECT_EQ(popc(0u), 0);
+    EXPECT_EQ(popc(0xffffffffu), 32);
+    EXPECT_EQ(popc(0xaau), 4);
+    EXPECT_EQ(ffs(0u), 0);
+    EXPECT_EQ(ffs(1u), 1);
+    EXPECT_EQ(ffs(0x80000000u), 32);
+    EXPECT_EQ(ffs(0b1010000u), 5);
+}
+
+TEST(Bitops, U64Assembly)
+{
+    EXPECT_EQ(makeU64(0xdeadbeef, 0x12345678), 0x12345678deadbeefull);
+    EXPECT_EQ(lo32(0x12345678deadbeefull), 0xdeadbeefu);
+    EXPECT_EQ(hi32(0x12345678deadbeefull), 0x12345678u);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+    }
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 10; ++i)
+        differs = differs || a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        int64_t v = rng.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Fiber, AllLanesRunToCompletion)
+{
+    FiberGroup group;
+    std::vector<int> ran(32, 0);
+    std::vector<int> lanes;
+    for (int i = 0; i < 32; ++i)
+        lanes.push_back(i);
+    group.run(lanes, [&](int lane) { ran[static_cast<size_t>(lane)] = lane + 1; });
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ran[static_cast<size_t>(i)], i + 1);
+}
+
+TEST(Fiber, BarrierGathersAllLaneValues)
+{
+    FiberGroup group;
+    std::vector<int> lanes{0, 3, 7, 31};
+    std::vector<uint64_t> results(32, 0);
+    group.run(lanes, [&](int lane) {
+        uint64_t sum = group.barrier(
+            static_cast<uint64_t>(lane) * 10,
+            [](const std::vector<uint64_t> &vals,
+               const std::vector<int> &, std::vector<uint64_t> &out) {
+                uint64_t s = 0;
+                for (uint64_t v : vals)
+                    s += v;
+                for (auto &o : out)
+                    o = s;
+            });
+        results[static_cast<size_t>(lane)] = sum;
+    });
+    for (int lane : lanes)
+        EXPECT_EQ(results[static_cast<size_t>(lane)], 410u);
+}
+
+TEST(Fiber, PerLaneResultsDiffer)
+{
+    // shfl-style: each lane gets its own doubled value back.
+    FiberGroup group;
+    std::vector<int> lanes{1, 2, 5};
+    std::vector<uint64_t> results(32, 0);
+    group.run(lanes, [&](int lane) {
+        results[static_cast<size_t>(lane)] = group.barrier(
+            static_cast<uint64_t>(lane),
+            [](const std::vector<uint64_t> &vals,
+               const std::vector<int> &, std::vector<uint64_t> &out) {
+                for (size_t i = 0; i < vals.size(); ++i)
+                    out[i] = vals[i] * 2;
+            });
+    });
+    for (int lane : lanes)
+        EXPECT_EQ(results[static_cast<size_t>(lane)],
+                  static_cast<uint64_t>(lane) * 2);
+}
+
+TEST(Fiber, EarlyFinishersAreExcludedFromRendezvous)
+{
+    // Lanes 0..3 participate; lane 2 exits before the barrier. The
+    // rendezvous must proceed with the remaining three.
+    FiberGroup group;
+    std::vector<int> lanes{0, 1, 2, 3};
+    std::vector<uint64_t> counts(4, 99);
+    group.run(lanes, [&](int lane) {
+        if (lane == 2)
+            return;
+        counts[static_cast<size_t>(lane)] = group.barrier(
+            1,
+            [](const std::vector<uint64_t> &vals,
+               const std::vector<int> &, std::vector<uint64_t> &out) {
+                for (auto &o : out)
+                    o = vals.size();
+            });
+    });
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 3u);
+    EXPECT_EQ(counts[2], 99u);
+    EXPECT_EQ(counts[3], 3u);
+}
+
+TEST(Fiber, MultipleSequentialBarriers)
+{
+    FiberGroup group;
+    std::vector<int> lanes{0, 1};
+    int rounds_seen = 0;
+    group.run(lanes, [&](int lane) {
+        for (int round = 0; round < 5; ++round) {
+            uint64_t r = group.barrier(
+                static_cast<uint64_t>(round),
+                [](const std::vector<uint64_t> &vals,
+                   const std::vector<int> &,
+                   std::vector<uint64_t> &out) {
+                    // All lanes must be in the same round.
+                    for (uint64_t v : vals)
+                        EXPECT_EQ(v, vals[0]);
+                    for (auto &o : out)
+                        o = vals[0];
+                });
+            EXPECT_EQ(r, static_cast<uint64_t>(round));
+            if (lane == 0)
+                ++rounds_seen;
+        }
+    });
+    EXPECT_EQ(rounds_seen, 5);
+}
+
+TEST(Fiber, GroupIsReusable)
+{
+    FiberGroup group;
+    for (int iter = 0; iter < 10; ++iter) {
+        int total = 0;
+        std::vector<int> lanes{0, 1, 2};
+        group.run(lanes, [&](int) { ++total; });
+        EXPECT_EQ(total, 3);
+    }
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("value"), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("a,1"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtCount(3660000.0), "3.66 M");
+    EXPECT_EQ(fmtCount(149680.0), "149.68 K");
+    EXPECT_EQ(fmtCount(42.0), "42");
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(1, 8), "12.5");
+    EXPECT_EQ(fmtPercent(0, 0), "0.0");
+}
+
+} // namespace
