@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_liveness.dir/ablation_liveness.cc.o"
+  "CMakeFiles/ablation_liveness.dir/ablation_liveness.cc.o.d"
+  "ablation_liveness"
+  "ablation_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regcap.dir/ablation_regcap.cc.o"
+  "CMakeFiles/ablation_regcap.dir/ablation_regcap.cc.o.d"
+  "ablation_regcap"
+  "ablation_regcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spill_elision.dir/ablation_spill_elision.cc.o"
+  "CMakeFiles/ablation_spill_elision.dir/ablation_spill_elision.cc.o.d"
+  "ablation_spill_elision"
+  "ablation_spill_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spill_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

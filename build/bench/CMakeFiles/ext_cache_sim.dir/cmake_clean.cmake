@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_sim.dir/ext_cache_sim.cc.o"
+  "CMakeFiles/ext_cache_sim.dir/ext_cache_sim.cc.o.d"
+  "ext_cache_sim"
+  "ext_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sassifi.dir/ext_sassifi.cc.o"
+  "CMakeFiles/ext_sassifi.dir/ext_sassifi.cc.o.d"
+  "ext_sassifi"
+  "ext_sassifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sassifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timing.dir/ext_timing.cc.o"
+  "CMakeFiles/ext_timing.dir/ext_timing.cc.o.d"
+  "ext_timing"
+  "ext_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

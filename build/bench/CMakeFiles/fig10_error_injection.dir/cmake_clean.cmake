@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_error_injection.dir/fig10_error_injection.cc.o"
+  "CMakeFiles/fig10_error_injection.dir/fig10_error_injection.cc.o.d"
+  "fig10_error_injection"
+  "fig10_error_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_error_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

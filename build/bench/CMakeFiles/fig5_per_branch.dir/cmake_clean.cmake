@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_branch.dir/fig5_per_branch.cc.o"
+  "CMakeFiles/fig5_per_branch.dir/fig5_per_branch.cc.o.d"
+  "fig5_per_branch"
+  "fig5_per_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

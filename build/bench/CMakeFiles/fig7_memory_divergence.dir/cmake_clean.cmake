@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memory_divergence.dir/fig7_memory_divergence.cc.o"
+  "CMakeFiles/fig7_memory_divergence.dir/fig7_memory_divergence.cc.o.d"
+  "fig7_memory_divergence"
+  "fig7_memory_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_minife_matrix.dir/fig8_minife_matrix.cc.o"
+  "CMakeFiles/fig8_minife_matrix.dir/fig8_minife_matrix.cc.o.d"
+  "fig8_minife_matrix"
+  "fig8_minife_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_minife_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

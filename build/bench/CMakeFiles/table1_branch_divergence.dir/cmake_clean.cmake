@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_branch_divergence.dir/table1_branch_divergence.cc.o"
+  "CMakeFiles/table1_branch_divergence.dir/table1_branch_divergence.cc.o.d"
+  "table1_branch_divergence"
+  "table1_branch_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_branch_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_value_profile.dir/table2_value_profile.cc.o"
+  "CMakeFiles/table2_value_profile.dir/table2_value_profile.cc.o.d"
+  "table2_value_profile"
+  "table2_value_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_value_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

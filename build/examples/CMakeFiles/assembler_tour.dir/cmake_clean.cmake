@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembler_tour.dir/assembler_tour.cpp.o"
+  "CMakeFiles/assembler_tour.dir/assembler_tour.cpp.o.d"
+  "assembler_tour"
+  "assembler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/branch_divergence.cpp" "examples/CMakeFiles/branch_divergence.dir/branch_divergence.cpp.o" "gcc" "examples/CMakeFiles/branch_divergence.dir/branch_divergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sassi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/handlers/CMakeFiles/sassi_handlers.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sassi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sassi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/sassi_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sassir/CMakeFiles/sassi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/sassi_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/sassi_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_divergence.dir/branch_divergence.cpp.o"
+  "CMakeFiles/branch_divergence.dir/branch_divergence.cpp.o.d"
+  "branch_divergence"
+  "branch_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_blocks.dir/hot_blocks.cpp.o"
+  "CMakeFiles/hot_blocks.dir/hot_blocks.cpp.o.d"
+  "hot_blocks"
+  "hot_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_divergence.dir/memory_divergence.cpp.o"
+  "CMakeFiles/memory_divergence.dir/memory_divergence.cpp.o.d"
+  "memory_divergence"
+  "memory_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

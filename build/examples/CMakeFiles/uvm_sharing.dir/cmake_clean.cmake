@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvm_sharing.dir/uvm_sharing.cpp.o"
+  "CMakeFiles/uvm_sharing.dir/uvm_sharing.cpp.o.d"
+  "uvm_sharing"
+  "uvm_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvm_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_profile.dir/value_profile.cpp.o"
+  "CMakeFiles/value_profile.dir/value_profile.cpp.o.d"
+  "value_profile"
+  "value_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

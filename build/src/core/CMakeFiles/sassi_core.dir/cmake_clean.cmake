@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_core.dir/instrument.cc.o"
+  "CMakeFiles/sassi_core.dir/instrument.cc.o.d"
+  "CMakeFiles/sassi_core.dir/intrinsics.cc.o"
+  "CMakeFiles/sassi_core.dir/intrinsics.cc.o.d"
+  "CMakeFiles/sassi_core.dir/params.cc.o"
+  "CMakeFiles/sassi_core.dir/params.cc.o.d"
+  "CMakeFiles/sassi_core.dir/runtime.cc.o"
+  "CMakeFiles/sassi_core.dir/runtime.cc.o.d"
+  "libsassi_core.a"
+  "libsassi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

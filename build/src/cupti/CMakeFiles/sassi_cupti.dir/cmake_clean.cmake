@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_cupti.dir/callbacks.cc.o"
+  "CMakeFiles/sassi_cupti.dir/callbacks.cc.o.d"
+  "libsassi_cupti.a"
+  "libsassi_cupti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_cupti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/handlers/bb_counter.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/bb_counter.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/bb_counter.cc.o.d"
+  "/root/repo/src/handlers/branch_profiler.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/branch_profiler.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/branch_profiler.cc.o.d"
+  "/root/repo/src/handlers/dev_hash.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/dev_hash.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/dev_hash.cc.o.d"
+  "/root/repo/src/handlers/error_injector.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/error_injector.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/error_injector.cc.o.d"
+  "/root/repo/src/handlers/instr_counter.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/instr_counter.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/instr_counter.cc.o.d"
+  "/root/repo/src/handlers/mem_tracer.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/mem_tracer.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/mem_tracer.cc.o.d"
+  "/root/repo/src/handlers/memdiv_profiler.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/memdiv_profiler.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/memdiv_profiler.cc.o.d"
+  "/root/repo/src/handlers/value_profiler.cc" "src/handlers/CMakeFiles/sassi_handlers.dir/value_profiler.cc.o" "gcc" "src/handlers/CMakeFiles/sassi_handlers.dir/value_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sassi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/sassi_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sassir/CMakeFiles/sassi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/sassi_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/sassi_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

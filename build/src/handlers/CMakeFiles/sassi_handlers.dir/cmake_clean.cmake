@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_handlers.dir/bb_counter.cc.o"
+  "CMakeFiles/sassi_handlers.dir/bb_counter.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/branch_profiler.cc.o"
+  "CMakeFiles/sassi_handlers.dir/branch_profiler.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/dev_hash.cc.o"
+  "CMakeFiles/sassi_handlers.dir/dev_hash.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/error_injector.cc.o"
+  "CMakeFiles/sassi_handlers.dir/error_injector.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/instr_counter.cc.o"
+  "CMakeFiles/sassi_handlers.dir/instr_counter.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/mem_tracer.cc.o"
+  "CMakeFiles/sassi_handlers.dir/mem_tracer.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/memdiv_profiler.cc.o"
+  "CMakeFiles/sassi_handlers.dir/memdiv_profiler.cc.o.d"
+  "CMakeFiles/sassi_handlers.dir/value_profiler.cc.o"
+  "CMakeFiles/sassi_handlers.dir/value_profiler.cc.o.d"
+  "libsassi_handlers.a"
+  "libsassi_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

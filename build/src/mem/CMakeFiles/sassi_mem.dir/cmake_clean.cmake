@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_mem.dir/cache.cc.o"
+  "CMakeFiles/sassi_mem.dir/cache.cc.o.d"
+  "CMakeFiles/sassi_mem.dir/coalescer.cc.o"
+  "CMakeFiles/sassi_mem.dir/coalescer.cc.o.d"
+  "CMakeFiles/sassi_mem.dir/timing.cc.o"
+  "CMakeFiles/sassi_mem.dir/timing.cc.o.d"
+  "libsassi_mem.a"
+  "libsassi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sass/instr.cc" "src/sass/CMakeFiles/sassi_sass.dir/instr.cc.o" "gcc" "src/sass/CMakeFiles/sassi_sass.dir/instr.cc.o.d"
+  "/root/repo/src/sass/opcode.cc" "src/sass/CMakeFiles/sassi_sass.dir/opcode.cc.o" "gcc" "src/sass/CMakeFiles/sassi_sass.dir/opcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_sass.dir/instr.cc.o"
+  "CMakeFiles/sassi_sass.dir/instr.cc.o.d"
+  "CMakeFiles/sassi_sass.dir/opcode.cc.o"
+  "CMakeFiles/sassi_sass.dir/opcode.cc.o.d"
+  "libsassi_sass.a"
+  "libsassi_sass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_sass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sassi_sass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sassir/builder.cc" "src/sassir/CMakeFiles/sassi_ir.dir/builder.cc.o" "gcc" "src/sassir/CMakeFiles/sassi_ir.dir/builder.cc.o.d"
+  "/root/repo/src/sassir/cfg.cc" "src/sassir/CMakeFiles/sassi_ir.dir/cfg.cc.o" "gcc" "src/sassir/CMakeFiles/sassi_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/sassir/liveness.cc" "src/sassir/CMakeFiles/sassi_ir.dir/liveness.cc.o" "gcc" "src/sassir/CMakeFiles/sassi_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/sassir/parser.cc" "src/sassir/CMakeFiles/sassi_ir.dir/parser.cc.o" "gcc" "src/sassir/CMakeFiles/sassi_ir.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sass/CMakeFiles/sassi_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_ir.dir/builder.cc.o"
+  "CMakeFiles/sassi_ir.dir/builder.cc.o.d"
+  "CMakeFiles/sassi_ir.dir/cfg.cc.o"
+  "CMakeFiles/sassi_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/sassi_ir.dir/liveness.cc.o"
+  "CMakeFiles/sassi_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/sassi_ir.dir/parser.cc.o"
+  "CMakeFiles/sassi_ir.dir/parser.cc.o.d"
+  "libsassi_ir.a"
+  "libsassi_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cc" "src/simt/CMakeFiles/sassi_simt.dir/device.cc.o" "gcc" "src/simt/CMakeFiles/sassi_simt.dir/device.cc.o.d"
+  "/root/repo/src/simt/executor.cc" "src/simt/CMakeFiles/sassi_simt.dir/executor.cc.o" "gcc" "src/simt/CMakeFiles/sassi_simt.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sassir/CMakeFiles/sassi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/sassi_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/sassi_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_simt.dir/device.cc.o"
+  "CMakeFiles/sassi_simt.dir/device.cc.o.d"
+  "CMakeFiles/sassi_simt.dir/executor.cc.o"
+  "CMakeFiles/sassi_simt.dir/executor.cc.o.d"
+  "libsassi_simt.a"
+  "libsassi_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

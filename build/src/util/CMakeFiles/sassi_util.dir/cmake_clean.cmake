@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sassi_util.dir/fiber.cc.o"
+  "CMakeFiles/sassi_util.dir/fiber.cc.o.d"
+  "CMakeFiles/sassi_util.dir/logging.cc.o"
+  "CMakeFiles/sassi_util.dir/logging.cc.o.d"
+  "CMakeFiles/sassi_util.dir/table.cc.o"
+  "CMakeFiles/sassi_util.dir/table.cc.o.d"
+  "libsassi_util.a"
+  "libsassi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sassi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

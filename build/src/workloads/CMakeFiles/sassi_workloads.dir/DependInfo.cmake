@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/cutcp.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/cutcp.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/cutcp.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/heartwall.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/heartwall.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/heartwall.cc.o.d"
+  "/root/repo/src/workloads/histo.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/histo.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/histo.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/lavamd.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/lavamd.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/lavamd.cc.o.d"
+  "/root/repo/src/workloads/lbm.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/lbm.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/lbm.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/lud.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/lud.cc.o.d"
+  "/root/repo/src/workloads/mriq.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/mriq.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/mriq.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/nn.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/nn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/sad.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/sad.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/sad.cc.o.d"
+  "/root/repo/src/workloads/sgemm.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/sgemm.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/sgemm.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/spmv.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/spmv.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/srad.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/stencil.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/tpacf.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/tpacf.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/tpacf.cc.o.d"
+  "/root/repo/src/workloads/vecadd.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/vecadd.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/vecadd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/sassi_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/sassi_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/sassi_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sassir/CMakeFiles/sassi_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/sassi_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/cupti/CMakeFiles/sassi_cupti.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sassi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sass")
+subdirs("sassir")
+subdirs("simt")
+subdirs("core")
+subdirs("handlers")
+subdirs("mem")
+subdirs("workloads")
+subdirs("integration")

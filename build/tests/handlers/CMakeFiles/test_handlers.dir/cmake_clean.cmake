@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handlers.dir/handlers_test.cc.o"
+  "CMakeFiles/test_handlers.dir/handlers_test.cc.o.d"
+  "CMakeFiles/test_handlers.dir/sassifi_test.cc.o"
+  "CMakeFiles/test_handlers.dir/sassifi_test.cc.o.d"
+  "test_handlers"
+  "test_handlers.pdb"
+  "test_handlers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

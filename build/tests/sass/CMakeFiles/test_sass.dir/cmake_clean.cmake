@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sass.dir/sass_test.cc.o"
+  "CMakeFiles/test_sass.dir/sass_test.cc.o.d"
+  "test_sass"
+  "test_sass.pdb"
+  "test_sass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

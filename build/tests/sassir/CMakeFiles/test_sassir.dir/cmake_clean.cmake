@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sassir.dir/sassir_test.cc.o"
+  "CMakeFiles/test_sassir.dir/sassir_test.cc.o.d"
+  "test_sassir"
+  "test_sassir.pdb"
+  "test_sassir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sassir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/alu_property_test.cc.o"
+  "CMakeFiles/test_simt.dir/alu_property_test.cc.o.d"
+  "CMakeFiles/test_simt.dir/divergence_property_test.cc.o"
+  "CMakeFiles/test_simt.dir/divergence_property_test.cc.o.d"
+  "CMakeFiles/test_simt.dir/errors_test.cc.o"
+  "CMakeFiles/test_simt.dir/errors_test.cc.o.d"
+  "CMakeFiles/test_simt.dir/executor_test.cc.o"
+  "CMakeFiles/test_simt.dir/executor_test.cc.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
