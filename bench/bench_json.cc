@@ -1,0 +1,189 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace sassi::bench {
+
+namespace {
+
+/** JSON string escaping for the small set of names we emit. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+/**
+ * Split an existing top-level JSON object into key -> raw value
+ * text, tolerating exactly the shape this writer produces. Anything
+ * unparsable is dropped (the section will simply be rewritten on
+ * the next run of its tool).
+ */
+std::map<std::string, std::string>
+splitTopLevel(const std::string &text)
+{
+    std::map<std::string, std::string> out;
+    size_t i = text.find('{');
+    if (i == std::string::npos)
+        return out;
+    ++i;
+    auto skipWs = [&] {
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                                   text[i] == '\r' || text[i] == '\t' ||
+                                   text[i] == ','))
+            ++i;
+    };
+    auto readString = [&](std::string &s) {
+        if (i >= text.size() || text[i] != '"')
+            return false;
+        ++i;
+        s.clear();
+        while (i < text.size() && text[i] != '"') {
+            if (text[i] == '\\' && i + 1 < text.size()) {
+                s += text[i];
+                ++i;
+            }
+            s += text[i];
+            ++i;
+        }
+        if (i >= text.size())
+            return false;
+        ++i; // Closing quote.
+        return true;
+    };
+    for (;;) {
+        skipWs();
+        if (i >= text.size() || text[i] == '}')
+            break;
+        std::string key;
+        if (!readString(key))
+            break;
+        skipWs();
+        if (i >= text.size() || text[i] != ':')
+            break;
+        ++i;
+        skipWs();
+        // Capture the raw value: balanced braces/brackets outside
+        // strings, or a bare scalar up to the next ',' / '}'.
+        size_t start = i;
+        int depth = 0;
+        bool in_str = false;
+        bool closed = false;
+        for (; i < text.size(); ++i) {
+            char ch = text[i];
+            if (in_str) {
+                if (ch == '\\')
+                    ++i;
+                else if (ch == '"')
+                    in_str = false;
+                continue;
+            }
+            if (ch == '"') {
+                in_str = true;
+            } else if (ch == '{' || ch == '[') {
+                ++depth;
+            } else if (ch == '}' || ch == ']') {
+                if (depth == 0) {
+                    closed = true;
+                    break;
+                }
+                --depth;
+            } else if (ch == ',' && depth == 0) {
+                closed = true;
+                break;
+            }
+        }
+        // A value still open at end-of-text (unbalanced braces or an
+        // unterminated string) is corrupt — drop it rather than
+        // re-emitting invalid JSON.
+        std::string value = text.substr(start, i - start);
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\n' ||
+                value.back() == '\r' || value.back() == '\t'))
+            value.pop_back();
+        if ((closed || depth == 0) && !in_str && !value.empty())
+            out[key] = value;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+BenchJson::write(const std::string &path) const
+{
+    std::map<std::string, std::string> sections;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            sections = splitTopLevel(ss.str());
+        }
+    }
+
+    std::ostringstream sec;
+    sec << "{\n    \"records\": [";
+    for (size_t r = 0; r < records_.size(); ++r) {
+        const BenchRecord &rec = records_[r];
+        sec << (r ? ",\n      " : "\n      ");
+        sec << "{\"name\": \"" << jsonEscape(rec.name) << "\", "
+            << "\"wall_seconds\": " << jsonNumber(rec.wallSeconds)
+            << ", "
+            << "\"warp_instrs_per_sec\": "
+            << jsonNumber(rec.warpInstrsPerSec) << ", "
+            << "\"threads\": " << rec.threads;
+        for (const auto &[k, v] : rec.extra)
+            sec << ", \"" << jsonEscape(k) << "\": " << jsonNumber(v);
+        sec << "}";
+    }
+    sec << (records_.empty() ? "]\n  }" : "\n    ]\n  }");
+    sections[tool_] = sec.str();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_json: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << "{";
+    bool first = true;
+    for (const auto &[key, value] : sections) {
+        out << (first ? "\n  " : ",\n  ");
+        first = false;
+        out << "\"" << jsonEscape(key) << "\": " << value;
+    }
+    out << "\n}\n";
+    return out.good();
+}
+
+} // namespace sassi::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-readable benchmark output.
+ *
+ * The bench tables print human-oriented text; CI and the scaling
+ * experiments want numbers a script can diff. Each bench tool
+ * records (name, wall seconds, warp-instrs/sec, worker threads)
+ * tuples and merge-writes them into one BENCH_simt.json keyed by
+ * tool name, so running the tools in any order accumulates a
+ * complete snapshot without clobbering the other tools' sections.
+ */
+
+#ifndef SASSI_BENCH_BENCH_JSON_H
+#define SASSI_BENCH_BENCH_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sassi::bench {
+
+/** One measured configuration of a bench tool. */
+struct BenchRecord
+{
+    std::string name;           //!< e.g.\ "spin64x128/threads=8".
+    double wallSeconds = 0;     //!< Wall-clock time of the run.
+    double warpInstrsPerSec = 0;//!< Simulator throughput.
+    int threads = 1;            //!< Worker threads (numThreads).
+
+    /** Extra tool-specific numeric fields. */
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/** Accumulates records and merge-writes BENCH_simt.json. */
+class BenchJson
+{
+  public:
+    /** @param tool Top-level key this tool's records live under. */
+    explicit BenchJson(std::string tool) : tool_(std::move(tool)) {}
+
+    /** Append one record. */
+    void add(BenchRecord rec) { records_.push_back(std::move(rec)); }
+
+    /**
+     * Write the accumulated records to path. When the file already
+     * exists, other tools' top-level sections are preserved and only
+     * this tool's section is replaced.
+     *
+     * @return true on success (failure is reported on stderr but is
+     *         never fatal — the human-readable output already ran).
+     */
+    bool write(const std::string &path = "BENCH_simt.json") const;
+
+  private:
+    std::string tool_;
+    std::vector<BenchRecord> records_;
+};
+
+} // namespace sassi::bench
+
+#endif // SASSI_BENCH_BENCH_JSON_H

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_json.h"
 #include "core/sassi.h"
 #include "handlers/dev_hash.h"
 #include "mem/coalescer.h"
@@ -121,6 +125,77 @@ BM_Coalescer(benchmark::State &state)
 }
 BENCHMARK(BM_Coalescer);
 
+/**
+ * Parallel-CTA scaling sweep: the spin kernel on a 64-CTA grid at
+ * 1/2/4/8 worker threads, reported to stdout and merge-written to
+ * BENCH_simt.json (with the serial-relative speedups) so scripts
+ * can track the simulator's thread scaling.
+ */
+void
+runScalingReport()
+{
+    constexpr int Ctas = 64;
+    constexpr int Iters = 4096;
+    Device dev;
+    ir::Module mod;
+    mod.kernels.push_back(spinKernel(Iters));
+    dev.loadModule(std::move(mod));
+
+    std::printf("\n-- Parallel CTA scaling (spin x%d, %d CTAs x 128 "
+                "threads) --\n", Iters, Ctas);
+    sassi::bench::BenchJson json("bench_micro");
+    double serial_rate = 0;
+    for (int threads : {1, 2, 4, 8}) {
+        LaunchOptions opts;
+        opts.numThreads = threads;
+        // Warm the worker pool (thread creation, page faults).
+        dev.launch("spin", Dim3(Ctas), Dim3(128), KernelArgs(), opts);
+
+        uint64_t instrs = 0;
+        int reps = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        double secs = 0;
+        do {
+            auto r = dev.launch("spin", Dim3(Ctas), Dim3(128),
+                                KernelArgs(), opts);
+            instrs += r.stats.warpInstrs;
+            ++reps;
+            secs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        } while (secs < 0.5);
+
+        double rate = static_cast<double>(instrs) / secs;
+        if (threads == 1)
+            serial_rate = rate;
+        double speedup = serial_rate > 0 ? rate / serial_rate : 1.0;
+        std::printf("threads=%d  %8.2f Mwi/s  speedup %.2fx  "
+                    "(%d launches, %.3fs)\n",
+                    threads, rate / 1e6, speedup, reps, secs);
+
+        sassi::bench::BenchRecord rec;
+        rec.name = "spin" + std::to_string(Ctas) + "x128/threads=" +
+                   std::to_string(threads);
+        rec.wallSeconds = secs;
+        rec.warpInstrsPerSec = rate;
+        rec.threads = threads;
+        rec.extra.emplace_back("speedup_vs_serial", speedup);
+        rec.extra.emplace_back("launches", static_cast<double>(reps));
+        json.add(rec);
+    }
+    if (json.write())
+        std::printf("wrote BENCH_simt.json\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    runScalingReport();
+    return 0;
+}

@@ -24,6 +24,9 @@ void
 replay(const workloads::SuiteEntry &entry, Table &table)
 {
     auto w = entry.make();
+    // The replayed trace must be in a reproducible order: run the
+    // CTA grid serially (see MemTracer).
+    w->launchOptions.numThreads = 1;
     simt::Device dev;
     w->setup(dev);
     core::SassiRuntime rt(dev);

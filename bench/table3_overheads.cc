@@ -13,13 +13,16 @@
  * value/error) and the CPU-bound apps' T staying near 1.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "handlers/branch_profiler.h"
 #include "handlers/error_injector.h"
 #include "handlers/memdiv_profiler.h"
 #include "handlers/value_profiler.h"
+#include "simt/thread_pool.h"
 
 using namespace sassi;
 using namespace sassi::bench;
@@ -73,6 +76,16 @@ main()
                  "Launches", "CS1 T", "CS1 K", "CS2 T", "CS2 K",
                  "CS3 T", "CS3 K", "CS4 T", "CS4 K"});
 
+    // Machine-readable mirror of the run (BENCH_simt.json): wall
+    // time and simulator throughput per baseline workload, at the
+    // worker-thread count the launches resolve to. Written silently
+    // so the table text stays byte-stable.
+    bench::BenchJson json("table3_overheads");
+    const int sim_threads =
+        simt::resolveSimThreads(0, ~0ull >> 1);
+    double total_wall = 0;
+    uint64_t total_instrs = 0;
+
     double max_k = 0;
     for (const auto &entry : workloads::fullSuite()) {
         uint64_t base_kernel, base_host, launches;
@@ -80,12 +93,31 @@ main()
             auto w = entry.make();
             simt::Device dev;
             w->setup(dev);
+            auto t0 = std::chrono::steady_clock::now();
             RunOutcome out = runAll(*w, dev);
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
             fatal_if(!out.last.ok() || !out.verified,
                      "%s baseline failed", entry.name.c_str());
             base_kernel = out.total.kernelTimeProxy();
             base_host = out.hostProxy;
             launches = out.launches;
+
+            total_wall += secs;
+            total_instrs += out.total.warpInstrs;
+            bench::BenchRecord rec;
+            rec.name = entry.suite + "/" + entry.name;
+            rec.wallSeconds = secs;
+            rec.warpInstrsPerSec =
+                secs > 0 ? static_cast<double>(out.total.warpInstrs) /
+                               secs
+                         : 0;
+            rec.threads = sim_threads;
+            rec.extra.emplace_back(
+                "warp_instrs",
+                static_cast<double>(out.total.warpInstrs));
+            json.add(rec);
         }
 
         StudyResult cs1 = runStudy(
@@ -126,6 +158,19 @@ main()
             fm(cs3.t), fm(cs3.k) + "k",
             fm(cs4.t), fm(cs4.k) + "k",
         });
+    }
+
+    {
+        bench::BenchRecord rec;
+        rec.name = "suite_baseline_total";
+        rec.wallSeconds = total_wall;
+        rec.warpInstrsPerSec =
+            total_wall > 0
+                ? static_cast<double>(total_instrs) / total_wall
+                : 0;
+        rec.threads = sim_threads;
+        json.add(rec);
+        json.write();
     }
 
     printResults(table, std::cout);

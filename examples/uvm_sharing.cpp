@@ -100,8 +100,11 @@ main()
     KernelArgs args;
     args.addU64(din);
     args.addU64(dsums);
+    // Trace order must be reproducible: run the grid serially.
+    LaunchOptions lopts;
+    lopts.numThreads = 1;
     LaunchResult r =
-        dev.launch("partial_sums", Dim3(blocks), Dim3(256), args);
+        dev.launch("partial_sums", Dim3(blocks), Dim3(256), args, lopts);
     if (!r.ok()) {
         std::printf("launch failed: %s\n", r.message.c_str());
         return 1;

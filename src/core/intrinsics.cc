@@ -43,6 +43,24 @@ store(uint64_t addr, T v)
     std::memcpy(devPtr(addr, sizeof(T)), &v, sizeof(T));
 }
 
+/**
+ * Aligned pointer to a device word for atomic access, or nullptr
+ * when the address is misaligned. Parallel CTA workers race on
+ * device counters exactly like CTAs race on a real GPU, so every
+ * handler atomic must be a genuine atomic RMW; a misaligned word
+ * has no atomic access path on any target and falls back to the
+ * plain load/store pair.
+ */
+template <typename T>
+T *
+devWord(uint64_t addr)
+{
+    uint8_t *p = devPtr(addr, sizeof(T));
+    if ((reinterpret_cast<uintptr_t>(p) & (sizeof(T) - 1)) != 0)
+        return nullptr;
+    return reinterpret_cast<T *>(p);
+}
+
 /** Run a warp-wide rendezvous publishing value; returns own result. */
 uint64_t
 rendezvous(uint64_t value, const FiberGroup::Reducer &reducer)
@@ -143,6 +161,8 @@ shflF(float var, int src_lane)
 uint32_t
 atomicAdd32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr))
+        return __atomic_fetch_add(w, v, __ATOMIC_RELAXED);
     uint32_t old = load<uint32_t>(addr);
     store<uint32_t>(addr, old + v);
     return old;
@@ -151,6 +171,8 @@ atomicAdd32(uint64_t addr, uint32_t v)
 uint64_t
 atomicAdd64(uint64_t addr, uint64_t v)
 {
+    if (auto *w = devWord<uint64_t>(addr))
+        return __atomic_fetch_add(w, v, __ATOMIC_RELAXED);
     uint64_t old = load<uint64_t>(addr);
     store<uint64_t>(addr, old + v);
     return old;
@@ -159,6 +181,8 @@ atomicAdd64(uint64_t addr, uint64_t v)
 uint32_t
 atomicAnd32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr))
+        return __atomic_fetch_and(w, v, __ATOMIC_RELAXED);
     uint32_t old = load<uint32_t>(addr);
     store<uint32_t>(addr, old & v);
     return old;
@@ -167,6 +191,8 @@ atomicAnd32(uint64_t addr, uint32_t v)
 uint64_t
 atomicAnd64(uint64_t addr, uint64_t v)
 {
+    if (auto *w = devWord<uint64_t>(addr))
+        return __atomic_fetch_and(w, v, __ATOMIC_RELAXED);
     uint64_t old = load<uint64_t>(addr);
     store<uint64_t>(addr, old & v);
     return old;
@@ -175,6 +201,8 @@ atomicAnd64(uint64_t addr, uint64_t v)
 uint32_t
 atomicOr32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr))
+        return __atomic_fetch_or(w, v, __ATOMIC_RELAXED);
     uint32_t old = load<uint32_t>(addr);
     store<uint32_t>(addr, old | v);
     return old;
@@ -183,6 +211,8 @@ atomicOr32(uint64_t addr, uint32_t v)
 uint64_t
 atomicOr64(uint64_t addr, uint64_t v)
 {
+    if (auto *w = devWord<uint64_t>(addr))
+        return __atomic_fetch_or(w, v, __ATOMIC_RELAXED);
     uint64_t old = load<uint64_t>(addr);
     store<uint64_t>(addr, old | v);
     return old;
@@ -191,6 +221,15 @@ atomicOr64(uint64_t addr, uint64_t v)
 uint32_t
 atomicMax32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr)) {
+        uint32_t old = __atomic_load_n(w, __ATOMIC_RELAXED);
+        while (v > old &&
+               !__atomic_compare_exchange_n(w, &old, v, false,
+                                            __ATOMIC_RELAXED,
+                                            __ATOMIC_RELAXED)) {
+        }
+        return old;
+    }
     uint32_t old = load<uint32_t>(addr);
     store<uint32_t>(addr, std::max(old, v));
     return old;
@@ -199,6 +238,12 @@ atomicMax32(uint64_t addr, uint32_t v)
 uint32_t
 atomicCAS32(uint64_t addr, uint32_t compare, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr)) {
+        uint32_t expected = compare;
+        __atomic_compare_exchange_n(w, &expected, v, false,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+        return expected;
+    }
     uint32_t old = load<uint32_t>(addr);
     if (old == compare)
         store<uint32_t>(addr, v);
@@ -208,6 +253,12 @@ atomicCAS32(uint64_t addr, uint32_t compare, uint32_t v)
 uint64_t
 atomicCAS64(uint64_t addr, uint64_t compare, uint64_t v)
 {
+    if (auto *w = devWord<uint64_t>(addr)) {
+        uint64_t expected = compare;
+        __atomic_compare_exchange_n(w, &expected, v, false,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED);
+        return expected;
+    }
     uint64_t old = load<uint64_t>(addr);
     if (old == compare)
         store<uint64_t>(addr, v);
@@ -217,6 +268,8 @@ atomicCAS64(uint64_t addr, uint64_t compare, uint64_t v)
 uint32_t
 atomicExch32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr))
+        return __atomic_exchange_n(w, v, __ATOMIC_RELAXED);
     uint32_t old = load<uint32_t>(addr);
     store<uint32_t>(addr, v);
     return old;
@@ -225,24 +278,36 @@ atomicExch32(uint64_t addr, uint32_t v)
 uint32_t
 devLoad32(uint64_t addr)
 {
+    if (auto *w = devWord<uint32_t>(addr))
+        return __atomic_load_n(w, __ATOMIC_RELAXED);
     return load<uint32_t>(addr);
 }
 
 uint64_t
 devLoad64(uint64_t addr)
 {
+    if (auto *w = devWord<uint64_t>(addr))
+        return __atomic_load_n(w, __ATOMIC_RELAXED);
     return load<uint64_t>(addr);
 }
 
 void
 devStore32(uint64_t addr, uint32_t v)
 {
+    if (auto *w = devWord<uint32_t>(addr)) {
+        __atomic_store_n(w, v, __ATOMIC_RELAXED);
+        return;
+    }
     store<uint32_t>(addr, v);
 }
 
 void
 devStore64(uint64_t addr, uint64_t v)
 {
+    if (auto *w = devWord<uint64_t>(addr)) {
+        __atomic_store_n(w, v, __ATOMIC_RELAXED);
+        return;
+    }
     store<uint64_t>(addr, v);
 }
 

@@ -62,12 +62,17 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
     if (traits.warpFilter && !traits.warpFilter(exec, warp, site))
         return;
 
+    // One fiber group per OS thread: parallel CTA workers dispatch
+    // concurrently, and ucontext fiber state must never be shared
+    // (or migrated) across threads.
+    static thread_local FiberGroup fibers;
+
     DispatchState ds;
     ds.exec = &exec;
     ds.warp = &warp;
     ds.site = &site;
     ds.activeMask = warp.activeMask;
-    ds.fibers = &fibers_;
+    ds.fibers = &fibers;
     ds.envs.resize(sass::WarpSize);
 
     std::vector<int> lanes;
@@ -98,7 +103,7 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 
     tl_dispatch = &ds;
     if (traits.warpSynchronous) {
-        fibers_.run(lanes, [&](int lane) {
+        fibers.run(lanes, [&](int lane) {
             try {
                 handler(ds.envs[static_cast<size_t>(lane)]);
             } catch (const simt::SimFault &f) {

@@ -162,7 +162,6 @@ class SassiRuntime : public simt::HandlerDispatcher
     HandlerTraits before_traits_;
     HandlerTraits after_traits_;
     InstrumentOptions opts_;
-    FiberGroup fibers_;
     bool instrumented_ = false;
 };
 

@@ -184,7 +184,7 @@ selectInjectionSites(
 
 ErrorInjector::ErrorInjector(simt::Device &dev, core::SassiRuntime &rt,
                              InjectionSite site)
-    : dev_(dev), site_(std::move(site)), armed_(new bool(false))
+    : dev_(dev), site_(std::move(site)), armed_(new std::atomic<bool>(false))
 {
     state_ = dev_.malloc(16);
     dev_.memset(state_, 0, 16);
@@ -200,7 +200,7 @@ ErrorInjector::ErrorInjector(simt::Device &dev, core::SassiRuntime &rt,
     traits.warpFilter = [armed, s](simt::Executor &exec,
                                    simt::Warp &warp,
                                    const core::SiteInfo &) {
-        if (!*armed)
+        if (!armed->load(std::memory_order_relaxed))
             return false;
         uint64_t first = exec.globalThreadLinear(warp, 0);
         return s.thread >= first && s.thread < first + 32;
@@ -213,13 +213,13 @@ ErrorInjector::ErrorInjector(simt::Device &dev, core::SassiRuntime &rt,
             s.kernelName.c_str(), s.invocation,
             static_cast<unsigned long long>(s.thread),
             static_cast<unsigned long long>(s.instrIndex));
-        *armed = false; // One error per application run (§8).
+        armed->store(false, std::memory_order_relaxed); // One error per application run (§8).
     };
 
     if (site_.mode == InjectionMode::DestReg) {
         rt.setAfterHandler([armed, s, state, finish](
                                const core::HandlerEnv &env) {
-            if (!*armed)
+            if (!armed->load(std::memory_order_relaxed))
                 return;
             if (globalThread(env) != s.thread)
                 return;
@@ -267,7 +267,7 @@ ErrorInjector::ErrorInjector(simt::Device &dev, core::SassiRuntime &rt,
         // so the restored value feeds the store.
         rt.setBeforeHandler([armed, s, state, finish](
                                 const core::HandlerEnv &env) {
-            if (!*armed)
+            if (!armed->load(std::memory_order_relaxed))
                 return;
             if (globalThread(env) != s.thread)
                 return;
@@ -312,10 +312,10 @@ ErrorInjector::ErrorInjector(simt::Device &dev, core::SassiRuntime &rt,
             if (cb_site == cupti::CallbackSite::KernelLaunch) {
                 if (dev.read<uint32_t>(state + 8) == 0) {
                     dev.write<uint32_t>(state, 0);
-                    *armed = true;
+                    armed->store(true, std::memory_order_relaxed);
                 }
             } else {
-                *armed = false;
+                armed->store(false, std::memory_order_relaxed);
             }
         });
 }

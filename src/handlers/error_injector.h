@@ -26,6 +26,7 @@
 #ifndef SASSI_HANDLERS_ERROR_INJECTOR_H
 #define SASSI_HANDLERS_ERROR_INJECTOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -166,7 +167,8 @@ class ErrorInjector
     simt::Device &dev_;
     InjectionSite site_;
     uint64_t state_; //!< Device: [0] countdown flag+counter, [1] done.
-    std::shared_ptr<bool> armed_;
+    // Read by the warp filter on every CTA worker concurrently.
+    std::shared_ptr<std::atomic<bool>> armed_;
     std::string description_;
 };
 

@@ -15,16 +15,22 @@ MemTracer::MemTracer(simt::Device &, core::SassiRuntime &rt)
 
         // Tag all records of one warp instruction with one event id
         // so the cache simulator can model intra-warp coalescing.
+        // Every lane of a warp dispatch runs on the same OS thread,
+        // so caching the drawn id thread-locally keeps one warp's
+        // records on one event even when CTA workers interleave.
+        static thread_local uint32_t tl_event = 0;
         uint32_t active = cuda::ballot(1);
         if (env.lane == cuda::ffs(active) - 1)
-            ++warp_events_;
+            tl_event = warp_events_.fetch_add(
+                           1, std::memory_order_relaxed) + 1;
 
         TraceRecord rec;
         rec.address = static_cast<uint64_t>(addr);
         rec.width = static_cast<uint8_t>(env.mp.GetWidth());
         rec.isStore = env.mp.IsStore();
         rec.insAddr = env.bp.GetInsAddr();
-        rec.warpEvent = warp_events_;
+        rec.warpEvent = tl_event;
+        std::lock_guard<std::mutex> lock(mutex_);
         trace_.push_back(rec);
     });
 }

@@ -10,7 +10,9 @@
 #ifndef SASSI_HANDLERS_MEM_TRACER_H
 #define SASSI_HANDLERS_MEM_TRACER_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/runtime.h"
@@ -27,7 +29,14 @@ struct TraceRecord
     uint32_t warpEvent = 0; //!< Warp-level event id (for coalescing).
 };
 
-/** Collects a global-memory access trace. */
+/**
+ * Collects a global-memory access trace.
+ *
+ * The collector is thread-safe, but the *order* of records depends
+ * on CTA interleaving: launches whose consumers replay the trace
+ * (the cache and timing simulators) should pin
+ * LaunchOptions::numThreads = 1 so traces are reproducible.
+ */
 class MemTracer
 {
   public:
@@ -50,8 +59,9 @@ class MemTracer
     }
 
   private:
+    std::mutex mutex_;
     std::vector<TraceRecord> trace_;
-    uint32_t warp_events_ = 0;
+    std::atomic<uint32_t> warp_events_{0};
 };
 
 } // namespace sassi::handlers

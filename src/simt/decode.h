@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-kernel decode cache for the interpreter hot path.
+ *
+ * The executor's step() used to re-derive, for every dynamic warp
+ * instruction, facts that are static per Instruction: which
+ * execution class handles it (control, memory, warp-wide, ALU),
+ * whether its guard predicate needs per-lane evaluation, and
+ * whether it counts as a memory instruction for the statistics.
+ * The paper's §5 overhead discussion shows the overwhelmingly
+ * common case is an unpredicated instruction on a fully converged
+ * warp; the decode cache lets that case skip the per-lane guard
+ * loop entirely and jump straight to the right exec routine. It is
+ * built once per launch and shared read-only by all CTA workers.
+ */
+
+#ifndef SASSI_SIMT_DECODE_H
+#define SASSI_SIMT_DECODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sassir/module.h"
+
+namespace sassi::simt {
+
+/** Top-level dispatch class of an instruction in step(). */
+enum class ExecClass : uint8_t {
+    Exit,
+    Bra,
+    Ssy,
+    Sync,
+    Jcal,
+    Ret,
+    Bar,
+    Bpt,
+    WarpOp, //!< VOTE / SHFL.
+    Mem,    //!< Loads, stores, atomics.
+    Alu,    //!< Everything else.
+};
+
+/** How the guard predicate resolves, decided at decode time. */
+enum class GuardKind : uint8_t {
+    AlwaysOn,  //!< @PT: every active lane executes.
+    AlwaysOff, //!< @!PT: statically nullified.
+    PerLane,   //!< A real predicate: evaluate per lane.
+};
+
+/** Statically resolved facts about one instruction. */
+struct DecodedInstr
+{
+    ExecClass cls = ExecClass::Alu;
+    GuardKind guard = GuardKind::PerLane;
+    bool countsAsMem = false; //!< Feeds LaunchStats::memWarpInstrs.
+};
+
+/** The decode cache: one DecodedInstr per kernel instruction. */
+class DecodeCache
+{
+  public:
+    explicit DecodeCache(const ir::Kernel &kernel)
+    {
+        decoded_.reserve(kernel.code.size());
+        for (const sass::Instruction &ins : kernel.code)
+            decoded_.push_back(decode(ins));
+    }
+
+    const DecodedInstr &
+    at(uint32_t pc) const
+    {
+        return decoded_[pc];
+    }
+
+  private:
+    static DecodedInstr
+    decode(const sass::Instruction &ins)
+    {
+        DecodedInstr d;
+        switch (ins.op) {
+          case sass::Opcode::EXIT: d.cls = ExecClass::Exit; break;
+          case sass::Opcode::BRA: d.cls = ExecClass::Bra; break;
+          case sass::Opcode::SSY: d.cls = ExecClass::Ssy; break;
+          case sass::Opcode::SYNC: d.cls = ExecClass::Sync; break;
+          case sass::Opcode::JCAL: d.cls = ExecClass::Jcal; break;
+          case sass::Opcode::RET: d.cls = ExecClass::Ret; break;
+          case sass::Opcode::BAR: d.cls = ExecClass::Bar; break;
+          case sass::Opcode::BPT: d.cls = ExecClass::Bpt; break;
+          case sass::Opcode::VOTE:
+          case sass::Opcode::SHFL:
+            d.cls = ExecClass::WarpOp;
+            break;
+          default:
+            d.cls = ins.isMem() ? ExecClass::Mem : ExecClass::Alu;
+            break;
+        }
+        if (ins.guard == sass::PT)
+            d.guard = ins.guardNeg ? GuardKind::AlwaysOff
+                                   : GuardKind::AlwaysOn;
+        else
+            d.guard = GuardKind::PerLane;
+        d.countsAsMem = ins.isMem();
+        return d;
+    }
+
+    std::vector<DecodedInstr> decoded_;
+};
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_DECODE_H

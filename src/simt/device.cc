@@ -16,6 +16,7 @@ Device::Device(size_t heap_bytes)
 uint64_t
 Device::malloc(size_t bytes, size_t align)
 {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
     uint64_t addr = (brk_ + align - 1) & ~(static_cast<uint64_t>(align) - 1);
     uint64_t end = addr + bytes;
     fatal_if(end - GlobalBase > heap_.capacity(),
@@ -29,6 +30,7 @@ Device::malloc(size_t bytes, size_t align)
 void
 Device::mapSlack(size_t bytes)
 {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
     size_t want = heap_.size() + bytes;
     heap_.resize(std::min(want, heap_.capacity()), 0);
 }
@@ -62,7 +64,7 @@ Device::memcpyHtoD(uint64_t dst, const void *src, size_t n)
     uint8_t *p = globalPtr(dst, n);
     fatal_if(!p, "memcpyHtoD out of bounds: 0x%llx + %zu",
              static_cast<unsigned long long>(dst), n);
-    bytes_h2d_ += n;
+    bytes_h2d_.fetch_add(n, std::memory_order_relaxed);
     std::memcpy(p, src, n);
 }
 
@@ -72,7 +74,7 @@ Device::memcpyDtoH(void *dst, uint64_t src, size_t n) const
     const uint8_t *p = globalPtr(src, n);
     fatal_if(!p, "memcpyDtoH out of bounds: 0x%llx + %zu",
              static_cast<unsigned long long>(src), n);
-    bytes_d2h_ += n;
+    bytes_d2h_.fetch_add(n, std::memory_order_relaxed);
     std::memcpy(dst, p, n);
 }
 
@@ -116,7 +118,7 @@ Device::launch(const std::string &kernel, Dim3 grid, Dim3 block,
     Executor exec(*this, *k, grid, block, args.bytes(), opts);
     LaunchResult result = exec.run();
     total_stats_.add(result.stats);
-    ++launches_;
+    launches_.fetch_add(1, std::memory_order_relaxed);
 
     data.launchOk = result.ok();
     data.errorMessage = result.message;

@@ -12,7 +12,9 @@
 #ifndef SASSI_SIMT_DEVICE_H
 #define SASSI_SIMT_DEVICE_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -132,24 +134,41 @@ class Device
     void resetStats() { total_stats_ = LaunchStats(); }
 
     /** @return bytes copied host->device so far. */
-    uint64_t bytesH2D() const { return bytes_h2d_; }
+    uint64_t
+    bytesH2D() const
+    {
+        return bytes_h2d_.load(std::memory_order_relaxed);
+    }
 
     /** @return bytes copied device->host so far. */
-    uint64_t bytesD2H() const { return bytes_d2h_; }
+    uint64_t
+    bytesD2H() const
+    {
+        return bytes_d2h_.load(std::memory_order_relaxed);
+    }
 
     /** @return kernel launches so far. */
-    uint64_t launches() const { return launches_; }
+    uint64_t
+    launches() const
+    {
+        return launches_.load(std::memory_order_relaxed);
+    }
 
   private:
+    // The heap's capacity is reserved up front and resize never
+    // exceeds it, so heap_.data() stays stable while parallel CTA
+    // workers hold pointers into it; mem_mutex_ serializes the
+    // allocator bookkeeping (brk_, size growth) itself.
     std::vector<uint8_t> heap_;
     uint64_t brk_ = GlobalBase;
+    std::mutex mem_mutex_;
     ir::Module module_;
     HandlerDispatcher *dispatcher_ = nullptr;
     cupti::CallbackRegistry callbacks_;
     LaunchStats total_stats_;
-    uint64_t bytes_h2d_ = 0;
-    mutable uint64_t bytes_d2h_ = 0;
-    uint64_t launches_ = 0;
+    std::atomic<uint64_t> bytes_h2d_{0};
+    mutable std::atomic<uint64_t> bytes_d2h_{0};
+    std::atomic<uint64_t> launches_{0};
 };
 
 } // namespace sassi::simt

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "simt/thread_pool.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -138,24 +139,82 @@ Executor::threadIdx(const Warp &warp, int lane) const
 LaunchResult
 Executor::run()
 {
+    if (!decode_) {
+        owned_decode_ = std::make_unique<DecodeCache>(kernel_);
+        decode_ = owned_decode_.get();
+    }
+
+    const uint64_t total = grid_.count();
+    int workers = resolveSimThreads(opts_.numThreads, total);
+    if (workers <= 1)
+        return runShard(0, 1);
+
+    // Shard the grid round-robin: worker w runs CTAs w, w+n, w+2n...
+    // Each worker is a full Executor with private warp state, shared
+    // memory, and statistics; only device global memory is shared,
+    // and every RMW on it goes through a real atomic (execMem,
+    // intrinsics.cc), matching the GPU's own guarantees.
+    std::atomic<bool> stop{false};
+    std::vector<std::unique_ptr<Executor>> shards;
+    shards.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        shards.emplace_back(std::make_unique<Executor>(
+            dev_, kernel_, grid_, block_, params_, opts_));
+        shards.back()->decode_ = decode_;
+        shards.back()->stop_flag_ = &stop;
+    }
+    std::vector<LaunchResult> results(static_cast<size_t>(workers));
+    ThreadPool::global().parallelFor(workers, [&](int w) {
+        size_t i = static_cast<size_t>(w);
+        results[i] = shards[i]->runShard(static_cast<uint64_t>(w),
+                                         static_cast<uint64_t>(workers));
+    });
+
+    // Merge in worker order. Every LaunchStats field is a sum over
+    // CTAs, so the merged statistics are independent of both the
+    // worker count and execution timing. Faults are attributed to
+    // the lowest faulting CTA-linear id for determinism.
+    LaunchResult merged;
+    uint64_t first_fault = ~0ull;
+    for (int w = 0; w < workers; ++w) {
+        size_t i = static_cast<size_t>(w);
+        merged.stats.add(results[i].stats);
+        if (!results[i].ok() && shards[i]->fault_cta_ < first_fault) {
+            first_fault = shards[i]->fault_cta_;
+            merged.outcome = results[i].outcome;
+            merged.message = results[i].message;
+        }
+    }
+    stats_ = merged.stats;
+    return merged;
+}
+
+LaunchResult
+Executor::runShard(uint64_t first, uint64_t step)
+{
     LaunchResult result;
+    const uint64_t total = grid_.count();
+    const uint64_t plane = static_cast<uint64_t>(grid_.x) * grid_.y;
     try {
-        for (uint32_t cz = 0; cz < grid_.z; ++cz) {
-            for (uint32_t cy = 0; cy < grid_.y; ++cy) {
-                for (uint32_t cx = 0; cx < grid_.x; ++cx) {
-                    cta_ = Dim3(cx, cy, cz);
-                    cta_linear_ =
-                        (static_cast<uint64_t>(cz) * grid_.y + cy) *
-                            grid_.x + cx;
-                    runCta();
-                    ++stats_.ctas;
-                }
-            }
+        for (uint64_t linear = first; linear < total; linear += step) {
+            if (stop_flag_ &&
+                stop_flag_->load(std::memory_order_relaxed))
+                break;
+            cta_linear_ = linear;
+            cta_ = Dim3(static_cast<uint32_t>(linear % grid_.x),
+                        static_cast<uint32_t>((linear / grid_.x) %
+                                              grid_.y),
+                        static_cast<uint32_t>(linear / plane));
+            runCta();
+            ++stats_.ctas;
         }
         result.outcome = Outcome::Ok;
     } catch (const SimFault &f) {
         result.outcome = f.outcome;
         result.message = f.message;
+        fault_cta_ = cta_linear_;
+        if (stop_flag_)
+            stop_flag_->store(true, std::memory_order_relaxed);
     }
     result.stats = stats_;
     return result;
@@ -330,16 +389,49 @@ Executor::resolveAddr(Warp &warp, int lane, const Instruction &ins,
 void
 Executor::execMem(Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    int width = ins.width;
+    const int width = ins.width;
+
+    // Hoist everything static per instruction out of the lane loop.
+    enum class Kind { Load, Store, Atomic };
+    Kind kind;
+    switch (ins.op) {
+      case Opcode::LD:
+      case Opcode::LDG:
+      case Opcode::LDS:
+      case Opcode::LDL:
+      case Opcode::LDC:
+      case Opcode::TLD:
+      case Opcode::SULD:
+        kind = Kind::Load;
+        break;
+      case Opcode::ST:
+      case Opcode::STG:
+      case Opcode::STS:
+      case Opcode::STL:
+      case Opcode::SUST:
+        kind = Kind::Store;
+        break;
+      case Opcode::ATOM:
+      case Opcode::ATOMS:
+      case Opcode::RED:
+        kind = Kind::Atomic;
+        break;
+      default:
+        panic("execMem on non-memory opcode %s",
+              std::string(opName(ins.op)).c_str());
+    }
+    const bool addr_ldc = ins.op == Opcode::LDC;
+    const bool addr_pair = !addr_ldc && ins.addrIsPair();
+
     for (int lane = 0; lane < WarpSize; ++lane) {
         if (!(exec & (1u << lane)))
             continue;
 
         uint64_t addr;
-        if (ins.op == Opcode::LDC) {
+        if (addr_ldc) {
             addr = static_cast<uint64_t>(
                 static_cast<int64_t>(warp.reg(lane, ins.srcA)) + ins.imm);
-        } else if (ins.addrIsPair()) {
+        } else if (addr_pair) {
             addr = makeU64(warp.reg(lane, ins.srcA),
                            warp.reg(lane, static_cast<RegId>(ins.srcA + 1)))
                    + static_cast<uint64_t>(ins.imm);
@@ -350,14 +442,8 @@ Executor::execMem(Warp &warp, const Instruction &ins, uint32_t exec)
 
         uint8_t *p = resolveAddr(warp, lane, ins, addr, width);
 
-        switch (ins.op) {
-          case Opcode::LD:
-          case Opcode::LDG:
-          case Opcode::LDS:
-          case Opcode::LDL:
-          case Opcode::LDC:
-          case Opcode::TLD:
-          case Opcode::SULD: {
+        switch (kind) {
+          case Kind::Load: {
             if (width <= 4) {
                 uint32_t v = static_cast<uint32_t>(loadBytes(p, width));
                 if (width < 4 && ins.sExt) {
@@ -375,11 +461,7 @@ Executor::execMem(Warp &warp, const Instruction &ins, uint32_t exec)
             }
             break;
           }
-          case Opcode::ST:
-          case Opcode::STG:
-          case Opcode::STS:
-          case Opcode::STL:
-          case Opcode::SUST: {
+          case Kind::Store: {
             if (width <= 4) {
                 uint32_t v = warp.reg(lane, ins.srcB);
                 storeBytes(p, v, width);
@@ -392,24 +474,43 @@ Executor::execMem(Warp &warp, const Instruction &ins, uint32_t exec)
             }
             break;
           }
-          case Opcode::ATOM:
-          case Opcode::ATOMS:
-          case Opcode::RED: {
+          case Kind::Atomic: {
+            uint32_t b = warp.reg(lane, ins.srcB);
+            uint32_t c = warp.reg(lane, ins.srcC);
             uint32_t old;
-            std::memcpy(&old, p, 4);
-            bool store = false;
-            uint32_t next = atomicApply(ins.atom, old,
-                                        warp.reg(lane, ins.srcB),
-                                        warp.reg(lane, ins.srcC), store);
-            if (store)
-                std::memcpy(p, &next, 4);
+            if (ins.op == Opcode::ATOMS ||
+                (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+                // Shared memory is CTA-private, so only this worker
+                // touches it; a misaligned word has no atomic access
+                // path on any target. Plain read-modify-write.
+                std::memcpy(&old, p, 4);
+                bool store = false;
+                uint32_t next = atomicApply(ins.atom, old, b, c, store);
+                if (store)
+                    std::memcpy(p, &next, 4);
+            } else {
+                // Global/generic: CTAs on other workers may race on
+                // this word, so RMW through a real atomic, keeping
+                // atomicApply's conditional-store semantics (CAS only
+                // writes on compare success).
+                auto *word = reinterpret_cast<uint32_t *>(p);
+                old = __atomic_load_n(word, __ATOMIC_RELAXED);
+                for (;;) {
+                    bool store = false;
+                    uint32_t next =
+                        atomicApply(ins.atom, old, b, c, store);
+                    if (!store)
+                        break;
+                    if (__atomic_compare_exchange_n(
+                            word, &old, next, false, __ATOMIC_RELAXED,
+                            __ATOMIC_RELAXED))
+                        break;
+                }
+            }
             if (ins.op != Opcode::RED)
                 warp.setReg(lane, ins.dst, old);
             break;
           }
-          default:
-            panic("execMem on non-memory opcode %s",
-                  std::string(opName(ins.op)).c_str());
         }
     }
 }
@@ -477,155 +578,245 @@ Executor::execWarpOp(Warp &warp, const Instruction &ins, uint32_t exec)
 void
 Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    for (int lane = 0; lane < WarpSize; ++lane) {
-        if (!(exec & (1u << lane)))
-            continue;
+    if (!exec)
+        return;
 
-        uint32_t a = warp.reg(lane, ins.srcA);
-        uint32_t b = ins.bIsImm ? static_cast<uint32_t>(ins.imm)
-                                : warp.reg(lane, ins.srcB);
-        uint32_t c = warp.reg(lane, ins.srcC);
+    // The opcode switch runs once per warp instruction; each case
+    // loops over the active lanes. Operand-B immediate selection is
+    // likewise resolved once.
+    const bool b_imm = ins.bIsImm;
+    const uint32_t imm_u = static_cast<uint32_t>(ins.imm);
+    auto srcB = [&](int lane) {
+        return b_imm ? imm_u : warp.reg(lane, ins.srcB);
+    };
+    auto eachLane = [&](auto &&body) {
+        for (int lane = 0; lane < WarpSize; ++lane)
+            if (exec & (1u << lane))
+                body(lane);
+    };
 
-        switch (ins.op) {
-          case Opcode::NOP:
-          case Opcode::MEMBAR:
-            break;
-          case Opcode::MOV:
-            warp.setReg(lane, ins.dst, a);
-            break;
-          case Opcode::MOV32I:
-            warp.setReg(lane, ins.dst, static_cast<uint32_t>(ins.imm));
-            break;
-          case Opcode::SEL: {
+    switch (ins.op) {
+      case Opcode::NOP:
+      case Opcode::MEMBAR:
+        break;
+      case Opcode::MOV:
+        eachLane([&](int lane) {
+            warp.setReg(lane, ins.dst, warp.reg(lane, ins.srcA));
+        });
+        break;
+      case Opcode::MOV32I:
+        eachLane([&](int lane) { warp.setReg(lane, ins.dst, imm_u); });
+        break;
+      case Opcode::SEL:
+        eachLane([&](int lane) {
             bool p = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
-            warp.setReg(lane, ins.dst, p ? a : b);
-            break;
-          }
-          case Opcode::IADD:
-          case Opcode::IADD32I: {
-            uint64_t sum = static_cast<uint64_t>(a) + b +
-                           (ins.useCC && warp.cc[static_cast<size_t>(lane)]
+            warp.setReg(lane, ins.dst,
+                        p ? warp.reg(lane, ins.srcA) : srcB(lane));
+        });
+        break;
+      case Opcode::IADD:
+      case Opcode::IADD32I: {
+        const bool use_cc = ins.useCC;
+        const bool set_cc = ins.setCC;
+        eachLane([&](int lane) {
+            uint64_t sum = static_cast<uint64_t>(warp.reg(lane, ins.srcA))
+                           + srcB(lane) +
+                           (use_cc && warp.cc[static_cast<size_t>(lane)]
                                 ? 1u : 0u);
             warp.setReg(lane, ins.dst, static_cast<uint32_t>(sum));
-            if (ins.setCC)
+            if (set_cc)
                 warp.cc[static_cast<size_t>(lane)] = (sum >> 32) != 0;
-            break;
-          }
-          case Opcode::IMUL:
-            warp.setReg(lane, ins.dst, a * b);
-            break;
-          case Opcode::IMAD:
-            warp.setReg(lane, ins.dst, a * b + c);
-            break;
-          case Opcode::IMNMX: {
-            int32_t sa = static_cast<int32_t>(a);
-            int32_t sb = static_cast<int32_t>(b);
-            bool is_min = ins.cmp == CmpOp::LT;
+        });
+        break;
+      }
+      case Opcode::IMUL:
+        eachLane([&](int lane) {
+            warp.setReg(lane, ins.dst,
+                        warp.reg(lane, ins.srcA) * srcB(lane));
+        });
+        break;
+      case Opcode::IMAD:
+        eachLane([&](int lane) {
+            warp.setReg(lane, ins.dst,
+                        warp.reg(lane, ins.srcA) * srcB(lane) +
+                            warp.reg(lane, ins.srcC));
+        });
+        break;
+      case Opcode::IMNMX: {
+        const bool is_min = ins.cmp == CmpOp::LT;
+        eachLane([&](int lane) {
+            int32_t sa = static_cast<int32_t>(warp.reg(lane, ins.srcA));
+            int32_t sb = static_cast<int32_t>(srcB(lane));
             warp.setReg(lane, ins.dst, static_cast<uint32_t>(
                 is_min ? std::min(sa, sb) : std::max(sa, sb)));
-            break;
-          }
-          case Opcode::SHL:
+        });
+        break;
+      }
+      case Opcode::SHL:
+        eachLane([&](int lane) {
+            uint32_t a = warp.reg(lane, ins.srcA);
+            uint32_t b = srcB(lane);
             warp.setReg(lane, ins.dst, b >= 32 ? 0 : a << (b & 31));
-            break;
-          case Opcode::SHR:
-            if (ins.sExt) {
+        });
+        break;
+      case Opcode::SHR:
+        if (ins.sExt) {
+            eachLane([&](int lane) {
+                uint32_t a = warp.reg(lane, ins.srcA);
                 warp.setReg(lane, ins.dst, static_cast<uint32_t>(
                     static_cast<int32_t>(a) >>
-                    std::min<uint32_t>(b, 31)));
-            } else {
+                    std::min<uint32_t>(srcB(lane), 31)));
+            });
+        } else {
+            eachLane([&](int lane) {
+                uint32_t a = warp.reg(lane, ins.srcA);
+                uint32_t b = srcB(lane);
                 warp.setReg(lane, ins.dst, b >= 32 ? 0 : a >> (b & 31));
-            }
+            });
+        }
+        break;
+      case Opcode::LOP:
+        switch (ins.logic) {
+          case LogicOp::And:
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst,
+                            warp.reg(lane, ins.srcA) & srcB(lane));
+            });
             break;
-          case Opcode::LOP: {
-            uint32_t r = 0;
-            switch (ins.logic) {
-              case LogicOp::And: r = a & b; break;
-              case LogicOp::Or: r = a | b; break;
-              case LogicOp::Xor: r = a ^ b; break;
-              case LogicOp::PassB: r = b; break;
-              case LogicOp::Not: r = ~a; break;
-            }
-            warp.setReg(lane, ins.dst, r);
+          case LogicOp::Or:
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst,
+                            warp.reg(lane, ins.srcA) | srcB(lane));
+            });
             break;
-          }
-          case Opcode::POPC:
-            warp.setReg(lane, ins.dst, static_cast<uint32_t>(popc(a)));
+          case LogicOp::Xor:
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst,
+                            warp.reg(lane, ins.srcA) ^ srcB(lane));
+            });
             break;
-          case Opcode::FLO: {
+          case LogicOp::PassB:
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst, srcB(lane));
+            });
+            break;
+          case LogicOp::Not:
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst, ~warp.reg(lane, ins.srcA));
+            });
+            break;
+        }
+        break;
+      case Opcode::POPC:
+        eachLane([&](int lane) {
+            warp.setReg(lane, ins.dst, static_cast<uint32_t>(
+                popc(warp.reg(lane, ins.srcA))));
+        });
+        break;
+      case Opcode::FLO:
+        eachLane([&](int lane) {
+            uint32_t a = warp.reg(lane, ins.srcA);
             uint32_t r = a == 0 ? 0xffffffffu
                                 : static_cast<uint32_t>(
                                       31 - std::countl_zero(a));
             warp.setReg(lane, ins.dst, r);
-            break;
-          }
-          case Opcode::ISETP: {
-            bool result;
-            if (ins.sExt) {
-                result = cmpInt(ins.cmp, static_cast<int32_t>(a),
-                                static_cast<int32_t>(b));
-            } else {
-                result = cmpInt(ins.cmp, a, b);
-            }
-            bool combined =
-                result && (warp.pred(lane, ins.pSrc) != ins.pSrcNeg);
-            warp.setPred(lane, ins.pDst, combined);
-            break;
-          }
-          case Opcode::PSETP: {
+        });
+        break;
+      case Opcode::ISETP:
+        if (ins.sExt) {
+            eachLane([&](int lane) {
+                bool result = cmpInt(
+                    ins.cmp,
+                    static_cast<int32_t>(warp.reg(lane, ins.srcA)),
+                    static_cast<int32_t>(srcB(lane)));
+                warp.setPred(lane, ins.pDst,
+                             result && (warp.pred(lane, ins.pSrc) !=
+                                        ins.pSrcNeg));
+            });
+        } else {
+            eachLane([&](int lane) {
+                bool result = cmpInt(ins.cmp, warp.reg(lane, ins.srcA),
+                                     srcB(lane));
+                warp.setPred(lane, ins.pDst,
+                             result && (warp.pred(lane, ins.pSrc) !=
+                                        ins.pSrcNeg));
+            });
+        }
+        break;
+      case Opcode::PSETP: {
+        const auto pb_id = static_cast<PredId>(ins.imm & 7);
+        const bool pb_neg = (ins.imm & 8) != 0;
+        eachLane([&](int lane) {
             bool pa = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
-            auto pb_id = static_cast<PredId>(ins.imm & 7);
-            bool pb = warp.pred(lane, pb_id) != ((ins.imm & 8) != 0);
-            warp.setPred(lane, ins.pDst,
-                         logicEval(ins.logic, pa, pb));
-            break;
-          }
-          case Opcode::P2R: {
+            bool pb = warp.pred(lane, pb_id) != pb_neg;
+            warp.setPred(lane, ins.pDst, logicEval(ins.logic, pa, pb));
+        });
+        break;
+      }
+      case Opcode::P2R:
+        eachLane([&](int lane) {
             uint32_t bits = warp.preds[static_cast<size_t>(lane)];
             if (warp.cc[static_cast<size_t>(lane)])
                 bits |= 0x80;
-            warp.setReg(lane, ins.dst,
-                        bits & static_cast<uint32_t>(ins.imm));
-            break;
-          }
-          case Opcode::R2P: {
-            uint32_t mask = static_cast<uint32_t>(ins.imm);
+            warp.setReg(lane, ins.dst, bits & imm_u);
+        });
+        break;
+      case Opcode::R2P:
+        eachLane([&](int lane) {
+            uint32_t a = warp.reg(lane, ins.srcA);
             for (PredId p = 0; p < NumPred; ++p) {
-                if (mask & (1u << p))
+                if (imm_u & (1u << p))
                     warp.setPred(lane, p, a & (1u << p));
             }
-            if (mask & 0x80)
+            if (imm_u & 0x80)
                 warp.cc[static_cast<size_t>(lane)] = a & 0x80;
-            break;
-          }
-          case Opcode::FADD:
+        });
+        break;
+      case Opcode::FADD:
+        eachLane([&](int lane) {
             warp.setReg(lane, ins.dst,
-                        asBits(asFloat(a) + asFloat(b)));
-            break;
-          case Opcode::FMUL:
+                        asBits(asFloat(warp.reg(lane, ins.srcA)) +
+                               asFloat(srcB(lane))));
+        });
+        break;
+      case Opcode::FMUL:
+        eachLane([&](int lane) {
             warp.setReg(lane, ins.dst,
-                        asBits(asFloat(a) * asFloat(b)));
-            break;
-          case Opcode::FFMA:
+                        asBits(asFloat(warp.reg(lane, ins.srcA)) *
+                               asFloat(srcB(lane))));
+        });
+        break;
+      case Opcode::FFMA:
+        eachLane([&](int lane) {
             warp.setReg(lane, ins.dst,
-                        asBits(asFloat(a) * asFloat(b) + asFloat(c)));
-            break;
-          case Opcode::FMNMX: {
-            float fa = asFloat(a);
-            float fb = asFloat(b);
-            bool is_min = ins.cmp == CmpOp::LT;
+                        asBits(asFloat(warp.reg(lane, ins.srcA)) *
+                                   asFloat(srcB(lane)) +
+                               asFloat(warp.reg(lane, ins.srcC))));
+        });
+        break;
+      case Opcode::FMNMX: {
+        const bool is_min = ins.cmp == CmpOp::LT;
+        eachLane([&](int lane) {
+            float fa = asFloat(warp.reg(lane, ins.srcA));
+            float fb = asFloat(srcB(lane));
             warp.setReg(lane, ins.dst,
                         asBits(is_min ? std::fmin(fa, fb)
                                       : std::fmax(fa, fb)));
-            break;
-          }
-          case Opcode::FSETP:
+        });
+        break;
+      }
+      case Opcode::FSETP:
+        eachLane([&](int lane) {
             warp.setPred(lane, ins.pDst,
-                         cmpFloat(ins.cmp, asFloat(a), asFloat(b)) &&
+                         cmpFloat(ins.cmp,
+                                  asFloat(warp.reg(lane, ins.srcA)),
+                                  asFloat(srcB(lane))) &&
                              (warp.pred(lane, ins.pSrc) != ins.pSrcNeg));
-            break;
-          case Opcode::MUFU: {
-            float fa = asFloat(a);
+        });
+        break;
+      case Opcode::MUFU:
+        eachLane([&](int lane) {
+            float fa = asFloat(warp.reg(lane, ins.srcA));
             float r = 0.f;
             switch (ins.mufu) {
               case MufuOp::Rcp: r = 1.0f / fa; break;
@@ -637,15 +828,18 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
               case MufuOp::Cos: r = std::cos(fa); break;
             }
             warp.setReg(lane, ins.dst, asBits(r));
-            break;
-          }
-          case Opcode::I2F:
+        });
+        break;
+      case Opcode::I2F:
+        eachLane([&](int lane) {
             warp.setReg(lane, ins.dst,
-                        asBits(static_cast<float>(
-                            static_cast<int32_t>(a))));
-            break;
-          case Opcode::F2I: {
-            float f = asFloat(a);
+                        asBits(static_cast<float>(static_cast<int32_t>(
+                            warp.reg(lane, ins.srcA)))));
+        });
+        break;
+      case Opcode::F2I:
+        eachLane([&](int lane) {
+            float f = asFloat(warp.reg(lane, ins.srcA));
             int32_t r;
             if (std::isnan(f))
                 r = 0;
@@ -656,15 +850,27 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
             else
                 r = static_cast<int32_t>(f);
             warp.setReg(lane, ins.dst, static_cast<uint32_t>(r));
-            break;
-          }
-          case Opcode::S2R: {
-            Dim3 tid = threadIdx(warp, lane);
+        });
+        break;
+      case Opcode::S2R: {
+        const SpecialReg sr = ins.sreg;
+        if (sr == SpecialReg::TidX || sr == SpecialReg::TidY ||
+            sr == SpecialReg::TidZ) {
+            eachLane([&](int lane) {
+                Dim3 tid = threadIdx(warp, lane);
+                uint32_t v = sr == SpecialReg::TidX   ? tid.x
+                             : sr == SpecialReg::TidY ? tid.y
+                                                      : tid.z;
+                warp.setReg(lane, ins.dst, v);
+            });
+        } else if (sr == SpecialReg::LaneId) {
+            eachLane([&](int lane) {
+                warp.setReg(lane, ins.dst, static_cast<uint32_t>(lane));
+            });
+        } else {
+            // Warp-invariant special registers: resolve once.
             uint32_t v = 0;
-            switch (ins.sreg) {
-              case SpecialReg::TidX: v = tid.x; break;
-              case SpecialReg::TidY: v = tid.y; break;
-              case SpecialReg::TidZ: v = tid.z; break;
+            switch (sr) {
               case SpecialReg::CtaIdX: v = cta_.x; break;
               case SpecialReg::CtaIdY: v = cta_.y; break;
               case SpecialReg::CtaIdZ: v = cta_.z; break;
@@ -674,29 +880,29 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
               case SpecialReg::NCtaIdX: v = grid_.x; break;
               case SpecialReg::NCtaIdY: v = grid_.y; break;
               case SpecialReg::NCtaIdZ: v = grid_.z; break;
-              case SpecialReg::LaneId:
-                v = static_cast<uint32_t>(lane);
-                break;
               case SpecialReg::WarpId:
                 v = static_cast<uint32_t>(warp.rank);
                 break;
               case SpecialReg::Clock:
                 v = static_cast<uint32_t>(stats_.warpInstrs);
                 break;
+              default: break;
             }
-            warp.setReg(lane, ins.dst, v);
-            break;
-          }
-          case Opcode::L2G: {
-            uint64_t g = localWindowAddr(warp, lane) + a;
+            eachLane([&](int lane) { warp.setReg(lane, ins.dst, v); });
+        }
+        break;
+      }
+      case Opcode::L2G:
+        eachLane([&](int lane) {
+            uint64_t g = localWindowAddr(warp, lane) +
+                         warp.reg(lane, ins.srcA);
             warp.setReg(lane, ins.dst, lo32(g));
             warp.setReg(lane, static_cast<RegId>(ins.dst + 1), hi32(g));
-            break;
-          }
-          default:
-            panic("execAlu: unhandled opcode %s",
-                  std::string(opName(ins.op)).c_str());
-        }
+        });
+        break;
+      default:
+        panic("execAlu: unhandled opcode %s",
+              std::string(opName(ins.op)).c_str());
     }
 }
 
@@ -716,14 +922,29 @@ Executor::step(Warp &warp)
     }
 
     const Instruction &ins = kernel_.code[warp.pc];
+    const DecodedInstr &dec = decode_->at(warp.pc);
 
-    // Evaluate the guard predicate per lane.
-    uint32_t exec = 0;
-    for (int lane = 0; lane < WarpSize; ++lane) {
-        if (!(warp.activeMask & (1u << lane)))
-            continue;
-        if (warp.pred(lane, ins.guard) != ins.guardNeg)
-            exec |= 1u << lane;
+    // Guard predicate. The decode cache proves the common case —
+    // @PT, i.e.\ unpredicated — statically, skipping the per-lane
+    // predicate-file reads entirely.
+    uint32_t exec;
+    switch (dec.guard) {
+      case GuardKind::AlwaysOn:
+        exec = warp.activeMask;
+        break;
+      case GuardKind::AlwaysOff:
+        exec = 0;
+        break;
+      default: {
+        exec = 0;
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(warp.activeMask & (1u << lane)))
+                continue;
+            if (warp.pred(lane, ins.guard) != ins.guardNeg)
+                exec |= 1u << lane;
+        }
+        break;
+      }
     }
 
     ++stats_.warpInstrs;
@@ -731,11 +952,11 @@ Executor::step(Warp &warp)
     ++stats_.opcodeCounts[static_cast<size_t>(ins.op)];
     if (ins.synthetic)
         ++stats_.syntheticWarpInstrs;
-    if (ins.isMem() && exec)
+    if (dec.countsAsMem && exec)
         ++stats_.memWarpInstrs;
 
-    switch (ins.op) {
-      case Opcode::EXIT: {
+    switch (dec.cls) {
+      case ExecClass::Exit: {
         warp.liveMask &= ~exec;
         warp.activeMask &= ~exec;
         if (warp.activeMask == 0) {
@@ -747,7 +968,7 @@ Executor::step(Warp &warp)
         }
         return;
       }
-      case Opcode::BRA: {
+      case ExecClass::Bra: {
         uint32_t taken = exec;
         uint32_t not_taken = warp.activeMask & ~exec;
         if (ins.target < 0 ||
@@ -767,7 +988,7 @@ Executor::step(Warp &warp)
         }
         return;
       }
-      case Opcode::SSY: {
+      case ExecClass::Ssy: {
         if (ins.target < 0 ||
             ins.target > static_cast<int32_t>(kernel_.code.size())) {
             fault(Outcome::InvalidPC, "SSY to invalid target");
@@ -777,7 +998,7 @@ Executor::step(Warp &warp)
         ++warp.pc;
         return;
       }
-      case Opcode::SYNC: {
+      case ExecClass::Sync: {
         if (warp.divStack.empty()) {
             fault(Outcome::InvalidPC, detail::strFormat(
                 "SYNC with empty divergence stack (kernel %s, pc %u)",
@@ -786,7 +1007,7 @@ Executor::step(Warp &warp)
         unwindStack(warp);
         return;
       }
-      case Opcode::JCAL: {
+      case ExecClass::Jcal: {
         if (exec == 0) {
             ++warp.pc;
             return;
@@ -813,7 +1034,7 @@ Executor::step(Warp &warp)
         warp.pc = static_cast<uint32_t>(ins.target);
         return;
       }
-      case Opcode::RET: {
+      case ExecClass::Ret: {
         if (!warp.callStack.empty()) {
             warp.pc = warp.callStack.back();
             warp.callStack.pop_back();
@@ -826,12 +1047,12 @@ Executor::step(Warp &warp)
         }
         return;
       }
-      case Opcode::BAR: {
+      case ExecClass::Bar: {
         warp.atBarrier = true;
         ++warp.pc;
         return;
       }
-      case Opcode::BPT: {
+      case ExecClass::Bpt: {
         if (exec) {
             fault(Outcome::Trap, detail::strFormat(
                 "breakpoint trap (kernel %s, pc %u)",
@@ -840,16 +1061,16 @@ Executor::step(Warp &warp)
         ++warp.pc;
         return;
       }
-      case Opcode::VOTE:
-      case Opcode::SHFL:
+      case ExecClass::WarpOp:
         execWarpOp(warp, ins, exec);
         ++warp.pc;
         return;
-      default:
-        if (ins.isMem())
-            execMem(warp, ins, exec);
-        else
-            execAlu(warp, ins, exec);
+      case ExecClass::Mem:
+        execMem(warp, ins, exec);
+        ++warp.pc;
+        return;
+      case ExecClass::Alu:
+        execAlu(warp, ins, exec);
         ++warp.pc;
         return;
     }

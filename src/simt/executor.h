@@ -7,8 +7,14 @@
  * PC, conditional control flow pushes deferred paths onto a
  * divergence stack (SSY pushes the reconvergence token, divergent
  * branches push the not-taken side, SYNC pops), and predication
- * nullifies guarded-false lanes. CTAs run one at a time; warps
- * within a CTA interleave round-robin, one instruction at a time.
+ * nullifies guarded-false lanes. Warps within a CTA interleave
+ * round-robin, one instruction at a time; CTAs are independent up
+ * to global atomics, so the grid is sharded round-robin across a
+ * worker pool (LaunchOptions::numThreads), each worker running an
+ * executor of its own with private warp state, shared memory, and
+ * statistics that are merged deterministically at the end. With one
+ * worker the historical strictly-serial execution is preserved
+ * byte for byte.
  *
  * JCALs whose target is >= HandlerBase are SASSI handler
  * trampolines and are forwarded to the installed HandlerDispatcher.
@@ -17,10 +23,13 @@
 #ifndef SASSI_SIMT_EXECUTOR_H
 #define SASSI_SIMT_EXECUTOR_H
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sassir/module.h"
+#include "simt/decode.h"
 #include "simt/device.h"
 #include "simt/launch.h"
 #include "simt/warp.h"
@@ -49,7 +58,14 @@ class Executor
     Executor(Device &dev, const ir::Kernel &kernel, Dim3 grid, Dim3 block,
              std::vector<uint8_t> params, const LaunchOptions &opts);
 
-    /** Run the whole grid to completion. */
+    /**
+     * Run the whole grid to completion, sharding CTAs across the
+     * worker pool when the options allow more than one thread. All
+     * LaunchStats counters are per-CTA sums merged in worker order,
+     * so completed launches report thread-count-invariant
+     * statistics; on a fault, the reported fault is the one from
+     * the lowest faulting CTA-linear id.
+     */
     LaunchResult run();
 
     /// @name Introspection for handler dispatch
@@ -103,7 +119,8 @@ class Executor
     /** Write up to 8 bytes through a generic address. */
     void writeGeneric(uint64_t addr, uint64_t value, int width);
 
-    /** Mutable statistics of the in-flight launch. */
+    /** Mutable statistics of the in-flight launch. In a parallel
+     *  launch this is the calling worker's private accumulator. */
     LaunchStats &stats() { return stats_; }
 
     /** Charge modeled handler-body cost, in warp instructions. */
@@ -116,6 +133,8 @@ class Executor
     /// @}
 
   private:
+    /** Run CTAs first, first+step, first+2*step, ... to completion. */
+    LaunchResult runShard(uint64_t first, uint64_t step);
     void runCta();
     void step(Warp &warp);
     void unwindStack(Warp &warp);
@@ -141,7 +160,17 @@ class Executor
     LaunchOptions opts_;
     LaunchStats stats_;
 
-    // Current CTA context.
+    // Static per-instruction facts, built once per launch by the
+    // coordinating executor and shared read-only with its shards.
+    const DecodeCache *decode_ = nullptr;
+    std::unique_ptr<DecodeCache> owned_decode_;
+
+    // Set when any shard of this launch faults, so sibling workers
+    // stop at their next CTA boundary. Points into run()'s frame.
+    std::atomic<bool> *stop_flag_ = nullptr;
+    uint64_t fault_cta_ = 0;
+
+    // Current CTA context (worker-private).
     std::vector<Warp> warps_;
     std::vector<uint8_t> shared_;
     Dim3 cta_;

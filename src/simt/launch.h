@@ -134,8 +134,23 @@ struct LaunchOptions
     /** Dynamic shared memory bytes (added to the kernel's static). */
     uint32_t dynamicShared = 0;
 
-    /** Warp-instruction budget before declaring a hang. */
+    /** Warp-instruction budget before declaring a hang. In a
+     *  parallel launch each worker gets the full budget (the serial
+     *  path is unchanged). */
     uint64_t watchdog = 400'000'000;
+
+    /**
+     * Worker threads executing the CTA grid. CTAs are independent up
+     * to global atomics, so they shard across workers; per-worker
+     * statistics are merged in worker order, keeping all LaunchStats
+     * counters thread-count-invariant. 1 preserves the historical
+     * strictly-serial execution byte for byte; 0 means auto — the
+     * SASSI_SIM_THREADS environment variable when set, otherwise
+     * hardware concurrency. Launches whose output depends on the
+     * cross-CTA ordering of atomics (CAS/EXCH work queues, trace
+     * collection) should pin this to 1.
+     */
+    int numThreads = 0;
 };
 
 /** The result of one kernel launch. */

@@ -1,0 +1,126 @@
+#include "simt/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sassi::simt {
+
+ThreadPool::ThreadPool(int threads)
+{
+    workers_.reserve(static_cast<size_t>(std::max(threads, 0)));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+        }
+        drainBatch();
+    }
+}
+
+void
+ThreadPool::drainBatch()
+{
+    for (;;) {
+        int job;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (next_job_ >= jobs_)
+                return;
+            job = next_job_++;
+        }
+        (*fn_)(job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+            if (pending_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::ensureWorkers(int target)
+{
+    constexpr int kMaxWorkers = 64;
+    target = std::min(target, kMaxWorkers);
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < target)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+void
+ThreadPool::parallelFor(int jobs, const std::function<void(int)> &fn)
+{
+    if (jobs <= 0)
+        return;
+    if (jobs > 1)
+        ensureWorkers(jobs - 1);
+    if (jobs == 1 || workers_.empty()) {
+        for (int i = 0; i < jobs; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        jobs_ = jobs;
+        next_job_ = 0;
+        pending_ = jobs;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    drainBatch(); // The caller works too.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(
+        std::max(1u, std::thread::hardware_concurrency()) - 1);
+    return pool;
+}
+
+int
+resolveSimThreads(int requested, uint64_t ctas)
+{
+    int n = requested;
+    if (n <= 0) {
+        if (const char *env = std::getenv("SASSI_SIM_THREADS"))
+            n = std::atoi(env);
+        if (n <= 0)
+            n = static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+    }
+    uint64_t cap = std::max<uint64_t>(ctas, 1);
+    return static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(n), cap));
+}
+
+} // namespace sassi::simt

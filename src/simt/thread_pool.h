@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A persistent worker pool for parallel CTA execution.
+ *
+ * Kernel launches shard their CTA grid across workers (see
+ * Executor::run); spawning threads per launch would dominate the
+ * small grids the paper's workloads use, so one process-wide pool is
+ * created lazily and reused by every launch. parallelFor() is the
+ * only entry point: it runs a job index space on the pool plus the
+ * calling thread and blocks until every index has finished, so
+ * callers never observe partially-executed launches.
+ */
+
+#ifndef SASSI_SIMT_THREAD_POOL_H
+#define SASSI_SIMT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sassi::simt {
+
+/** A fixed set of persistent worker threads executing index jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * Construct a pool of `threads` workers (not counting callers
+     * that join in through parallelFor).
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(i) for every i in [0, jobs), distributing indices over
+     * the pool's workers and the calling thread; blocks until all
+     * jobs complete. The pool grows (up to a fixed cap) when jobs
+     * exceeds workerCount() + 1, so an explicit numThreads request
+     * always gets real OS threads even on machines with fewer cores
+     * — that is what lets TSan and the determinism tests exercise
+     * genuine cross-thread interleavings anywhere. fn must not throw
+     * (launch workers convert SimFaults into LaunchResults before
+     * returning). Reentrant calls are not supported; launches are
+     * serialized by the device, which is the only caller.
+     */
+    void parallelFor(int jobs, const std::function<void(int)> &fn);
+
+    /** @return the number of pool worker threads. */
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * The process-wide pool, created on first use with
+     * hardware_concurrency() - 1 workers (the calling thread
+     * participates in parallelFor, giving hardware_concurrency-way
+     * parallelism in total).
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerMain();
+    /** Grow the pool to at least `target` workers (capped). */
+    void ensureWorkers(int target);
+    /** Pull and run job indices until the current batch drains. */
+    void drainBatch();
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_; //!< Signals a new batch.
+    std::condition_variable done_cv_; //!< Signals batch completion.
+    const std::function<void(int)> *fn_ = nullptr;
+    int jobs_ = 0;
+    int next_job_ = 0;
+    int pending_ = 0;      //!< Jobs issued but not yet finished.
+    uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Resolve a LaunchOptions::numThreads request into a worker count:
+ * 0 means auto (the SASSI_SIM_THREADS environment variable when
+ * set, otherwise hardware concurrency); the result is clamped to
+ * [1, ctas] since a worker with no CTAs is pure overhead.
+ */
+int resolveSimThreads(int requested, uint64_t ctas);
+
+} // namespace sassi::simt
+
+#endif // SASSI_SIMT_THREAD_POOL_H

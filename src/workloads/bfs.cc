@@ -218,7 +218,14 @@ class BfsParboil : public Workload
   public:
     explicit BfsParboil(GraphKind kind)
         : kind_(kind), graph_(makeGraph(kind))
-    {}
+    {
+        // The worklist kernel orders its output queue with atomic
+        // CAS + fetch-add; the queue permutation (and with it the
+        // divergence pattern and instruction counts) depends on
+        // cross-CTA atomic ordering, so runs are only reproducible
+        // serially.
+        launchOptions.numThreads = 1;
+    }
 
     std::string
     name() const override
