@@ -2,11 +2,25 @@
 
 #include "util/bitops.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace sassi::core {
 
 namespace {
 thread_local DispatchState *tl_dispatch = nullptr;
+
+const char *
+flavorName(SiteFlavor f)
+{
+    switch (f) {
+      case SiteFlavor::Before: return "before";
+      case SiteFlavor::After: return "after";
+      case SiteFlavor::KernelEntry: return "kernel_entry";
+      case SiteFlavor::KernelExit: return "kernel_exit";
+      case SiteFlavor::BlockHeader: return "block_header";
+    }
+    return "unknown";
+}
 } // namespace
 
 DispatchState *
@@ -44,6 +58,18 @@ SassiRuntime::instrument(const InstrumentOptions &opts)
     instrumented_ = true;
     opts_ = opts;
     instrumentModule(dev_.module(), opts, *this);
+
+    static_metrics_.counter("core/sites/total") = sites_.size();
+    for (const SiteInfo &s : sites_) {
+        static_metrics_.inc(std::string("core/sites/") +
+                            flavorName(s.flavor));
+        uint64_t slots = static_cast<uint64_t>(popc(s.spillMask));
+        static_metrics_.counter("core/static/spill_slots") += slots;
+        static_metrics_.counter("core/static/spill_bytes") +=
+            slots * 4;
+        if (s.persistentSpills)
+            static_metrics_.inc("core/static/persistent_spill_sites");
+    }
 }
 
 void
@@ -52,6 +78,17 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 {
     const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
     exec.chargeHandlerCost(opts_.handlerCostInstrs);
+
+    // Dynamic per-site counts go into the worker's launch-registry
+    // shard, so they merge deterministically like everything else.
+    Metrics &m = exec.metrics();
+    m.inc("core/dispatch/calls");
+    m.inc(std::string("core/dispatch/flavor/") +
+          flavorName(site.flavor));
+    m.inc(detail::strFormat("core/site/%s@%d/calls",
+                            site.kernelName.c_str(), site.origPc));
+    m.histogram("core/dispatch/lanes")
+        .observe(static_cast<uint64_t>(popc(warp.activeMask)));
 
     bool is_after = site.flavor == SiteFlavor::After;
     const Handler &handler = is_after ? after_ : before_;
@@ -101,6 +138,12 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
         env.gridDim = exec.gridDim();
     }
 
+    // Handler wall-clock goes to the timeline only — never into the
+    // registry, which must stay thread-count-invariant.
+    Trace &trace = Trace::global();
+    const bool traced = trace.enabled();
+    const uint64_t t0 = traced ? trace.nowNs() : 0;
+
     tl_dispatch = &ds;
     if (traits.warpSynchronous) {
         fibers.run(lanes, [&](int lane) {
@@ -127,6 +170,15 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
         }
     }
     tl_dispatch = nullptr;
+
+    if (traced) {
+        trace.complete(
+            detail::strFormat("%s@%d %s", site.kernelName.c_str(),
+                              site.origPc, flavorName(site.flavor)),
+            "handler", exec.traceTid(), t0, trace.nowNs() - t0,
+            {{"site", static_cast<uint64_t>(site_key)},
+             {"lanes", static_cast<uint64_t>(lanes.size())}});
+    }
 
     if (ds.faulted)
         throw ds.fault;

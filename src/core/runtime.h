@@ -24,6 +24,7 @@
 #include "core/site.h"
 #include "simt/device.h"
 #include "util/fiber.h"
+#include "util/metrics.h"
 
 namespace sassi::core {
 
@@ -148,6 +149,15 @@ class SassiRuntime : public simt::HandlerDispatcher
     /** @return the options the module was instrumented with. */
     const InstrumentOptions &options() const { return opts_; }
 
+    /**
+     * Static instrumentation metrics, built once by instrument():
+     * site counts per flavor ("core/sites/<flavor>") and the static
+     * spill footprint ("core/static/spill_slots", ".../spill_bytes").
+     * Dynamic per-site call counts land in each launch's registry
+     * (LaunchResult::metrics) under "core/...".
+     */
+    const Metrics &staticMetrics() const { return static_metrics_; }
+
     /** @return the attached device. */
     simt::Device &device() { return dev_; }
 
@@ -162,6 +172,7 @@ class SassiRuntime : public simt::HandlerDispatcher
     HandlerTraits before_traits_;
     HandlerTraits after_traits_;
     InstrumentOptions opts_;
+    Metrics static_metrics_;
     bool instrumented_ = false;
 };
 

@@ -40,6 +40,20 @@ BlockCounter::results() const
     return out;
 }
 
+void
+BlockCounter::publish(Metrics &m) const
+{
+    uint64_t warp_entries = 0, thread_entries = 0;
+    std::vector<BlockStats> rs = results();
+    for (const auto &b : rs) {
+        warp_entries += b.warpEntries;
+        thread_entries += b.threadEntries;
+    }
+    m.counter("handlers/bb_counter/profiled_blocks") += rs.size();
+    m.counter("handlers/bb_counter/warp_entries") += warp_entries;
+    m.counter("handlers/bb_counter/thread_entries") += thread_entries;
+}
+
 OpcodeHistogram::OpcodeHistogram(simt::Device &dev,
                                  core::SassiRuntime &rt)
     : dev_(dev)

@@ -35,6 +35,9 @@ class BlockCounter
     /** @return per-block counts, hottest first. */
     std::vector<BlockStats> results() const;
 
+    /** Publish block aggregates under "handlers/bb_counter/...". */
+    void publish(Metrics &m) const;
+
     /** @return the InstrumentOptions this tool requires. */
     static core::InstrumentOptions
     options()

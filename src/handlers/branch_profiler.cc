@@ -93,6 +93,23 @@ BranchProfiler::summarize(uint64_t static_branch_count) const
     return s;
 }
 
+void
+BranchProfiler::publish(Metrics &m) const
+{
+    uint64_t dynamic = 0, divergent = 0, ever_divergent = 0;
+    std::vector<BranchStats> rs = results();
+    for (const auto &b : rs) {
+        dynamic += b.totalBranches;
+        divergent += b.divergentBranches;
+        if (b.divergentBranches > 0)
+            ++ever_divergent;
+    }
+    m.counter("handlers/branch/profiled_branches") += rs.size();
+    m.counter("handlers/branch/dynamic_branches") += dynamic;
+    m.counter("handlers/branch/dynamic_divergent") += divergent;
+    m.counter("handlers/branch/static_divergent") += ever_divergent;
+}
+
 uint64_t
 countStaticCondBranches(const ir::Module &module)
 {

@@ -78,6 +78,9 @@ class BranchProfiler
      */
     BranchSummary summarize(uint64_t static_branch_count) const;
 
+    /** Publish branch aggregates under "handlers/branch/...". */
+    void publish(Metrics &m) const;
+
     /** Host-side: clear all counters. */
     void reset() { table_.clear(); }
 

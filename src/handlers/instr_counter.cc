@@ -44,6 +44,19 @@ InstrCounter::counts() const
 }
 
 void
+InstrCounter::publish(Metrics &m) const
+{
+    static const char *const names[NumCategories] = {
+        "memory",  "extended_memory", "control_xfer",   "sync",
+        "numeric", "texture",         "total_executed",
+    };
+    std::array<uint64_t, NumCategories> c = counts();
+    for (int i = 0; i < NumCategories; ++i)
+        m.counter(std::string("handlers/instr_counter/") + names[i]) +=
+            c[static_cast<size_t>(i)];
+}
+
+void
 InstrCounter::reset()
 {
     dev_.memset(counters_, 0, NumCategories * 8);

@@ -44,6 +44,9 @@ class InstrCounter
     /** Host-side: copy the counters off the device. */
     std::array<uint64_t, NumCategories> counts() const;
 
+    /** Publish the counters under "handlers/instr_counter/...". */
+    void publish(Metrics &m) const;
+
     /** Host-side: zero the counters. */
     void reset();
 

@@ -112,6 +112,31 @@ MemDivProfiler::pmf() const
 }
 
 void
+MemDivProfiler::publish(Metrics &met) const
+{
+    DivergenceMatrix m = matrix();
+    uint64_t warp_instrs = 0, thread_accesses = 0, transactions = 0;
+    uint64_t fully_diverged = 0;
+    for (size_t a = 0; a < 32; ++a) {
+        for (size_t u = 0; u < 32; ++u) {
+            uint64_t count = m[a][u];
+            if (!count)
+                continue;
+            warp_instrs += count;
+            thread_accesses += count * (a + 1);
+            transactions += count * (u + 1);
+            if (u == 31)
+                fully_diverged += count;
+        }
+    }
+    met.counter("handlers/memdiv/warp_instrs") += warp_instrs;
+    met.counter("handlers/memdiv/thread_accesses") += thread_accesses;
+    met.counter("handlers/memdiv/line_transactions") += transactions;
+    met.counter("handlers/memdiv/fully_diverged_warp_instrs") +=
+        fully_diverged;
+}
+
+void
 MemDivProfiler::reset()
 {
     dev_.memset(counters_, 0, 32 * 32 * 8);

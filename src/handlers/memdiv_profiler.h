@@ -56,6 +56,9 @@ class MemDivProfiler
     /** Host-side: derive the Figure 7 PMF from the matrix. */
     DivergencePmf pmf() const;
 
+    /** Publish matrix aggregates under "handlers/memdiv/...". */
+    void publish(Metrics &m) const;
+
     /** Host-side: zero the counters. */
     void reset();
 

@@ -46,7 +46,16 @@ Cache::access(uint64_t addr, bool is_store)
         if (line.valid && line.tag == tag) {
             ++stats_.hits;
             line.lruStamp = tick_;
-            line.dirty = line.dirty || is_store;
+            if (is_store) {
+                if (config_.writeAllocate) {
+                    line.dirty = true;
+                } else {
+                    // Write-through: the line is updated but the
+                    // store still goes to the next level, so it
+                    // never turns dirty here.
+                    ++stats_.writeThroughs;
+                }
+            }
             return true;
         }
         if (!line.valid) {
@@ -85,16 +94,54 @@ Hierarchy::Hierarchy(uint32_t num_sms, const CacheConfig &l1,
 void
 Hierarchy::access(const WarpAccess &wa)
 {
-    Cache &l1 = l1s_[wa.smId % l1s_.size()];
+    panic_if(wa.smId >= l1s_.size(),
+             "WarpAccess.smId %u out of range (%zu SMs)", wa.smId,
+             l1s_.size());
+    Cache &l1 = l1s_[wa.smId];
     CoalesceResult lines =
         coalesce(wa.addresses, l1.config().lineBytes);
-    for (uint64_t line : lines.lines) {
+    for (const CoalescedLine &cl : lines.lines) {
         ++transactions_;
-        if (l1.access(line, wa.isStore))
+        lanes_per_txn_.observe(
+            static_cast<uint64_t>(__builtin_popcount(cl.laneMask)));
+        bool l1_hit = l1.access(cl.line, wa.isStore);
+        // A store through a no-allocate L1 reaches L2 even on an L1
+        // hit (write-through); only load hits and write-back store
+        // hits are absorbed.
+        bool l1_absorbs =
+            l1_hit && !(wa.isStore && !l1.config().writeAllocate);
+        if (l1_absorbs)
             continue;
-        if (!l2_.access(line, wa.isStore))
-            ++dram_;
+        bool l2_hit = l2_.access(cl.line, wa.isStore);
+        if (wa.isStore && !l2_.config().writeAllocate) {
+            // Write-through L2: the store line goes to DRAM whether
+            // it hit or missed.
+            ++dram_writes_;
+        } else if (!l2_hit) {
+            ++dram_; // Line fetch (read miss or write-allocate fill).
+        }
     }
+}
+
+void
+Hierarchy::publish(Metrics &m, std::string_view prefix) const
+{
+    std::string p(prefix);
+    auto cache = [&](const char *level, const CacheStats &s) {
+        std::string base = p + "/" + level + "/";
+        m.counter(base + "accesses") += s.accesses;
+        m.counter(base + "hits") += s.hits;
+        m.counter(base + "misses") += s.misses;
+        m.counter(base + "evictions") += s.evictions;
+        m.counter(base + "writebacks") += s.writebacks;
+        m.counter(base + "write_throughs") += s.writeThroughs;
+    };
+    cache("l1", l1Stats());
+    cache("l2", l2Stats());
+    m.counter(p + "/transactions") += transactions_;
+    m.counter(p + "/dram/fetches") += dram_;
+    m.counter(p + "/dram/writes") += dram_writes_;
+    m.histogram(p + "/lanes_per_transaction").merge(lanes_per_txn_);
 }
 
 CacheStats
@@ -107,6 +154,7 @@ Hierarchy::l1Stats() const
         out.misses += c.stats().misses;
         out.evictions += c.stats().evictions;
         out.writebacks += c.stats().writebacks;
+        out.writeThroughs += c.stats().writeThroughs;
     }
     return out;
 }

@@ -9,7 +9,10 @@
 #define SASSI_MEM_CACHE_H
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
+
+#include "util/metrics.h"
 
 namespace sassi::mem {
 
@@ -21,6 +24,8 @@ struct CacheStats
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t writebacks = 0;
+    /** Store hits written through to the next level (no-allocate). */
+    uint64_t writeThroughs = 0;
 
     double
     missRate() const
@@ -48,6 +53,12 @@ class Cache
 
     /**
      * Access one line.
+     *
+     * Stores in a write-allocate cache dirty the line (write-back);
+     * in a no-allocate cache they leave it clean and are counted as
+     * write-throughs — the caller owns forwarding the store to the
+     * next level whether it hit or missed here.
+     *
      * @param addr Byte address (any address within the line).
      * @param is_store Store access.
      * @return true on hit.
@@ -99,7 +110,10 @@ class Hierarchy
     Hierarchy(uint32_t num_sms, const CacheConfig &l1,
               const CacheConfig &l2);
 
-    /** Coalesce and run one warp access through the hierarchy. */
+    /**
+     * Coalesce and run one warp access through the hierarchy.
+     * wa.smId must be a valid SM index (panics otherwise).
+     */
     void access(const WarpAccess &wa);
 
     /** @return aggregated L1 statistics across SMs. */
@@ -111,14 +125,32 @@ class Hierarchy
     /** @return total line transactions after coalescing. */
     uint64_t transactions() const { return transactions_; }
 
-    /** @return DRAM line fetches (L2 misses). */
+    /** @return DRAM line fetches (L2 read misses and fills). */
     uint64_t dramAccesses() const { return dram_; }
+
+    /** @return DRAM store lines written through a no-allocate L2. */
+    uint64_t dramWrites() const { return dram_writes_; }
+
+    /** @return active-lane counts of every coalesced transaction. */
+    const MetricHistogram &lanesPerTransaction() const
+    {
+        return lanes_per_txn_;
+    }
+
+    /**
+     * Publish the hierarchy's counters and the lanes-per-transaction
+     * histogram into a registry under `prefix` (e.g. "mem" yields
+     * "mem/l1/hits", "mem/dram/fetches", ...).
+     */
+    void publish(Metrics &m, std::string_view prefix) const;
 
   private:
     std::vector<Cache> l1s_;
     Cache l2_;
     uint64_t transactions_ = 0;
     uint64_t dram_ = 0;
+    uint64_t dram_writes_ = 0;
+    MetricHistogram lanes_per_txn_;
 };
 
 } // namespace sassi::mem

@@ -1,6 +1,7 @@
 #include "mem/coalescer.h"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.h"
 
@@ -11,15 +12,48 @@ coalesce(const std::vector<uint64_t> &addresses, uint32_t line_bytes)
 {
     panic_if(line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0,
              "line size %u is not a power of two", line_bytes);
-    CoalesceResult out;
-    uint64_t mask = ~static_cast<uint64_t>(line_bytes - 1);
-    for (uint64_t a : addresses) {
-        uint64_t line = a & mask;
-        if (std::find(out.lines.begin(), out.lines.end(), line) ==
-            out.lines.end()) {
-            out.lines.push_back(line);
-        }
+    panic_if(addresses.size() > 32,
+             "a warp issues at most 32 addresses (got %zu)",
+             addresses.size());
+
+    const int n = static_cast<int>(addresses.size());
+    const uint64_t mask = ~static_cast<uint64_t>(line_bytes - 1);
+
+    // Sort (line, lane) pairs so duplicates become adjacent runs —
+    // O(n log n) for the fixed n <= 32 instead of the old quadratic
+    // scan. The lane tiebreak makes the first element of each run the
+    // line's first-touch lane.
+    std::array<std::pair<uint64_t, int>, 32> order;
+    for (int i = 0; i < n; ++i)
+        order[i] = {addresses[i] & mask, i};
+    std::sort(order.begin(), order.begin() + n);
+
+    struct Group
+    {
+        uint64_t line;
+        uint32_t laneMask;
+        int firstLane;
+    };
+    std::array<Group, 32> groups;
+    int num_groups = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto &[line, lane] = order[i];
+        if (num_groups == 0 || groups[num_groups - 1].line != line)
+            groups[num_groups++] = {line, 0, lane};
+        groups[num_groups - 1].laneMask |= 1u << lane;
     }
+
+    // Restore first-touch order (what the hardware issues and what
+    // the existing callers rely on).
+    std::sort(groups.begin(), groups.begin() + num_groups,
+              [](const Group &a, const Group &b) {
+                  return a.firstLane < b.firstLane;
+              });
+
+    CoalesceResult out;
+    out.lines.reserve(static_cast<size_t>(num_groups));
+    for (int g = 0; g < num_groups; ++g)
+        out.lines.push_back({groups[g].line, groups[g].laneMask});
     return out;
 }
 

@@ -14,11 +14,18 @@
 
 namespace sassi::mem {
 
+/** One coalesced line transaction. */
+struct CoalescedLine
+{
+    uint64_t line = 0;     //!< Line base address.
+    uint32_t laneMask = 0; //!< Bit i set when addresses[i] hit the line.
+};
+
 /** Result of coalescing one warp instruction's accesses. */
 struct CoalesceResult
 {
-    /** Unique line base addresses, in first-touch order. */
-    std::vector<uint64_t> lines;
+    /** Unique lines with their lane masks, in first-touch order. */
+    std::vector<CoalescedLine> lines;
 
     /** Number of unique lines (the paper's address divergence). */
     int
@@ -31,7 +38,8 @@ struct CoalesceResult
 /**
  * Coalesce a warp's thread addresses into line transactions.
  *
- * @param addresses One address per participating thread.
+ * @param addresses One address per participating thread (index =
+ *                  lane), at most 32 entries.
  * @param line_bytes Cache-line size (must be a power of two).
  */
 CoalesceResult coalesce(const std::vector<uint64_t> &addresses,

@@ -16,15 +16,16 @@ estimateCycles(uint64_t warp_instrs, uint64_t mufu_instrs,
     est.l1 = hierarchy.l1Stats();
     est.l2 = hierarchy.l2Stats();
 
-    // Each transaction is charged the latency of the level that
-    // served it; overlapping transactions amortize by the MLP
-    // factor. A transaction that misses L1 but is a store bypass
-    // reaches L2 (no-write-allocate L1), so L2 hits + DRAM fills
-    // account for every L1 miss.
+    // Each transaction is charged the latency of every level it
+    // touches; overlapping transactions amortize by the MLP factor.
+    // Stores through the no-write-allocate L1 reach L2 even on an L1
+    // hit (write-through), so they pay both levels; write-through
+    // store lines leaving a no-allocate L2 pay DRAM like fills do.
     double mem_lat =
         static_cast<double>(est.l1.hits) * config.l1HitCycles +
         static_cast<double>(est.l2.hits) * config.l2HitCycles +
-        static_cast<double>(hierarchy.dramAccesses()) *
+        static_cast<double>(hierarchy.dramAccesses() +
+                            hierarchy.dramWrites()) *
             config.dramCycles;
 
     est.issueCycles = static_cast<double>(warp_instrs) *

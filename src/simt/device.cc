@@ -118,6 +118,7 @@ Device::launch(const std::string &kernel, Dim3 grid, Dim3 block,
     Executor exec(*this, *k, grid, block, args.bytes(), opts);
     LaunchResult result = exec.run();
     total_stats_.add(result.stats);
+    metrics_.merge(result.metrics);
     launches_.fetch_add(1, std::memory_order_relaxed);
 
     data.launchOk = result.ok();

@@ -127,11 +127,20 @@ class Device
     /** @return cumulative statistics across all launches. */
     const LaunchStats &totalStats() const { return total_stats_; }
 
-    /** Reset the cumulative launch statistics. Transfer-byte and
-     *  launch counters are cumulative program-lifetime quantities
-     *  and are left alone (the Table 3 host-time model needs the
-     *  setup-time copies). */
-    void resetStats() { total_stats_ = LaunchStats(); }
+    /** @return the metrics registries of all launches, merged in
+     *  launch order (launches are serialized, so this is exact). */
+    const Metrics &metrics() const { return metrics_; }
+
+    /** Reset the cumulative launch statistics and metrics. Transfer-
+     *  byte and launch counters are cumulative program-lifetime
+     *  quantities and are left alone (the Table 3 host-time model
+     *  needs the setup-time copies). */
+    void
+    resetStats()
+    {
+        total_stats_ = LaunchStats();
+        metrics_.clear();
+    }
 
     /** @return bytes copied host->device so far. */
     uint64_t
@@ -166,6 +175,7 @@ class Device
     HandlerDispatcher *dispatcher_ = nullptr;
     cupti::CallbackRegistry callbacks_;
     LaunchStats total_stats_;
+    Metrics metrics_;
     std::atomic<uint64_t> bytes_h2d_{0};
     mutable std::atomic<uint64_t> bytes_d2h_{0};
     std::atomic<uint64_t> launches_{0};

@@ -6,6 +6,7 @@
 #include "simt/thread_pool.h"
 #include "util/bitops.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace sassi::simt {
 
@@ -116,6 +117,14 @@ Executor::Executor(Device &dev, const ir::Kernel &kernel, Dim3 grid,
     : dev_(dev), kernel_(kernel), grid_(grid), block_(block),
       params_(std::move(params)), opts_(opts)
 {
+    // Register the interpreter's own metrics up front: the returned
+    // references are stable map nodes, so every shard bumps through
+    // these pointers and merge still finds identical key sets.
+    m_spill_instrs_ = &metrics_.counter("simt/spill_fill/warp_instrs");
+    m_spill_bytes_ = &metrics_.counter("simt/spill_fill/bytes");
+    m_div_depth_ =
+        &metrics_.histogram("simt/divergence/stack_depth");
+    m_cta_warp_instrs_ = &metrics_.histogram("simt/cta/warp_instrs");
 }
 
 void
@@ -146,8 +155,11 @@ Executor::run()
 
     const uint64_t total = grid_.count();
     int workers = resolveSimThreads(opts_.numThreads, total);
-    if (workers <= 1)
-        return runShard(0, 1);
+    if (workers <= 1) {
+        LaunchResult result = runShard(0, 1);
+        finalizeMetrics(result);
+        return result;
+    }
 
     // Shard the grid round-robin: worker w runs CTAs w, w+n, w+2n...
     // Each worker is a full Executor with private warp state, shared
@@ -179,6 +191,7 @@ Executor::run()
     for (int w = 0; w < workers; ++w) {
         size_t i = static_cast<size_t>(w);
         merged.stats.add(results[i].stats);
+        metrics_.merge(shards[i]->metrics_);
         if (!results[i].ok() && shards[i]->fault_cta_ < first_fault) {
             first_fault = shards[i]->fault_cta_;
             merged.outcome = results[i].outcome;
@@ -186,7 +199,31 @@ Executor::run()
         }
     }
     stats_ = merged.stats;
+    finalizeMetrics(merged);
     return merged;
+}
+
+void
+Executor::finalizeMetrics(LaunchResult &result)
+{
+    const LaunchStats &s = result.stats;
+    metrics_.counter("simt/ctas") += s.ctas;
+    metrics_.counter("simt/warp_instrs") += s.warpInstrs;
+    metrics_.counter("simt/thread_instrs") += s.threadInstrs;
+    metrics_.counter("simt/synthetic_warp_instrs") +=
+        s.syntheticWarpInstrs;
+    metrics_.counter("simt/mem_warp_instrs") += s.memWarpInstrs;
+    metrics_.counter("simt/handler/calls") += s.handlerCalls;
+    metrics_.counter("simt/handler/cost_instrs") +=
+        s.handlerCostInstrs;
+    for (size_t op = 0; op < s.opcodeCounts.size(); ++op) {
+        if (!s.opcodeCounts[op])
+            continue;
+        std::string name("simt/opcode/");
+        name += opName(static_cast<Opcode>(op));
+        metrics_.counter(name) += s.opcodeCounts[op];
+    }
+    result.metrics = metrics_;
 }
 
 LaunchResult
@@ -195,6 +232,8 @@ Executor::runShard(uint64_t first, uint64_t step)
     LaunchResult result;
     const uint64_t total = grid_.count();
     const uint64_t plane = static_cast<uint64_t>(grid_.x) * grid_.y;
+    trace_tid_ = step > 1 ? static_cast<int>(first) : 0;
+    Trace &trace = Trace::global();
     try {
         for (uint64_t linear = first; linear < total; linear += step) {
             if (stop_flag_ &&
@@ -205,7 +244,21 @@ Executor::runShard(uint64_t first, uint64_t step)
                         static_cast<uint32_t>((linear / grid_.x) %
                                               grid_.y),
                         static_cast<uint32_t>(linear / plane));
+            const uint64_t instrs_before = stats_.warpInstrs;
+            const bool traced = trace.enabled();
+            const uint64_t t0 = traced ? trace.nowNs() : 0;
             runCta();
+            const uint64_t cta_instrs =
+                stats_.warpInstrs - instrs_before;
+            m_cta_warp_instrs_->observe(cta_instrs);
+            if (traced) {
+                trace.complete(
+                    detail::strFormat(
+                        "%s cta %llu", kernel_.name.c_str(),
+                        static_cast<unsigned long long>(linear)),
+                    "cta", trace_tid_, t0, trace.nowNs() - t0,
+                    {{"cta", linear}, {"warp_instrs", cta_instrs}});
+            }
             ++stats_.ctas;
         }
         result.outcome = Outcome::Ok;
@@ -954,6 +1007,11 @@ Executor::step(Warp &warp)
         ++stats_.syntheticWarpInstrs;
     if (dec.countsAsMem && exec)
         ++stats_.memWarpInstrs;
+    if (ins.spillFill && exec) {
+        ++*m_spill_instrs_;
+        *m_spill_bytes_ += static_cast<uint64_t>(ins.width) *
+                           static_cast<uint64_t>(popc(exec));
+    }
 
     switch (dec.cls) {
       case ExecClass::Exit: {
@@ -983,6 +1041,7 @@ Executor::step(Warp &warp)
         } else {
             warp.divStack.push_back(
                 {DivToken::Kind::Div, not_taken, warp.pc + 1});
+            m_div_depth_->observe(warp.divStack.size());
             warp.activeMask = taken;
             warp.pc = static_cast<uint32_t>(ins.target);
         }
@@ -995,6 +1054,7 @@ Executor::step(Warp &warp)
         }
         warp.divStack.push_back({DivToken::Kind::Sync, warp.activeMask,
                                  static_cast<uint32_t>(ins.target)});
+        m_div_depth_->observe(warp.divStack.size());
         ++warp.pc;
         return;
       }

@@ -33,6 +33,7 @@
 #include "simt/device.h"
 #include "simt/launch.h"
 #include "simt/warp.h"
+#include "util/metrics.h"
 
 namespace sassi::simt {
 
@@ -123,6 +124,18 @@ class Executor
      *  launch this is the calling worker's private accumulator. */
     LaunchStats &stats() { return stats_; }
 
+    /**
+     * The in-flight launch's metrics registry shard. Like stats(),
+     * this is worker-private during a parallel launch and merged in
+     * worker order at the end, so anything handlers record here must
+     * be a sum/histogram for the registry to stay thread-count-
+     * invariant.
+     */
+    Metrics &metrics() { return metrics_; }
+
+    /** Timeline track (worker index) of this executor's events. */
+    int traceTid() const { return trace_tid_; }
+
     /** Charge modeled handler-body cost, in warp instructions. */
     void
     chargeHandlerCost(uint64_t warp_instrs)
@@ -135,6 +148,8 @@ class Executor
   private:
     /** Run CTAs first, first+step, first+2*step, ... to completion. */
     LaunchResult runShard(uint64_t first, uint64_t step);
+    /** Republish final stats into metrics_ and attach the registry. */
+    void finalizeMetrics(LaunchResult &result);
     void runCta();
     void step(Warp &warp);
     void unwindStack(Warp &warp);
@@ -159,6 +174,15 @@ class Executor
     std::vector<uint8_t> params_;
     LaunchOptions opts_;
     LaunchStats stats_;
+    Metrics metrics_;
+
+    // Registry handles cached at construction so the interpreter's
+    // hot loop bumps plain uint64s instead of doing map lookups.
+    uint64_t *m_spill_instrs_ = nullptr;
+    uint64_t *m_spill_bytes_ = nullptr;
+    MetricHistogram *m_div_depth_ = nullptr;
+    MetricHistogram *m_cta_warp_instrs_ = nullptr;
+    int trace_tid_ = 0;
 
     // Static per-instruction facts, built once per launch by the
     // coordinating executor and shared read-only with its shards.

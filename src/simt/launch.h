@@ -14,6 +14,7 @@
 
 #include "sass/opcode.h"
 #include "simt/dim3.h"
+#include "util/metrics.h"
 
 namespace sassi::simt {
 
@@ -159,6 +160,16 @@ struct LaunchResult
     Outcome outcome = Outcome::Ok;
     std::string message;
     LaunchStats stats;
+
+    /**
+     * The launch's metrics registry: LaunchStats republished under
+     * "simt/...", the interpreter's histograms (divergence-stack
+     * depth, per-CTA warp instructions), spill/fill traffic, and
+     * whatever the installed dispatcher recorded under "core/..."
+     * during the launch. Worker shards merge in worker order, so
+     * the registry is thread-count-invariant like LaunchStats.
+     */
+    Metrics metrics;
 
     /** @return true when the kernel completed without fault. */
     bool ok() const { return outcome == Outcome::Ok; }

@@ -1,0 +1,110 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sassi {
+
+int
+MetricHistogram::bucketOf(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return 64 - __builtin_clzll(v);
+}
+
+void
+MetricHistogram::observe(uint64_t v)
+{
+    ++buckets[bucketOf(v)];
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+}
+
+void
+MetricHistogram::merge(const MetricHistogram &o)
+{
+    for (int i = 0; i < NumBuckets; ++i)
+        buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+}
+
+uint64_t &
+Metrics::counter(std::string_view name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), 0).first;
+    return it->second;
+}
+
+MetricHistogram &
+Metrics::histogram(std::string_view name)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), MetricHistogram{})
+                 .first;
+    return it->second;
+}
+
+uint64_t
+Metrics::counterValue(std::string_view name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const MetricHistogram *
+Metrics::findHistogram(std::string_view name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+Metrics::merge(const Metrics &o)
+{
+    for (const auto &[name, value] : o.counters_)
+        counter(name) += value;
+    for (const auto &[name, hist] : o.histograms_)
+        histogram(name).merge(hist);
+}
+
+void
+Metrics::clear()
+{
+    counters_.clear();
+    histograms_.clear();
+}
+
+std::string
+Metrics::serialize() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << " : count=" << h.count << " sum=" << h.sum;
+        if (h.count)
+            os << " min=" << h.min << " max=" << h.max;
+        os << " buckets=[";
+        // Buckets past the max observation are all zero; stop at the
+        // last non-empty one to keep the rendering readable.
+        int last = -1;
+        for (int i = 0; i < MetricHistogram::NumBuckets; ++i)
+            if (h.buckets[i])
+                last = i;
+        for (int i = 0; i <= last; ++i)
+            os << (i ? "," : "") << h.buckets[i];
+        os << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace sassi

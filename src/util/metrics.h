@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The launch-scoped metrics registry: named counters and power-of-two
+ * histograms behind the simulator's observability surface (the
+ * SASSI-style "hardware-rate counters" of the paper's case studies,
+ * generalized into one substrate).
+ *
+ * Concurrency model (mirrors Executor's CTA sharding): there is no
+ * locking anywhere. Each worker owns a private Metrics shard and bumps
+ * plain uint64 counters through cached pointers; at the end of a
+ * launch the coordinator merges shards in worker order. Every metric
+ * is a sum (or a bucket-wise sum plus min/max), so merged values are
+ * independent of both worker count and execution timing — the same
+ * invariance guarantee LaunchStats established for the parallel
+ * executor, extended to arbitrarily named metrics.
+ *
+ * Naming scheme: hierarchical slash-separated paths, lowest level
+ * first by subsystem — "simt/...", "core/...", "mem/...",
+ * "handlers/<tool>/...". Registries iterate in lexicographic name
+ * order, so any rendering (tables, JSON) is deterministic.
+ */
+
+#ifndef SASSI_UTIL_METRICS_H
+#define SASSI_UTIL_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sassi {
+
+/**
+ * A power-of-two-bucketed histogram of uint64 observations.
+ * Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
+ * [2^(i-1), 2^i). Exact count/sum/min/max ride along, so means are
+ * exact even though the distribution is bucketed.
+ */
+struct MetricHistogram
+{
+    static constexpr int NumBuckets = 65;
+
+    std::array<uint64_t, NumBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = UINT64_MAX; //!< Meaningless until count > 0.
+    uint64_t max = 0;
+
+    /** Record one observation. */
+    void observe(uint64_t v);
+
+    /** Bucket-wise sum; min/max/count/sum combine exactly. */
+    void merge(const MetricHistogram &o);
+
+    /** @return the exact mean of all observations (0 when empty). */
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /** @return the bucket index a value lands in. */
+    static int bucketOf(uint64_t v);
+};
+
+/**
+ * One registry (or one worker's shard of a registry): counters and
+ * histograms keyed by hierarchical name.
+ */
+class Metrics
+{
+  public:
+    using CounterMap = std::map<std::string, uint64_t, std::less<>>;
+    using HistogramMap =
+        std::map<std::string, MetricHistogram, std::less<>>;
+
+    /**
+     * The counter registered under name, created at zero on first
+     * use. The reference is stable for the life of the registry, so
+     * hot paths look a counter up once and bump through the
+     * reference.
+     */
+    uint64_t &counter(std::string_view name);
+
+    /** Add delta (default 1) to the named counter. */
+    void
+    inc(std::string_view name, uint64_t delta = 1)
+    {
+        counter(name) += delta;
+    }
+
+    /** The histogram registered under name (stable reference). */
+    MetricHistogram &histogram(std::string_view name);
+
+    /** @return a counter's value, 0 when it was never touched. */
+    uint64_t counterValue(std::string_view name) const;
+
+    /** @return a histogram by name, nullptr when absent. */
+    const MetricHistogram *findHistogram(std::string_view name) const;
+
+    /**
+     * Merge another registry in: counters sum, histograms merge.
+     * Sums are commutative, so any merge order yields the same
+     * registry; callers still merge in worker order so that future
+     * non-commutative metrics cannot silently break invariance.
+     */
+    void merge(const Metrics &o);
+
+    /** Drop every metric. */
+    void clear();
+
+    /** @return true when no metric was ever registered. */
+    bool
+    empty() const
+    {
+        return counters_.empty() && histograms_.empty();
+    }
+
+    /** @return all counters, in lexicographic name order. */
+    const CounterMap &counters() const { return counters_; }
+
+    /** @return all histograms, in lexicographic name order. */
+    const HistogramMap &histograms() const { return histograms_; }
+
+    /**
+     * Canonical text rendering, one metric per line in name order —
+     * the determinism tests compare registries through this, and
+     * profiling tools parse it.
+     */
+    std::string serialize() const;
+
+  private:
+    CounterMap counters_;
+    HistogramMap histograms_;
+};
+
+} // namespace sassi
+
+#endif // SASSI_UTIL_METRICS_H

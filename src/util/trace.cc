@@ -1,0 +1,150 @@
+#include "trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "logging.h"
+
+namespace sassi {
+
+Trace &
+Trace::global()
+{
+    // Intentionally leaked: the SASSI_TRACE path flushes from an
+    // atexit handler registered during construction, which would
+    // otherwise run after a function-local static's destructor.
+    static Trace *instance = new Trace;
+    return *instance;
+}
+
+Trace::Trace()
+{
+    const char *path = std::getenv("SASSI_TRACE");
+    if (path && *path) {
+        begin(path);
+        // The simulator has no single shutdown point (benches, tests
+        // and examples all exit on their own terms), so the
+        // env-requested file is flushed at process exit.
+        std::atexit([] { Trace::global().end(); });
+    }
+}
+
+void
+Trace::begin(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = path;
+    origin_ = std::chrono::steady_clock::now();
+    events_.clear();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+uint64_t
+Trace::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+}
+
+void
+Trace::complete(std::string name, const char *category, int tid,
+                uint64_t start_ns, uint64_t dur_ns,
+                std::vector<std::pair<std::string, uint64_t>> args)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{std::move(name), category, tid, start_ns,
+                            dur_ns, std::move(args)});
+}
+
+size_t
+Trace::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+namespace {
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\') {
+            out += '\\';
+            out += ch;
+        } else if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out += buf;
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+/** Nanoseconds to the microsecond "ts"/"dur" fields, 3 decimals. */
+std::string
+microseconds(uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+void
+Trace::end()
+{
+    std::vector<Event> events;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!enabled_.load(std::memory_order_relaxed))
+            return;
+        enabled_.store(false, std::memory_order_relaxed);
+        events.swap(events_);
+        path.swap(path_);
+    }
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("trace: cannot write %s", path.c_str());
+        return;
+    }
+    out << "{\"traceEvents\": [";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        out << (i ? ",\n  " : "\n  ");
+        out << "{\"name\": \"" << jsonEscape(e.name) << "\", "
+            << "\"cat\": \"" << e.category << "\", "
+            << "\"ph\": \"X\", "
+            << "\"ts\": " << microseconds(e.startNs) << ", "
+            << "\"dur\": " << microseconds(e.durNs) << ", "
+            << "\"pid\": 1, \"tid\": " << e.tid;
+        if (!e.args.empty()) {
+            out << ", \"args\": {";
+            for (size_t a = 0; a < e.args.size(); ++a)
+                out << (a ? ", " : "") << "\""
+                    << jsonEscape(e.args[a].first)
+                    << "\": " << e.args[a].second;
+            out << "}";
+        }
+        out << "}";
+    }
+    out << (events.empty() ? "]" : "\n]")
+        << ", \"displayTimeUnit\": \"ms\"}\n";
+}
+
+} // namespace sassi

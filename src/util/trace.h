@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A Chrome trace_event timeline emitter.
+ *
+ * Setting SASSI_TRACE=out.json makes the simulator record CTA spans
+ * (one track per worker thread) and handler-call slices, and write
+ * them at process exit as Chrome's trace_event JSON "object format"
+ * — load the file in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Unlike the metrics registry, the timeline deliberately records
+ * wall-clock time: it exists to show where real time went, so its
+ * contents vary run to run and never feed determinism-checked
+ * outputs. Recording is a mutex-guarded vector append; the
+ * `enabled()` fast path is a relaxed atomic load so an un-traced run
+ * pays one branch per candidate event.
+ */
+
+#ifndef SASSI_UTIL_TRACE_H
+#define SASSI_UTIL_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sassi {
+
+/** Process-wide collector of trace_event complete ("X") events. */
+class Trace
+{
+  public:
+    /**
+     * The singleton. First use reads SASSI_TRACE from the
+     * environment; when set and non-empty, tracing starts and the
+     * file is written at process exit (or at an explicit end()).
+     */
+    static Trace &global();
+
+    /** @return true when events are being collected. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start collecting, to be written to path. Used by tests and
+     * tools; SASSI_TRACE goes through here too. Resets the clock
+     * origin and drops any buffered events.
+     */
+    void begin(const std::string &path);
+
+    /** Write the collected events and stop. No-op when disabled. */
+    void end();
+
+    /** Nanoseconds since begin() — timestamp for complete(). */
+    uint64_t nowNs() const;
+
+    /**
+     * Record a complete event: `name` ran on track `tid` from
+     * start_ns for dur_ns. args become the event's "args" object.
+     */
+    void complete(
+        std::string name, const char *category, int tid,
+        uint64_t start_ns, uint64_t dur_ns,
+        std::vector<std::pair<std::string, uint64_t>> args = {});
+
+    /** @return events recorded since begin() (for tests). */
+    size_t eventCount() const;
+
+  private:
+    Trace();
+
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        int tid;
+        uint64_t startNs;
+        uint64_t durNs;
+        std::vector<std::pair<std::string, uint64_t>> args;
+    };
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::chrono::steady_clock::time_point origin_;
+    std::vector<Event> events_;
+};
+
+} // namespace sassi
+
+#endif // SASSI_UTIL_TRACE_H

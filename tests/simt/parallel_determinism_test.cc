@@ -182,6 +182,9 @@ TEST(ParallelDeterminism, StressKernelBitIdenticalAcrossThreads)
         ASSERT_EQ(run.result.outcome, ref.result.outcome);
         EXPECT_EQ(run.result.message, ref.result.message);
         expectStatsEqual(run.result.stats, ref.result.stats, threads);
+        EXPECT_EQ(run.result.metrics.serialize(),
+                  ref.result.metrics.serialize())
+            << "metrics registry differs at threads=" << threads;
         EXPECT_EQ(run.counters[0], ref.counters[0]);
         EXPECT_EQ(run.counters[1], ref.counters[1]);
         EXPECT_EQ(run.counters[2], ref.counters[2]);
