@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Interpreter hot-path microbenchmark: measures warp-instruction
+ * throughput with the superblock micro-op fast path off vs on
+ * (LaunchOptions::superblocks, see simt/decode.h) on three kernel
+ * shapes — ALU-heavy (long straight-line runs, the case the fast
+ * path targets), branch-heavy (short blocks, the fast path mostly
+ * disengaged), and the ALU-heavy kernel instrumented with the
+ * Figure 3 instruction counter (JCAL sites chop every run). Results
+ * merge-write the "interp" section of BENCH_simt.json.
+ *
+ * --smoke runs a short differential pass instead: every kernel is
+ * executed in both modes and the LaunchStats and metrics registry
+ * must match bit for bit (exit 1 otherwise). Wired up as a
+ * bench-labeled ctest so the benchmark can't rot.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "core/sassi.h"
+#include "handlers/instr_counter.h"
+#include "sassir/builder.h"
+#include "simt/decode.h"
+
+using namespace sassi;
+using namespace sassi::sass;
+using namespace sassi::simt;
+using sassi::ir::KernelBuilder;
+using sassi::ir::Label;
+
+namespace {
+
+constexpr int Ctas = 16;
+constexpr int Block = 128;
+
+/**
+ * A counted loop whose body is a long straight-line run of
+ * unpredicated integer and float ALU ops — the superblock
+ * compiler's best case (one ~50-instruction run per iteration).
+ */
+ir::Kernel
+aluHeavyKernel(int iters)
+{
+    KernelBuilder kb("alu_heavy");
+    kb.s2r(6, SpecialReg::TidX);
+    kb.mov32i(4, 0);
+    kb.mov32i(5, iters);
+    kb.iaddi(8, 6, 0x1234);
+    kb.mov32i(9, 0x9e3779b9);
+    kb.fmov32i(12, 1.5f);
+    kb.fmov32i(13, 0.25f);
+    Label top = kb.newLabel();
+    Label done = kb.newLabel();
+    Label out = kb.newLabel();
+    kb.ssy(out);
+    kb.bind(top);
+    kb.isetp(0, CmpOp::GE, 4, 5);
+    kb.onP(0).bra(done);
+    // 48 straight-line ALU ops (6 rounds of an 8-op integer/float
+    // mixing step), all unpredicated: one superblock per iteration.
+    for (int round = 0; round < 6; ++round) {
+        kb.iadd(10, 8, 9);
+        kb.shl(11, 10, 5);
+        kb.lop(LogicOp::Xor, 8, 10, 11);
+        kb.imad(9, 9, 9, 10);
+        kb.shr(14, 8, 3);
+        kb.lopi(LogicOp::And, 14, 14, 0xffff);
+        kb.ffma(12, 12, 13, 12);
+        kb.iadd(8, 8, 14);
+    }
+    kb.iaddi(4, 4, 1);
+    kb.bra(top);
+    kb.bind(done);
+    kb.sync();
+    kb.bind(out);
+    kb.exit();
+    return kb.finish();
+}
+
+/**
+ * The same trip count spent on short, data-dependent divergent
+ * diamonds: basic blocks of one or two instructions, so almost no
+ * superblocks form and both modes should measure alike.
+ */
+ir::Kernel
+branchHeavyKernel(int iters)
+{
+    KernelBuilder kb("branch_heavy");
+    kb.s2r(6, SpecialReg::TidX);
+    kb.mov32i(4, 0);
+    kb.mov32i(5, iters);
+    kb.iaddi(8, 6, 7);
+    Label top = kb.newLabel();
+    Label done = kb.newLabel();
+    Label out = kb.newLabel();
+    kb.ssy(out);
+    kb.bind(top);
+    kb.isetp(0, CmpOp::GE, 4, 5);
+    kb.onP(0).bra(done);
+    // Four data-dependent if/else diamonds per iteration.
+    for (int d = 0; d < 4; ++d) {
+        Label else_ = kb.newLabel();
+        Label join = kb.newLabel();
+        kb.lopi(LogicOp::And, 10, 8, 1 << d);
+        kb.isetpi(1, CmpOp::EQ, 10, 0);
+        kb.ssy(join);
+        kb.onP(1).bra(else_);
+        kb.iaddi(8, 8, 3);
+        kb.sync();
+        kb.bind(else_);
+        kb.lopi(LogicOp::Xor, 8, 8, 0x5b);
+        kb.sync();
+        kb.bind(join);
+    }
+    kb.iaddi(4, 4, 1);
+    kb.bra(top);
+    kb.bind(done);
+    kb.sync();
+    kb.bind(out);
+    kb.exit();
+    return kb.finish();
+}
+
+struct Bench
+{
+    const char *name;
+    ir::Kernel (*make)(int iters);
+    bool instrumented;
+};
+
+constexpr Bench kBenches[] = {
+    {"alu_heavy", aluHeavyKernel, false},
+    {"branch_heavy", branchHeavyKernel, false},
+    {"alu_heavy_instrumented", aluHeavyKernel, true},
+};
+
+struct Setup
+{
+    std::unique_ptr<Device> dev;
+    std::unique_ptr<core::SassiRuntime> rt;
+    std::unique_ptr<handlers::InstrCounter> counter;
+    std::string kernel;
+};
+
+Setup
+prepare(const Bench &b, int iters)
+{
+    Setup s;
+    s.dev = std::make_unique<Device>();
+    ir::Module mod;
+    mod.kernels.push_back(b.make(iters));
+    s.kernel = mod.kernels.back().name;
+    s.dev->loadModule(std::move(mod));
+    if (b.instrumented) {
+        s.rt = std::make_unique<core::SassiRuntime>(*s.dev);
+        s.rt->instrument(handlers::InstrCounter::options());
+        s.counter =
+            std::make_unique<handlers::InstrCounter>(*s.dev, *s.rt);
+    }
+    return s;
+}
+
+LaunchResult
+launchOnce(Setup &s, int superblocks)
+{
+    LaunchOptions opts;
+    opts.numThreads = 1;
+    opts.superblocks = superblocks;
+    return s.dev->launch(s.kernel, Dim3(Ctas), Dim3(Block),
+                         KernelArgs(), opts);
+}
+
+struct Rate
+{
+    double instrsPerSec = 0;
+    double secs = 0;
+    int launches = 0;
+};
+
+Rate
+measure(Setup &s, int superblocks, double min_secs)
+{
+    launchOnce(s, superblocks); // Warm caches and the worker pool.
+    Rate rate;
+    uint64_t instrs = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    do {
+        auto r = launchOnce(s, superblocks);
+        if (!r.ok()) {
+            std::fprintf(stderr, "%s: launch failed: %s\n",
+                         s.kernel.c_str(), r.message.c_str());
+            std::exit(1);
+        }
+        instrs += r.stats.warpInstrs;
+        ++rate.launches;
+        rate.secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    } while (rate.secs < min_secs);
+    rate.instrsPerSec = static_cast<double>(instrs) / rate.secs;
+    return rate;
+}
+
+/** --smoke: both modes must produce bit-identical observables. */
+int
+runSmoke()
+{
+    int failures = 0;
+    for (const Bench &b : kBenches) {
+        Setup off = prepare(b, 64);
+        Setup on = prepare(b, 64);
+        LaunchResult r0 = launchOnce(off, 0);
+        LaunchResult r1 = launchOnce(on, 1);
+        bool same =
+            r0.outcome == r1.outcome &&
+            r0.stats.warpInstrs == r1.stats.warpInstrs &&
+            r0.stats.threadInstrs == r1.stats.threadInstrs &&
+            r0.stats.syntheticWarpInstrs ==
+                r1.stats.syntheticWarpInstrs &&
+            r0.stats.handlerCalls == r1.stats.handlerCalls &&
+            r0.stats.handlerCostInstrs == r1.stats.handlerCostInstrs &&
+            r0.stats.memWarpInstrs == r1.stats.memWarpInstrs &&
+            r0.stats.opcodeCounts == r1.stats.opcodeCounts &&
+            r0.metrics.serialize() == r1.metrics.serialize();
+        std::printf("smoke %-24s %s\n", b.name,
+                    same ? "ok" : "MISMATCH");
+        if (!same)
+            ++failures;
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    double min_secs = 0.4;
+    int iters = 512;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--seconds") == 0 &&
+                   i + 1 < argc) {
+            min_secs = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            return 1;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
+    std::printf("-- interpreter throughput, superblocks off vs on "
+                "(%d CTAs x %d threads, 1 worker) --\n",
+                Ctas, Block);
+    bench::BenchJson json("interp");
+    for (const Bench &b : kBenches) {
+        Setup s = prepare(b, iters);
+        Rate off = measure(s, 0, min_secs);
+        Rate on = measure(s, 1, min_secs);
+        double speedup = off.instrsPerSec > 0
+                             ? on.instrsPerSec / off.instrsPerSec
+                             : 0;
+        std::printf("%-24s off %8.2f Mwi/s   on %8.2f Mwi/s   "
+                    "speedup %.2fx\n",
+                    b.name, off.instrsPerSec / 1e6,
+                    on.instrsPerSec / 1e6, speedup);
+        for (int mode = 0; mode < 2; ++mode) {
+            const Rate &r = mode ? on : off;
+            bench::BenchRecord rec;
+            rec.name = std::string(b.name) +
+                       "/superblocks=" + std::to_string(mode);
+            rec.wallSeconds = r.secs;
+            rec.warpInstrsPerSec = r.instrsPerSec;
+            rec.threads = 1;
+            rec.extra.emplace_back("launches",
+                                   static_cast<double>(r.launches));
+            if (mode)
+                rec.extra.emplace_back("speedup_vs_off", speedup);
+            json.add(rec);
+        }
+    }
+
+    Metrics uop = UopCache::global().snapshot();
+    std::printf("\n-- micro-op cache --\n");
+    for (const auto &[name, value] : uop.counters())
+        std::printf("%-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+
+    if (json.write())
+        std::printf("wrote BENCH_simt.json (interp)\n");
+    return 0;
+}

@@ -1,7 +1,6 @@
 #include "sassir/cfg.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/logging.h"
 
@@ -34,6 +33,26 @@ endsBlock(const Instruction &ins)
 
 } // namespace
 
+std::vector<uint8_t>
+blockLeaders(const Kernel &kernel)
+{
+    const auto &code = kernel.code;
+    std::vector<uint8_t> leader(code.size(), 0);
+    if (code.empty())
+        return leader;
+    leader[0] = 1;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const Instruction &ins = code[pc];
+        if ((ins.op == Opcode::SSY || ins.op == Opcode::BRA) &&
+            ins.target >= 0 &&
+            static_cast<size_t>(ins.target) < code.size())
+            leader[static_cast<size_t>(ins.target)] = 1;
+        if (endsBlock(ins) && pc + 1 < code.size())
+            leader[pc + 1] = 1;
+    }
+    return leader;
+}
+
 Cfg
 buildCfg(const Kernel &kernel)
 {
@@ -43,23 +62,21 @@ buildCfg(const Kernel &kernel)
     if (n == 0)
         return cfg;
 
-    // Collect leaders and the SSY-target over-approximation for SYNC.
-    std::set<int> leaders{0};
+    // Collect leaders (shared with the interpreter's superblock
+    // compiler) and the SSY-target over-approximation for SYNC.
+    std::vector<uint8_t> leader_flags = blockLeaders(kernel);
     std::vector<int> ssy_targets;
     for (int pc = 0; pc < n; ++pc) {
         const Instruction &ins = code[static_cast<size_t>(pc)];
-        if (ins.op == Opcode::SSY && ins.target >= 0) {
-            leaders.insert(ins.target);
+        if (ins.op == Opcode::SSY && ins.target >= 0)
             ssy_targets.push_back(ins.target);
-        }
-        if (ins.op == Opcode::BRA && ins.target >= 0)
-            leaders.insert(ins.target);
-        if (endsBlock(ins) && pc + 1 < n)
-            leaders.insert(pc + 1);
     }
 
     // Materialize blocks.
-    std::vector<int> starts(leaders.begin(), leaders.end());
+    std::vector<int> starts;
+    for (int pc = 0; pc < n; ++pc)
+        if (leader_flags[static_cast<size_t>(pc)])
+            starts.push_back(pc);
     cfg.blockOf.assign(static_cast<size_t>(n), -1);
     for (size_t b = 0; b < starts.size(); ++b) {
         BasicBlock bb;

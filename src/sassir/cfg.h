@@ -52,6 +52,16 @@ struct Cfg
  */
 Cfg buildCfg(const Kernel &kernel);
 
+/**
+ * Per-instruction block-leader flags: flag[pc] is nonzero when pc
+ * starts a basic block (entry, branch/SSY target, or the fall-
+ * through after a block-ending instruction). This is the exact
+ * leader set buildCfg() partitions on, exported separately so the
+ * interpreter's superblock compiler can bound straight-line runs at
+ * every point control flow can enter without materializing a Cfg.
+ */
+std::vector<uint8_t> blockLeaders(const Kernel &kernel);
+
 } // namespace sassi::ir
 
 #endif // SASSI_SASSIR_CFG_H

@@ -1,28 +1,57 @@
 /**
  * @file
- * Per-kernel decode cache for the interpreter hot path.
+ * Per-kernel micro-op compiler for the interpreter hot path.
  *
  * The executor's step() used to re-derive, for every dynamic warp
  * instruction, facts that are static per Instruction: which
- * execution class handles it (control, memory, warp-wide, ALU),
- * whether its guard predicate needs per-lane evaluation, and
- * whether it counts as a memory instruction for the statistics.
- * The paper's §5 overhead discussion shows the overwhelmingly
- * common case is an unpredicated instruction on a fully converged
- * warp; the decode cache lets that case skip the per-lane guard
- * loop entirely and jump straight to the right exec routine. It is
- * built once per launch and shared read-only by all CTA workers.
+ * execution class handles it, whether its guard needs per-lane
+ * evaluation, and whether it counts as a memory instruction. The
+ * paper's §5 overhead discussion shows the overwhelmingly common
+ * case is an unpredicated ALU instruction on a fully converged
+ * warp; this module compiles each kernel once into micro-ops that
+ * exploit exactly that case:
+ *
+ *  - Every instruction becomes a MicroOp carrying its ExecClass,
+ *    resolved guard kind, and — for ALU-class ops — a direct
+ *    exec-function pointer specialized at compile time on the
+ *    operand facts (immediate vs register srcB, CC use, signedness,
+ *    logic op), so execution dispatches indirectly instead of
+ *    re-switching per instruction and per lane.
+ *  - Maximal straight-line runs of unpredicated ALU micro-ops
+ *    inside one basic block (leaders from sassir/cfg) become
+ *    *superblocks*: the executor runs a whole superblock for a
+ *    converged warp in one tight loop, batching warpInstrs /
+ *    threadInstrs / opcodeCounts and watchdog charging per run.
+ *  - Compiled MicroPrograms are cached per kernel *content* in a
+ *    process-wide thread-safe registry (UopCache), shared across
+ *    launches and CTA-worker shards, with compile/hit counters and
+ *    superblock-length histograms published through util/metrics.
+ *
+ * The generic step() path is kept byte-for-byte as the fallback
+ * (and as the whole path when SASSI_SIM_SUPERBLOCKS=0), so
+ * instrumentation sites, divergence, faults, and statistics are
+ * observationally identical with superblocks on or off.
  */
 
 #ifndef SASSI_SIMT_DECODE_H
 #define SASSI_SIMT_DECODE_H
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sassir/module.h"
+#include "simt/dim3.h"
+#include "util/metrics.h"
 
 namespace sassi::simt {
+
+struct Warp;
 
 /** Top-level dispatch class of an instruction in step(). */
 enum class ExecClass : uint8_t {
@@ -46,64 +75,166 @@ enum class GuardKind : uint8_t {
     PerLane,   //!< A real predicate: evaluate per lane.
 };
 
-/** Statically resolved facts about one instruction. */
-struct DecodedInstr
+/**
+ * Launch-invariant context a micro-op exec function may need beyond
+ * the warp itself: the current CTA coordinates (S2R) and the
+ * local-memory window geometry (L2G). Rebuilt per CTA by the
+ * executor; everything else the fast path touches lives in Warp.
+ */
+struct UopCtx
 {
+    Dim3 cta;
+    Dim3 block;
+    Dim3 grid;
+    uint64_t ctaLinear = 0;
+    uint32_t localBytes = 0;
+};
+
+/**
+ * Exec function of one ALU-class micro-op: applies the instruction
+ * to every lane set in exec. Specialized per (opcode, operand
+ * facts) at compile time; only ever invoked from inside a
+ * superblock run, where the guard is statically @PT and all operand
+ * registers are proven in budget, so implementations skip the
+ * per-access bounds checks the generic path performs.
+ */
+using AluFn = void (*)(const UopCtx &ctx, Warp &warp,
+                       const sass::Instruction &ins, uint32_t exec);
+
+/** One flattened micro-op: statically resolved per-instruction facts. */
+struct MicroOp
+{
+    /** Direct exec function; null when the op has no fast path. */
+    AluFn alu = nullptr;
+
     ExecClass cls = ExecClass::Alu;
     GuardKind guard = GuardKind::PerLane;
     bool countsAsMem = false; //!< Feeds LaunchStats::memWarpInstrs.
+
+    /** 1-based id of the superblock headed here, 0 otherwise. */
+    uint16_t sb = 0;
 };
 
-/** The decode cache: one DecodedInstr per kernel instruction. */
-class DecodeCache
+/**
+ * A maximal straight-line run of unpredicated fast-path ALU
+ * micro-ops within one basic block, with its statistics
+ * contributions pre-aggregated so the executor charges them once
+ * per run instead of once per instruction.
+ */
+struct Superblock
+{
+    uint32_t start = 0; //!< First instruction index of the run.
+    uint32_t len = 0;   //!< Number of instructions in the run.
+
+    /** How many of the run's instructions are SASSI-injected. */
+    uint32_t syntheticInstrs = 0;
+
+    /** Per-opcode issue counts of one pass over the run. */
+    std::vector<std::pair<sass::Opcode, uint32_t>> opcodeCounts;
+};
+
+/** The compiled micro-program of one kernel. */
+class MicroProgram
 {
   public:
-    explicit DecodeCache(const ir::Kernel &kernel)
-    {
-        decoded_.reserve(kernel.code.size());
-        for (const sass::Instruction &ins : kernel.code)
-            decoded_.push_back(decode(ins));
-    }
+    /** Shortest instruction run worth forming a superblock for. */
+    static constexpr uint32_t MinSuperblockLen = 2;
 
-    const DecodedInstr &
+    explicit MicroProgram(const ir::Kernel &kernel);
+
+    /** @return the micro-op at an instruction index. */
+    const MicroOp &
     at(uint32_t pc) const
     {
-        return decoded_[pc];
+        return uops_[pc];
     }
+
+    /** @return the superblock with a MicroOp::sb id (1-based). */
+    const Superblock &
+    superblock(uint16_t id) const
+    {
+        return superblocks_[static_cast<size_t>(id) - 1];
+    }
+
+    /** @return number of micro-ops (== kernel instructions). */
+    size_t size() const { return uops_.size(); }
+
+    /** @return all superblocks, in program order. */
+    const std::vector<Superblock> &
+    superblocks() const
+    {
+        return superblocks_;
+    }
+
+    /** @return total instructions covered by superblocks. */
+    size_t superblockInstrs() const;
 
   private:
-    static DecodedInstr
-    decode(const sass::Instruction &ins)
-    {
-        DecodedInstr d;
-        switch (ins.op) {
-          case sass::Opcode::EXIT: d.cls = ExecClass::Exit; break;
-          case sass::Opcode::BRA: d.cls = ExecClass::Bra; break;
-          case sass::Opcode::SSY: d.cls = ExecClass::Ssy; break;
-          case sass::Opcode::SYNC: d.cls = ExecClass::Sync; break;
-          case sass::Opcode::JCAL: d.cls = ExecClass::Jcal; break;
-          case sass::Opcode::RET: d.cls = ExecClass::Ret; break;
-          case sass::Opcode::BAR: d.cls = ExecClass::Bar; break;
-          case sass::Opcode::BPT: d.cls = ExecClass::Bpt; break;
-          case sass::Opcode::VOTE:
-          case sass::Opcode::SHFL:
-            d.cls = ExecClass::WarpOp;
-            break;
-          default:
-            d.cls = ins.isMem() ? ExecClass::Mem : ExecClass::Alu;
-            break;
-        }
-        if (ins.guard == sass::PT)
-            d.guard = ins.guardNeg ? GuardKind::AlwaysOff
-                                   : GuardKind::AlwaysOn;
-        else
-            d.guard = GuardKind::PerLane;
-        d.countsAsMem = ins.isMem();
-        return d;
-    }
-
-    std::vector<DecodedInstr> decoded_;
+    std::vector<MicroOp> uops_;
+    std::vector<Superblock> superblocks_;
 };
+
+/**
+ * Process-wide registry of compiled micro-programs, keyed by a
+ * content fingerprint of the kernel (name, register/local budget,
+ * and every instruction field), so the same kernel compiled once is
+ * shared across launches, Devices, and CTA-worker shards — and an
+ * instrumented rewrite of a kernel (same name, new code) naturally
+ * misses and recompiles. All entry points are thread-safe.
+ */
+class UopCache
+{
+  public:
+    /** The process-wide cache instance. */
+    static UopCache &global();
+
+    /** Look up (or compile and insert) a kernel's micro-program. */
+    std::shared_ptr<const MicroProgram> get(const ir::Kernel &kernel);
+
+    /** Drop every entry compiled from a kernel with this name.
+     *  Called when a pass rewrites a kernel in place; lookups would
+     *  miss anyway (the fingerprint changed), so this only bounds
+     *  stale-entry growth. @return entries dropped. */
+    size_t invalidate(std::string_view kernel_name);
+
+    /** Drop every entry and reset the counters (tests). */
+    void clear();
+
+    /** Credit dynamic superblock executions from a finished launch. */
+    void noteRuns(uint64_t runs, uint64_t instrs);
+
+    /** @return a copy of the cache's metrics: compile/hit/entry
+     *  counters, superblock-length histogram, and dynamic run
+     *  totals, under "uop/...". Process-wide (not launch-scoped),
+     *  so the per-launch registry stays identical whether
+     *  superblocks are on or off. */
+    Metrics snapshot() const;
+
+    /** @return number of cached programs. */
+    size_t size() const;
+
+    /** Content fingerprint a kernel is cached under. */
+    static uint64_t fingerprint(const ir::Kernel &kernel);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::shared_ptr<const MicroProgram> prog;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<uint64_t, Entry> entries_;
+    Metrics metrics_;
+};
+
+/**
+ * Resolve the superblock switch for one launch: a non-negative
+ * LaunchOptions::superblocks wins; otherwise the
+ * SASSI_SIM_SUPERBLOCKS environment variable ("0" disables);
+ * otherwise on.
+ */
+bool resolveSuperblocks(int requested);
 
 } // namespace sassi::simt
 

@@ -148,15 +148,15 @@ Executor::threadIdx(const Warp &warp, int lane) const
 LaunchResult
 Executor::run()
 {
-    if (!decode_) {
-        owned_decode_ = std::make_unique<DecodeCache>(kernel_);
-        decode_ = owned_decode_.get();
-    }
+    if (!prog_)
+        prog_ = UopCache::global().get(kernel_);
+    superblocks_on_ = resolveSuperblocks(opts_.superblocks);
 
     const uint64_t total = grid_.count();
     int workers = resolveSimThreads(opts_.numThreads, total);
     if (workers <= 1) {
         LaunchResult result = runShard(0, 1);
+        UopCache::global().noteRuns(sb_runs_, sb_instrs_);
         finalizeMetrics(result);
         return result;
     }
@@ -172,7 +172,8 @@ Executor::run()
     for (int w = 0; w < workers; ++w) {
         shards.emplace_back(std::make_unique<Executor>(
             dev_, kernel_, grid_, block_, params_, opts_));
-        shards.back()->decode_ = decode_;
+        shards.back()->prog_ = prog_;
+        shards.back()->superblocks_on_ = superblocks_on_;
         shards.back()->stop_flag_ = &stop;
     }
     std::vector<LaunchResult> results(static_cast<size_t>(workers));
@@ -192,6 +193,8 @@ Executor::run()
         size_t i = static_cast<size_t>(w);
         merged.stats.add(results[i].stats);
         metrics_.merge(shards[i]->metrics_);
+        sb_runs_ += shards[i]->sb_runs_;
+        sb_instrs_ += shards[i]->sb_instrs_;
         if (!results[i].ok() && shards[i]->fault_cta_ < first_fault) {
             first_fault = shards[i]->fault_cta_;
             merged.outcome = results[i].outcome;
@@ -199,6 +202,7 @@ Executor::run()
         }
     }
     stats_ = merged.stats;
+    UopCache::global().noteRuns(sb_runs_, sb_instrs_);
     finalizeMetrics(merged);
     return merged;
 }
@@ -279,6 +283,8 @@ Executor::runCta()
     uint32_t threads = static_cast<uint32_t>(block_.count());
     int num_warps = static_cast<int>((threads + WarpSize - 1) / WarpSize);
 
+    uop_ctx_ =
+        UopCtx{cta_, block_, grid_, cta_linear_, kernel_.localBytes};
     shared_.assign(kernel_.sharedBytes + opts_.dynamicShared, 0);
     warps_.clear();
     warps_.resize(static_cast<size_t>(num_warps));
@@ -960,13 +966,68 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
 }
 
 void
+Executor::execSuperblock(Warp &warp, const Superblock &sb)
+{
+    // Every micro-op in the run is unpredicated (@PT) and ALU-class:
+    // the exec mask is the warp's active mask for the whole run, and
+    // nothing in the run can change pc, activeMask, or memory
+    // statistics. Stats and the watchdog are charged once per run;
+    // the caller already proved the watchdog budget covers it.
+    const uint32_t exec = warp.activeMask;
+    const uint32_t len = sb.len;
+    const uint32_t start = sb.start;
+    const Instruction *code = kernel_.code.data();
+    for (uint32_t i = 0; i < len; ++i) {
+        const MicroOp &u = prog_->at(start + i);
+        u.alu(uop_ctx_, warp, code[start + i], exec);
+    }
+    watchdog_count_ += len;
+    stats_.warpInstrs += len;
+    stats_.threadInstrs +=
+        static_cast<uint64_t>(popc(exec)) * len;
+    stats_.syntheticWarpInstrs += sb.syntheticInstrs;
+    for (const auto &[op, count] : sb.opcodeCounts)
+        stats_.opcodeCounts[static_cast<size_t>(op)] += count;
+    warp.pc = start + len;
+    // The run consumed this scheduler round plus len - 1 future
+    // ones; owing them keeps this warp's progress — and so the
+    // CTA-wide interleaving of shared-state accesses — identical
+    // to per-instruction stepping (see Warp::skipRounds).
+    warp.skipRounds = len - 1;
+    ++sb_runs_;
+    sb_instrs_ += len;
+}
+
+void
 Executor::step(Warp &warp)
 {
+    // Paying off a superblock's round debt: the batched work
+    // already ran (and was charged) when the run was entered.
+    if (warp.skipRounds > 0) {
+        --warp.skipRounds;
+        return;
+    }
+
     if (warp.pc >= kernel_.code.size()) {
         fault(Outcome::InvalidPC, detail::strFormat(
             "PC 0x%x outside kernel %s (%zu instructions)", warp.pc,
             kernel_.name.c_str(), kernel_.code.size()));
     }
+    const MicroOp &dec = prog_->at(warp.pc);
+
+    // Superblock fast path: a run of unpredicated fast-path ALU
+    // micro-ops headed here executes in one batched loop. Skipped
+    // when the whole run no longer fits in the watchdog budget, so
+    // a hang faults at the exact instruction — with the exact
+    // message — the per-instruction path would report.
+    if (dec.sb != 0 && superblocks_on_) {
+        const Superblock &sb = prog_->superblock(dec.sb);
+        if (watchdog_count_ + sb.len <= opts_.watchdog) {
+            execSuperblock(warp, sb);
+            return;
+        }
+    }
+
     if (++watchdog_count_ > opts_.watchdog) {
         fault(Outcome::Hang, detail::strFormat(
             "watchdog expired after %llu warp instructions (kernel %s)",
@@ -975,7 +1036,6 @@ Executor::step(Warp &warp)
     }
 
     const Instruction &ins = kernel_.code[warp.pc];
-    const DecodedInstr &dec = decode_->at(warp.pc);
 
     // Guard predicate. The decode cache proves the common case —
     // @PT, i.e.\ unpredicated — statically, skipping the per-lane
@@ -1029,10 +1089,13 @@ Executor::step(Warp &warp)
       case ExecClass::Bra: {
         uint32_t taken = exec;
         uint32_t not_taken = warp.activeMask & ~exec;
+        // >= size(): one-past-the-end is already outside the kernel;
+        // fault here, at the branch, not one fetch later.
         if (ins.target < 0 ||
-            ins.target > static_cast<int32_t>(kernel_.code.size())) {
+            ins.target >= static_cast<int32_t>(kernel_.code.size())) {
             fault(Outcome::InvalidPC, detail::strFormat(
-                "branch to invalid target %d", ins.target));
+                "branch to invalid target %d (kernel %s, pc %u)",
+                ins.target, kernel_.name.c_str(), warp.pc));
         }
         if (not_taken == 0) {
             warp.pc = static_cast<uint32_t>(ins.target);

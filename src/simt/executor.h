@@ -162,6 +162,9 @@ class Executor
                          int width);
     uint8_t *resolveGeneric(uint64_t addr, int width);
 
+    /** Execute a whole superblock run for a converged warp. */
+    void execSuperblock(Warp &warp, const Superblock &sb);
+
     void execAlu(Warp &warp, const sass::Instruction &ins, uint32_t exec);
     void execMem(Warp &warp, const sass::Instruction &ins, uint32_t exec);
     void execWarpOp(Warp &warp, const sass::Instruction &ins,
@@ -184,10 +187,24 @@ class Executor
     MetricHistogram *m_cta_warp_instrs_ = nullptr;
     int trace_tid_ = 0;
 
-    // Static per-instruction facts, built once per launch by the
-    // coordinating executor and shared read-only with its shards.
-    const DecodeCache *decode_ = nullptr;
-    std::unique_ptr<DecodeCache> owned_decode_;
+    // The kernel's compiled micro-program: fetched from the
+    // process-wide UopCache by the coordinating executor and shared
+    // read-only with its shards.
+    std::shared_ptr<const MicroProgram> prog_;
+
+    // Whether this launch takes the superblock fast path; resolved
+    // once per launch from opts_.superblocks / the environment.
+    bool superblocks_on_ = true;
+
+    // Context the micro-op exec functions need beyond the warp;
+    // refreshed per CTA.
+    UopCtx uop_ctx_;
+
+    // Dynamic superblock executions of this worker, flushed to the
+    // UopCache once per launch (not into the launch registry, which
+    // must serialize identically with superblocks on and off).
+    uint64_t sb_runs_ = 0;
+    uint64_t sb_instrs_ = 0;
 
     // Set when any shard of this launch faults, so sibling workers
     // stop at their next CTA boundary. Points into run()'s frame.

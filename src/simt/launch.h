@@ -152,6 +152,17 @@ struct LaunchOptions
      * collection) should pin this to 1.
      */
     int numThreads = 0;
+
+    /**
+     * Superblock fast path: execute straight-line runs of
+     * unpredicated ALU micro-ops in one batched loop (see
+     * simt/decode.h). Observationally equivalent to the generic
+     * path; 0 forces the generic per-instruction path everywhere
+     * (the differential-testing escape hatch), positive forces the
+     * fast path on, and negative (the default) defers to the
+     * SASSI_SIM_SUPERBLOCKS environment variable, defaulting to on.
+     */
+    int superblocks = -1;
 };
 
 /** The result of one kernel launch. */

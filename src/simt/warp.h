@@ -68,6 +68,18 @@ struct Warp
     /** Set while parked at a CTA barrier. */
     bool atBarrier = false;
 
+    /**
+     * Scheduler rounds this warp still owes after batch-executing a
+     * superblock (simt/decode.h). A run of n instructions consumes
+     * one round and then parks here for n-1 more, so the warp's
+     * *next* shared-state access (memory, atomic, barrier) lands in
+     * exactly the round it would have under per-instruction
+     * stepping — keeping warp interleaving, and therefore every
+     * racing kernel's dynamic behavior, bit-identical between the
+     * fast and generic paths.
+     */
+    uint32_t skipRounds = 0;
+
     int numRegs = 0;
     uint32_t localBytes = 0;
 

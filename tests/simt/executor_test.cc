@@ -673,4 +673,27 @@ TEST(Executor, DivergentInternalCallFaults)
     EXPECT_EQ(r.outcome, Outcome::InvalidPC);
 }
 
+TEST(Executor, BranchToOnePastEndFaultsAtTheBranch)
+{
+    // A label bound after the last instruction produces a branch
+    // target of exactly code.size(). That target is outside the
+    // kernel, and the fault must name the branch (its pc and the
+    // bad target), not surface one fetch later as a bare
+    // out-of-range pc.
+    KernelBuilder kb("offend");
+    Label end = kb.newLabel();
+    kb.bra(end);
+    kb.exit();
+    kb.bind(end);
+    Device dev;
+    loadKernel(dev, kb.finish());
+    LaunchResult r =
+        dev.launch("offend", Dim3(1), Dim3(32), KernelArgs());
+    EXPECT_EQ(r.outcome, Outcome::InvalidPC);
+    EXPECT_NE(r.message.find("branch to invalid target 2"),
+              std::string::npos)
+        << r.message;
+    EXPECT_NE(r.message.find("pc 0"), std::string::npos) << r.message;
+}
+
 } // namespace

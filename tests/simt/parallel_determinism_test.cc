@@ -13,11 +13,14 @@
 
 #include <cstring>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "core/sassi.h"
 #include "handlers/bb_counter.h"
 #include "handlers/value_profiler.h"
 #include "sassir/builder.h"
+#include "simt/decode.h"
 #include "simt/device.h"
 
 using namespace sassi;
@@ -192,6 +195,55 @@ TEST(ParallelDeterminism, StressKernelBitIdenticalAcrossThreads)
                                  run.out.size() * 4))
             << "output buffer differs at threads=" << threads;
     }
+}
+
+/**
+ * Many Devices launching the same kernel content from concurrent
+ * host threads must race cleanly on the process-wide micro-op
+ * cache (first compile wins, everyone else hits) and still produce
+ * bit-identical results. This is the test the TSan preset leans on
+ * to prove UopCache's locking: get(), noteRuns(), snapshot(), and
+ * size() are all exercised while other threads compile and launch.
+ */
+TEST(ParallelDeterminism, UopCacheSharedAcrossConcurrentDevices)
+{
+    constexpr int kRacers = 8;
+    StressRun ref = runStress(1);
+    ASSERT_TRUE(ref.result.ok()) << ref.result.message;
+
+    std::vector<StressRun> runs(kRacers);
+    {
+        std::vector<std::thread> racers;
+        for (int i = 0; i < kRacers; ++i) {
+            racers.emplace_back([i, &runs] {
+                // Worker pools are not reentrant, so each racer
+                // runs its launch serially; the contention under
+                // test is on the shared micro-op cache.
+                runs[i] = runStress(1);
+                Metrics snap = UopCache::global().snapshot();
+                (void)snap;
+                (void)UopCache::global().size();
+            });
+        }
+        for (auto &t : racers)
+            t.join();
+    }
+
+    for (int i = 0; i < kRacers; ++i) {
+        SCOPED_TRACE("racer " + std::to_string(i));
+        ASSERT_EQ(runs[i].result.outcome, ref.result.outcome);
+        expectStatsEqual(runs[i].result.stats, ref.result.stats, 1);
+        EXPECT_EQ(runs[i].result.metrics.serialize(),
+                  ref.result.metrics.serialize());
+        EXPECT_EQ(0,
+                  std::memcmp(runs[i].out.data(), ref.out.data(),
+                              runs[i].out.size() * 4));
+    }
+
+    // Everyone shared one compiled program for the stress kernel.
+    auto prog = UopCache::global().get(buildStress());
+    ASSERT_NE(prog, nullptr);
+    EXPECT_GT(prog->superblocks().size(), 0u);
 }
 
 /** Every CTA faults; the report must come from CTA 0 regardless of

@@ -15,6 +15,12 @@
  *     --trace FILE   also record a Chrome trace_event timeline
  *     --csv          emit CSV instead of an aligned table
  *     --no-json      skip the BENCH_simt.json merge
+ *     --no-superblocks  force the generic per-instruction
+ *                    interpreter path (SASSI_SIM_SUPERBLOCKS=0)
+ *
+ * The table includes the process-wide micro-op compiler counters
+ * ("uop/...": compile/hit/entry counts, superblock statics and
+ * dynamic run totals) alongside the launch-scoped registry.
  */
 
 #include <cstdio>
@@ -28,6 +34,7 @@
 #include "bench/bench_json.h"
 #include "core/sassi.h"
 #include "handlers/instr_counter.h"
+#include "simt/decode.h"
 #include "util/table.h"
 #include "util/trace.h"
 #include "workloads/suite.h"
@@ -65,6 +72,7 @@ main(int argc, char **argv)
     bool instrument = false;
     bool csv = false;
     bool write_json = true;
+    int superblocks = -1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -81,6 +89,8 @@ main(int argc, char **argv)
             csv = true;
         } else if (arg == "--no-json") {
             write_json = false;
+        } else if (arg == "--no-superblocks") {
+            superblocks = 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return 1;
@@ -103,6 +113,7 @@ main(int argc, char **argv)
     simt::Device dev;
     std::unique_ptr<workloads::Workload> w = entry->make();
     w->launchOptions.numThreads = threads;
+    w->launchOptions.superblocks = superblocks;
     w->setup(dev);
 
     std::unique_ptr<core::SassiRuntime> rt;
@@ -126,6 +137,10 @@ main(int argc, char **argv)
         m.merge(rt->staticMetrics());
     if (counter)
         counter->publish(m);
+    // Micro-op compiler counters (process-wide, kept out of the
+    // launch-scoped registry so that registry is identical with
+    // superblocks on or off).
+    m.merge(simt::UopCache::global().snapshot());
 
     if (!trace_path.empty()) {
         Trace::global().end();
