@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The replayable corpus format for fuzz reproducers.
+ *
+ * A corpus file is a standard assembly listing (sassir/parser.h)
+ * with the launch/buffer contract carried in ";!" comment directives
+ * the assembler ignores, so every reproducer is simultaneously a
+ * valid .sass listing and a complete replay recipe:
+ *
+ *   ; sassi_fuzz reproducer
+ *   ;! sassi-fuzz 1
+ *   ;! grid 2
+ *   ;! block 64
+ *   ;! inwords 256
+ *   ;! outwords 8
+ *   ;! accwords 64
+ *   ;! inputseed 1
+ *   ;! seed 42 7
+ *   .kernel fuzz
+ *       ...
+ *   .endkernel
+ *
+ * Minimized failures land in tests/fuzz/corpus/; the corpus-replay
+ * regression test re-runs every committed file through the full
+ * differential oracle, so each past failure stays fixed forever.
+ */
+
+#ifndef SASSI_FUZZ_CORPUS_H
+#define SASSI_FUZZ_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "fuzz/program.h"
+
+namespace sassi::fuzz {
+
+/** Render a program as a self-describing corpus file. */
+std::string formatProgram(const FuzzProgram &p);
+
+/**
+ * Parse a corpus file back into a FuzzProgram.
+ * Calls fatal() (like the assembler) on malformed input.
+ */
+FuzzProgram parseProgram(const std::string &text);
+
+/** Write a corpus file; calls fatal() when the file can't be opened. */
+void saveProgram(const FuzzProgram &p, const std::string &path);
+
+/** Read and parse a corpus file. */
+FuzzProgram loadProgram(const std::string &path);
+
+/**
+ * All corpus files (*.sass) directly inside dir, sorted by name so
+ * replay order is deterministic. An absent directory is an empty
+ * corpus, not an error.
+ */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_CORPUS_H

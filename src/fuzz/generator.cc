@@ -1,0 +1,558 @@
+#include "fuzz/generator.h"
+
+#include <vector>
+
+#include "sassir/builder.h"
+
+namespace sassi::fuzz {
+
+using namespace sassi::sass;
+using sassi::ir::KernelBuilder;
+using sassi::ir::Label;
+
+namespace {
+
+/// Register conventions (see generator.h).
+constexpr RegId RTid = 4;
+constexpr RegId RCta = 5;
+constexpr RegId RNtid = 6;
+constexpr RegId RGid = 7;
+constexpr RegId RAddrLo = 8;
+constexpr RegId RAddrHi = 9;
+constexpr RegId RTmp = 10;
+constexpr RegId RTmp2 = 11;
+constexpr RegId RLoopBase = 12; //!< R12/R13, R14/R15 per nest level.
+constexpr RegId RDataBase = 16;
+constexpr int NumDataRegs = 8;
+constexpr RegId RSink = 24;
+
+constexpr PredId PLoop = 0;
+constexpr PredId PDiv = 1;
+constexpr PredId PData = 2;
+constexpr PredId PData2 = 3;
+
+/** Shared-memory layout: exchange slots then the atomic region. */
+constexpr uint32_t kSharedExchangeWords = 64;
+constexpr uint32_t kSharedAccWords = 64;
+constexpr uint32_t kSharedBytes =
+    (kSharedExchangeWords + kSharedAccWords) * 4;
+
+/** Local-memory window generated code may touch. Instrumentation
+ *  owns [0, 0x80) (persistent spill slots) and the stack top; this
+ *  window collides with neither. */
+constexpr int64_t kLocalBase = 0x100;
+constexpr uint32_t kLocalWords = 64;
+constexpr uint32_t kLocalBytes = 4096;
+
+/** Commutative atomics only: final memory is then independent of
+ *  CTA scheduling, which the cross-thread-count oracle requires.
+ *  EXCH and CAS are excluded by construction. */
+constexpr AtomOp kCommutativeAtomics[] = {
+    AtomOp::Add, AtomOp::Min, AtomOp::Max,
+    AtomOp::And, AtomOp::Or,  AtomOp::Xor,
+};
+
+constexpr CmpOp kCmpOps[] = {CmpOp::LT, CmpOp::EQ, CmpOp::LE,
+                             CmpOp::GT, CmpOp::NE, CmpOp::GE};
+
+class Gen
+{
+  public:
+    Gen(Rng rng, const GeneratorConfig &cfg, FuzzProgram &prog)
+        : rng_(rng), cfg_(cfg), prog_(prog), kb_("fuzz")
+    {}
+
+    void
+    run()
+    {
+        kb_.setLocalBytes(kLocalBytes);
+        kb_.setSharedBytes(kSharedBytes);
+        prologue();
+        int items = static_cast<int>(
+            rng_.nextRange(cfg_.minTopItems, cfg_.maxTopItems));
+        sequence(items, /*depth=*/0, /*converged=*/true);
+        epilogue();
+        prog_.module.kernels.push_back(kb_.finish());
+    }
+
+  private:
+    /// @name Random pickers
+    /// @{
+
+    RegId
+    dataReg()
+    {
+        return static_cast<RegId>(
+            RDataBase + rng_.nextBelow(NumDataRegs));
+    }
+
+    /** An even data register, for 64-bit pairs (Rd, Rd+1). */
+    RegId
+    dataRegPair()
+    {
+        return static_cast<RegId>(
+            RDataBase + 2 * rng_.nextBelow(NumDataRegs / 2));
+    }
+
+    CmpOp
+    cmpOp()
+    {
+        return kCmpOps[rng_.nextBelow(6)];
+    }
+
+    /// @}
+    /// @name Address macros (every address masked in-bounds)
+    /// @{
+
+    /** RTmp = (src & mask) << shift. */
+    void
+    maskedOffset(RegId src, uint32_t mask, int shift)
+    {
+        kb_.lopi(LogicOp::And, RTmp, src, mask);
+        kb_.shl(RTmp, RTmp, shift);
+    }
+
+    /** RAddrLo:RAddrHi = c[argOff] + RTmp (64-bit add via carry). */
+    void
+    globalBasePlusTmp(int64_t argOff)
+    {
+        kb_.ldc(RAddrLo, argOff, 8);
+        kb_.iaddcc(RAddrLo, RAddrLo, RTmp);
+        kb_.iaddx(RAddrHi, RAddrHi, RZ);
+    }
+
+    /// @}
+    /// @name Statement emitters
+    /// @{
+
+    void
+    emitAlu()
+    {
+        RegId d = dataReg(), a = dataReg(), b = dataReg();
+        switch (rng_.nextBelow(13)) {
+          case 0: kb_.iadd(d, a, b); break;
+          case 1: kb_.imul(d, a, b); break;
+          case 2: kb_.imad(d, a, b, dataReg()); break;
+          case 3:
+            kb_.lop(static_cast<LogicOp>(rng_.nextBelow(3)), d, a, b);
+            break;
+          case 4: kb_.shl(d, a, rng_.nextRange(0, 15)); break;
+          case 5:
+            kb_.shr(d, a, rng_.nextRange(0, 15),
+                    rng_.nextBelow(2) != 0);
+            break;
+          case 6: kb_.imnmx(d, a, b, rng_.nextBelow(2) != 0); break;
+          case 7: kb_.popc(d, a); break;
+          case 8: kb_.flo(d, a); break;
+          case 9: kb_.iaddi(d, a, rng_.nextRange(-4096, 4096)); break;
+          case 10: kb_.mov32i(d, rng_.nextRange(-100000, 100000)); break;
+          case 11: {
+            // Carry chain: IADD.CC feeding IADD.X.
+            kb_.iaddcc(d, a, b);
+            kb_.iaddx(dataReg(), dataReg(), RZ);
+            break;
+          }
+          case 12: {
+            // Float block: convert, combine, convert back. F2I
+            // saturates NaN/out-of-range deterministically.
+            kb_.i2f(RTmp, a);
+            kb_.i2f(RTmp2, b);
+            switch (rng_.nextBelow(3)) {
+              case 0: kb_.fadd(RTmp, RTmp, RTmp2); break;
+              case 1: kb_.fmul(RTmp, RTmp, RTmp2); break;
+              default:
+                kb_.ffma(RTmp, RTmp, RTmp2, RTmp);
+                break;
+            }
+            kb_.f2i(d, RTmp);
+            break;
+          }
+        }
+    }
+
+    void
+    emitPredicated()
+    {
+        RegId d = dataReg(), a = dataReg();
+        switch (rng_.nextBelow(4)) {
+          case 0: {
+            kb_.isetpi(PData, cmpOp(), a, rng_.nextRange(-64, 64));
+            auto &g = rng_.nextBelow(2) ? kb_.onP(PData)
+                                        : kb_.onNotP(PData);
+            g.iaddi(d, d, rng_.nextRange(-50, 50));
+            break;
+          }
+          case 1: {
+            kb_.isetp(PData, cmpOp(), a, dataReg());
+            kb_.sel(d, dataReg(), dataReg(), PData,
+                    rng_.nextBelow(2) != 0);
+            break;
+          }
+          case 2: {
+            kb_.isetpi(PData, cmpOp(), a, rng_.nextRange(0, 255));
+            kb_.isetpi(PData2, cmpOp(), d, rng_.nextRange(0, 255));
+            kb_.psetp(PData, LogicOp::Xor, PData, false, PData2,
+                      rng_.nextBelow(2) != 0);
+            auto &g = kb_.onP(PData);
+            g.lopi(LogicOp::Xor, d, d,
+                   static_cast<int64_t>(rng_.nextBelow(0xffff)));
+            break;
+          }
+          case 3: {
+            // Snapshot the predicate file into a data register.
+            kb_.isetpi(PData, cmpOp(), a, rng_.nextRange(0, 31));
+            kb_.p2r(d, 0x0f);
+            break;
+          }
+        }
+    }
+
+    void
+    emitLoad()
+    {
+        switch (rng_.nextBelow(4)) {
+          case 0: { // 32-bit global load from the input region.
+            maskedOffset(dataReg(), prog_.inWords - 1, 2);
+            globalBasePlusTmp(ProgramArgs::In);
+            kb_.ldg(dataReg(), RAddrLo);
+            break;
+          }
+          case 1: { // 64-bit global load into a register pair.
+            maskedOffset(dataReg(), prog_.inWords / 2 - 1, 3);
+            globalBasePlusTmp(ProgramArgs::In);
+            kb_.ldg(dataRegPair(), RAddrLo, 0, 8);
+            break;
+          }
+          case 2: { // Narrow load (1/2 bytes, optionally signed).
+            int w = rng_.nextBelow(2) ? 1 : 2;
+            maskedOffset(dataReg(), prog_.inWords * 4 / w - 1,
+                         w == 1 ? 0 : 1);
+            globalBasePlusTmp(ProgramArgs::In);
+            kb_.ld(MemSpace::Global, dataReg(), RAddrLo, 0, w,
+                   rng_.nextBelow(2) != 0);
+            break;
+          }
+          case 3: { // Parameter-bank load.
+            kb_.ldc(dataReg(),
+                    static_cast<int64_t>(rng_.nextBelow(6)) * 4);
+            break;
+          }
+        }
+    }
+
+    void
+    emitStore()
+    {
+        // Stores hit only this thread's output slots, so the final
+        // buffer never depends on cross-thread ordering.
+        if (rng_.nextBelow(4) == 0 && prog_.outWordsPerThread >= 2) {
+            uint32_t slot =
+                2 * rng_.nextBelow(prog_.outWordsPerThread / 2);
+            kb_.imuli(RTmp, RGid, prog_.outWordsPerThread * 4);
+            globalBasePlusTmp(ProgramArgs::Out);
+            kb_.stg(RAddrLo, slot * 4, dataRegPair(), 8);
+        } else {
+            uint32_t slot = rng_.nextBelow(prog_.outWordsPerThread);
+            kb_.imuli(RTmp, RGid, prog_.outWordsPerThread * 4);
+            globalBasePlusTmp(ProgramArgs::Out);
+            kb_.stg(RAddrLo, slot * 4, dataReg());
+        }
+    }
+
+    void
+    emitLocal()
+    {
+        // Per-thread scratch: local memory is private, so any masked
+        // address is deterministic (unwritten bytes read as zero).
+        maskedOffset(dataReg(), kLocalWords - 1, 2);
+        if (rng_.nextBelow(2))
+            kb_.stl(RTmp, kLocalBase, dataReg());
+        else
+            kb_.ldl(dataReg(), RTmp, kLocalBase);
+    }
+
+    void
+    emitAtomic()
+    {
+        // One op per accumulator subregion: same-op atomics commute
+        // and associate, but mixed ops on one address do not
+        // ((x+a)&m != (x&m)+a), which would make the final memory
+        // depend on CTA interleaving and break the oracle.
+        uint64_t opIdx = rng_.nextBelow(6);
+        AtomOp op = kCommutativeAtomics[opIdx];
+        RegId v = dataReg();
+        uint32_t sub = prog_.accWords / 8;
+        int64_t subBase = static_cast<int64_t>(opIdx * sub * 4);
+        switch (rng_.nextBelow(3)) {
+          case 0: { // Global ATOM; old value quarantined in RSink.
+            maskedOffset(dataReg(), sub - 1, 2);
+            kb_.iaddi(RTmp, RTmp, subBase);
+            globalBasePlusTmp(ProgramArgs::Acc);
+            kb_.atom(op, RSink, RAddrLo, v);
+            break;
+          }
+          case 1: { // Global reduction (no destination at all).
+            maskedOffset(dataReg(), sub - 1, 2);
+            kb_.iaddi(RTmp, RTmp, subBase);
+            globalBasePlusTmp(ProgramArgs::Acc);
+            kb_.red(op, RAddrLo, v);
+            break;
+          }
+          case 2: { // Shared-memory ATOMS into the shared region.
+            maskedOffset(dataReg(), sub - 1, 2);
+            kb_.iaddi(RTmp, RTmp,
+                      kSharedExchangeWords * 4 + subBase);
+            kb_.atomShared(op, RSink, RTmp, v);
+            break;
+          }
+        }
+    }
+
+    void
+    emitWarpOp()
+    {
+        switch (rng_.nextBelow(4)) {
+          case 0: { // Ballot over a data predicate.
+            kb_.isetpi(PData, cmpOp(), dataReg(),
+                       rng_.nextRange(0, 255));
+            kb_.ballot(dataReg(), PData, rng_.nextBelow(2) != 0);
+            break;
+          }
+          case 1: { // VOTE.ALL / VOTE.ANY steering a select.
+            kb_.isetpi(PData, cmpOp(), dataReg(),
+                       rng_.nextRange(0, 255));
+            if (rng_.nextBelow(2))
+                kb_.voteAll(PData2, PData);
+            else
+                kb_.voteAny(PData2, PData);
+            kb_.sel(dataReg(), dataReg(), dataReg(), PData2);
+            break;
+          }
+          case 2: { // SHFL with an immediate lane delta.
+            auto mode = static_cast<ShflMode>(1 + rng_.nextBelow(3));
+            kb_.shfli(mode, dataReg(), dataReg(),
+                      static_cast<int64_t>(1 + rng_.nextBelow(31)));
+            break;
+          }
+          case 3: { // SHFL.IDX with a data-dependent source lane.
+            kb_.lopi(LogicOp::And, RTmp, dataReg(), 31);
+            kb_.shfl(ShflMode::Idx, dataReg(), dataReg(), RTmp);
+            break;
+          }
+        }
+    }
+
+    /** Nested data-dependent diamond (SSY/@P BRA/SYNC/SYNC). */
+    void
+    emitDiamond(int depth)
+    {
+        Label else_l = kb_.newLabel();
+        Label reconv = kb_.newLabel();
+        kb_.lopi(LogicOp::And, RTmp, dataReg(),
+                 static_cast<int64_t>(1 + rng_.nextBelow(31)));
+        kb_.isetpi(PDiv, cmpOp(), RTmp, rng_.nextRange(0, 7));
+        kb_.ssy(reconv);
+        auto &g = rng_.nextBelow(2) ? kb_.onP(PDiv)
+                                    : kb_.onNotP(PDiv);
+        g.bra(else_l);
+        sequence(blockItems(), depth + 1, /*converged=*/false);
+        kb_.sync();
+        kb_.bind(else_l);
+        if (rng_.nextBelow(3) != 0)
+            sequence(blockItems(), depth + 1, /*converged=*/false);
+        kb_.sync();
+        kb_.bind(reconv);
+    }
+
+    /** Bounded data-dependent loop with divergent trip counts. */
+    void
+    emitLoop(int depth)
+    {
+        RegId cnt = static_cast<RegId>(RLoopBase + 2 * loop_nest_);
+        RegId lim = static_cast<RegId>(cnt + 1);
+        ++loop_nest_;
+        kb_.lopi(LogicOp::And, lim, dataReg(),
+                 loop_nest_ > 1 ? 3 : 7);
+        kb_.mov32i(cnt, 0);
+        Label top = kb_.newLabel();
+        Label done = kb_.newLabel();
+        Label out = kb_.newLabel();
+        kb_.ssy(out);
+        kb_.bind(top);
+        kb_.isetp(PLoop, CmpOp::GE, cnt, lim);
+        kb_.onP(PLoop).bra(done);
+        sequence(blockItems(), depth + 1, /*converged=*/false);
+        kb_.iaddi(cnt, cnt, 1);
+        kb_.bra(top);
+        kb_.bind(done);
+        kb_.sync();
+        kb_.bind(out);
+        --loop_nest_;
+    }
+
+    /**
+     * Barrier-delimited shared-memory exchange: every thread posts
+     * to its own slot, then reads any slot after the barrier. The
+     * second barrier keeps later exchanges from racing this epoch's
+     * readers. Converged top level only (a barrier under divergent
+     * control flow would deadlock the CTA).
+     */
+    void
+    emitExchange()
+    {
+        kb_.shl(RTmp, RTid, 2);
+        kb_.sts(RTmp, 0, dataReg());
+        kb_.bar();
+        maskedOffset(dataReg(), kSharedExchangeWords - 1, 2);
+        kb_.lds(dataReg(), RTmp, 0);
+        kb_.bar();
+    }
+
+    /** Call a shared subroutine (JCAL needs a fully converged warp). */
+    void
+    emitCall()
+    {
+        if (subs_.empty() ||
+            (subs_.size() < 2 && rng_.nextBelow(2) == 0)) {
+            subs_.push_back(kb_.newLabel());
+        }
+        kb_.jcal(subs_[rng_.nextBelow(subs_.size())]);
+    }
+
+    /// @}
+
+    int
+    blockItems()
+    {
+        return static_cast<int>(
+            rng_.nextRange(cfg_.minBlockItems, cfg_.maxBlockItems));
+    }
+
+    /** Room left before the soft instruction cap (epilogue and
+     *  subroutine bodies are budgeted separately). */
+    bool
+    room(int upcoming)
+    {
+        return kb_.here() + upcoming < cfg_.maxInstrs;
+    }
+
+    void
+    sequence(int items, int depth, bool converged)
+    {
+        for (int i = 0; i < items && room(24); ++i) {
+            uint64_t w = rng_.nextBelow(20);
+            if (w < 6) {
+                emitAlu();
+            } else if (w < 8) {
+                emitPredicated();
+            } else if (w < 10) {
+                emitLoad();
+            } else if (w < 12) {
+                emitStore();
+            } else if (w < 13) {
+                emitLocal();
+            } else if (w < 15) {
+                emitAtomic();
+            } else if (w < 17) {
+                emitWarpOp();
+            } else if (w == 17) {
+                if (depth < cfg_.maxDepth)
+                    emitDiamond(depth);
+                else
+                    emitAlu();
+            } else if (w == 18) {
+                if (depth < cfg_.maxDepth && loop_nest_ < 2)
+                    emitLoop(depth);
+                else
+                    emitWarpOp();
+            } else {
+                if (converged && depth == 0) {
+                    switch (rng_.nextBelow(3)) {
+                      case 0: emitExchange(); break;
+                      case 1: emitCall(); break;
+                      default: kb_.bar(); break;
+                    }
+                } else {
+                    emitPredicated();
+                }
+            }
+        }
+    }
+
+    void
+    prologue()
+    {
+        kb_.s2r(RTid, SpecialReg::TidX);
+        kb_.s2r(RCta, SpecialReg::CtaIdX);
+        kb_.s2r(RNtid, SpecialReg::NTidX);
+        kb_.imad(RGid, RCta, RNtid, RTid);
+        // Per-thread data pool: affine in gid with random odd slopes
+        // so every register starts distinct across the grid.
+        for (int i = 0; i < NumDataRegs; ++i) {
+            RegId r = static_cast<RegId>(RDataBase + i);
+            kb_.imuli(r, RGid,
+                      static_cast<int64_t>(rng_.nextBelow(8191)) * 2 + 1);
+            kb_.iaddi(r, r, rng_.nextRange(-100000, 100000));
+        }
+        // Fold one input word in so host data reaches the dataflow.
+        maskedOffset(RGid, prog_.inWords - 1, 2);
+        globalBasePlusTmp(ProgramArgs::In);
+        kb_.ldg(dataReg(), RAddrLo);
+    }
+
+    void
+    epilogue()
+    {
+        // Publish the whole data pool into this thread's output
+        // slots; RSink is deliberately never stored (atomic old
+        // values are scheduling-dependent).
+        kb_.imuli(RTmp, RGid, prog_.outWordsPerThread * 4);
+        globalBasePlusTmp(ProgramArgs::Out);
+        for (int i = 0; i < NumDataRegs &&
+                        i < static_cast<int>(prog_.outWordsPerThread);
+             ++i) {
+            kb_.stg(RAddrLo, i * 4,
+                    static_cast<RegId>(RDataBase + i));
+        }
+        kb_.exit();
+        // Subroutine bodies live past the EXIT; straight ALU over the
+        // data pool keeps them trivially convergent for JCAL/RET.
+        for (Label sub : subs_) {
+            kb_.bind(sub);
+            int n = static_cast<int>(rng_.nextRange(2, 4));
+            for (int i = 0; i < n; ++i)
+                emitAlu();
+            kb_.ret();
+        }
+    }
+
+    Rng rng_;
+    const GeneratorConfig &cfg_;
+    FuzzProgram &prog_;
+    KernelBuilder kb_;
+    std::vector<Label> subs_;
+    int loop_nest_ = 0;
+};
+
+} // namespace
+
+FuzzProgram
+generateProgram(uint64_t seed, uint64_t index,
+                const GeneratorConfig &cfg)
+{
+    FuzzProgram p;
+    p.seed = seed;
+    p.index = index;
+    Rng stream = Rng(seed).split(index);
+    // Launch geometry first: partial warps (block 48) and multi-CTA
+    // grids are part of the search space.
+    static constexpr uint32_t kGrids[] = {1, 2, 4};
+    static constexpr uint32_t kBlocks[] = {32, 48, 64};
+    p.gridX = kGrids[stream.nextBelow(3)];
+    p.blockX = kBlocks[stream.nextBelow(3)];
+    p.inputSeed = stream.next() | 1;
+    Gen(stream, cfg, p).run();
+    return p;
+}
+
+} // namespace sassi::fuzz

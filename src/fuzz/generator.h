@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Constrained random SASS kernel generation.
+ *
+ * Programs are generated structurally, never by raw opcode dice:
+ * SSY/SYNC pairs nest properly, loops are bounded by masked trip
+ * counts, every memory address is masked into the region it targets,
+ * barriers and JCALs are emitted only at warp-converged top level,
+ * and atomics use only commutative operations with their old-value
+ * destination quarantined in a sink register that no later
+ * instruction reads. The result is a program whose architectural
+ * output (final output-buffer and accumulator memory) is a pure
+ * function of the program text — independent of worker-thread count,
+ * superblock mode, and instrumentation — which is exactly the
+ * invariant the differential oracle (oracle.h) checks.
+ *
+ * Register map of generated code (JCAL-safe: R0..R3 are left to the
+ * ABI/instrumentation scratch, matching handwritten workloads):
+ *   R4..R7   tid.x / ctaid.x / ntid.x / global thread id
+ *   R8..R9   64-bit address pair scratch
+ *   R10..R11 temporaries (masked offsets, lane indices)
+ *   R12..R15 loop counter/limit pairs, one pair per nesting level
+ *   R16..R23 the data pool (initialized per-thread, stored at exit)
+ *   R24      atomic old-value sink (never read)
+ * Predicates: P0 loop exit, P1 divergence, P2/P3 data predicates.
+ */
+
+#ifndef SASSI_FUZZ_GENERATOR_H
+#define SASSI_FUZZ_GENERATOR_H
+
+#include "fuzz/program.h"
+#include "util/rng.h"
+
+namespace sassi::fuzz {
+
+/** Size/shape knobs of the generator. */
+struct GeneratorConfig
+{
+    /** Soft cap on generated instructions (epilogue always fits). */
+    int maxInstrs = 190;
+
+    /** Maximum structural nesting (diamonds/loops inside each other). */
+    int maxDepth = 2;
+
+    /** Top-level statement count range. */
+    int minTopItems = 5;
+    int maxTopItems = 11;
+
+    /** Nested block statement count range. */
+    int minBlockItems = 1;
+    int maxBlockItems = 5;
+};
+
+/**
+ * Generate program `index` of the campaign started at `seed`.
+ * Fully deterministic: (seed, index, cfg) always yields the same
+ * program, independent of call order, via Rng::split streams.
+ */
+FuzzProgram generateProgram(uint64_t seed, uint64_t index,
+                            const GeneratorConfig &cfg = {});
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_GENERATOR_H

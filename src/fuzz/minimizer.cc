@@ -1,0 +1,201 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "simt/dispatcher.h"
+#include "util/logging.h"
+
+namespace sassi::fuzz {
+
+using sass::Instruction;
+using sass::Opcode;
+
+namespace {
+
+bool
+hasCodeTarget(const Instruction &ins)
+{
+    // JCAL targets at or above HandlerBase are handler ids, not
+    // code indices; the minimizer must never rewrite them.
+    return ins.target >= 0 &&
+           !(ins.op == Opcode::JCAL && ins.target >= simt::HandlerBase);
+}
+
+/**
+ * Remove code[lo, hi) and redirect every branch: targets past the
+ * hole shift down, targets into the hole land on the instruction
+ * that now sits at lo. The label table is dropped — reproducers
+ * print with numeric branch targets, which the assembler accepts.
+ */
+void
+removeRange(ir::Kernel &k, size_t lo, size_t hi)
+{
+    const int32_t len = static_cast<int32_t>(hi - lo);
+    k.code.erase(k.code.begin() + static_cast<ptrdiff_t>(lo),
+                 k.code.begin() + static_cast<ptrdiff_t>(hi));
+    for (auto &ins : k.code) {
+        if (!hasCodeTarget(ins))
+            continue;
+        if (ins.target >= static_cast<int32_t>(hi))
+            ins.target -= len;
+        else if (ins.target > static_cast<int32_t>(lo))
+            ins.target = static_cast<int32_t>(lo);
+    }
+    k.labels.clear();
+}
+
+class Minimizer
+{
+  public:
+    Minimizer(FuzzProgram best, const Interesting &interesting,
+              int maxProbes)
+        : best_(std::move(best)), interesting_(interesting),
+          max_probes_(maxProbes)
+    {}
+
+    MinimizeResult
+    run()
+    {
+        bool changed = true;
+        while (changed && probes_ < max_probes_) {
+            changed = false;
+            changed |= shrinkGeometry();
+            changed |= removeChunks();
+            changed |= simplifyOperands();
+        }
+        return {std::move(best_), probes_, accepted_};
+    }
+
+  private:
+    /** Judge a candidate; adopt it when the failure survives. */
+    bool
+    adopt(FuzzProgram &&candidate)
+    {
+        if (probes_ >= max_probes_)
+            return false;
+        ++probes_;
+        if (!interesting_(candidate))
+            return false;
+        ++accepted_;
+        best_ = std::move(candidate);
+        return true;
+    }
+
+    bool
+    shrinkGeometry()
+    {
+        bool changed = false;
+        if (best_.gridX > 1) {
+            FuzzProgram c = best_;
+            c.gridX = 1;
+            changed |= adopt(std::move(c));
+        }
+        if (best_.blockX > 32) {
+            FuzzProgram c = best_;
+            c.blockX = 32;
+            changed |= adopt(std::move(c));
+        }
+        return changed;
+    }
+
+    /** ddmin over the instruction stream: chunks of halving size. */
+    bool
+    removeChunks()
+    {
+        bool changed = false;
+        size_t n = best_.kernel()->code.size();
+        for (size_t len = std::max<size_t>(n / 2, 1); len >= 1;
+             len /= 2) {
+            bool removedAny = true;
+            while (removedAny && probes_ < max_probes_) {
+                removedAny = false;
+                n = best_.kernel()->code.size();
+                for (size_t lo = 0; lo + len <= n;) {
+                    FuzzProgram c = best_;
+                    removeRange(*c.kernel(), lo, lo + len);
+                    if (adopt(std::move(c))) {
+                        removedAny = changed = true;
+                        n = best_.kernel()->code.size();
+                    } else {
+                        lo += len;
+                    }
+                    if (probes_ >= max_probes_)
+                        break;
+                }
+            }
+            if (len == 1)
+                break;
+        }
+        return changed;
+    }
+
+    /** Per-instruction simplification of the surviving code. */
+    bool
+    simplifyOperands()
+    {
+        bool changed = false;
+        for (size_t i = 0;
+             i < best_.kernel()->code.size() && probes_ < max_probes_;
+             ++i) {
+            const Instruction &ins = best_.kernel()->code[i];
+            if (ins.guard != sass::PT) {
+                FuzzProgram c = best_;
+                c.kernel()->code[i].guard = sass::PT;
+                c.kernel()->code[i].guardNeg = false;
+                changed |= adopt(std::move(c));
+            }
+            if (best_.kernel()->code[i].srcB != sass::RZ &&
+                !best_.kernel()->code[i].bIsImm) {
+                FuzzProgram c = best_;
+                c.kernel()->code[i].srcB = sass::RZ;
+                changed |= adopt(std::move(c));
+            }
+            if (best_.kernel()->code[i].srcC != sass::RZ) {
+                FuzzProgram c = best_;
+                c.kernel()->code[i].srcC = sass::RZ;
+                changed |= adopt(std::move(c));
+            }
+            // Immediates double as branch payloads only via target,
+            // so zeroing imm is safe for every non-control op.
+            if (best_.kernel()->code[i].imm != 0 &&
+                !best_.kernel()->code[i].isControl()) {
+                FuzzProgram c = best_;
+                c.kernel()->code[i].imm = 0;
+                changed |= adopt(std::move(c));
+            }
+        }
+        return changed;
+    }
+
+    FuzzProgram best_;
+    const Interesting &interesting_;
+    int max_probes_;
+    int probes_ = 0;
+    int accepted_ = 0;
+};
+
+} // namespace
+
+MinimizeResult
+minimizeProgram(const FuzzProgram &p, const Interesting &interesting,
+                int maxProbes)
+{
+    fatal_if(!p.kernel(), "minimizeProgram: program has no kernel");
+    return Minimizer(p, interesting, maxProbes).run();
+}
+
+MinimizeResult
+minimizeProgram(const FuzzProgram &p, const OracleOptions &oracle,
+                int maxProbes)
+{
+    return minimizeProgram(
+        p,
+        [&](const FuzzProgram &c) {
+            return runOracle(c, oracle).status ==
+                   OracleStatus::Mismatch;
+        },
+        maxProbes);
+}
+
+} // namespace sassi::fuzz

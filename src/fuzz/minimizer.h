@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Failure minimization: shrink a mismatching program to a minimal
+ * reproducer while preserving the mismatch.
+ *
+ * Classic delta debugging adapted to machine code: shrink the
+ * launch geometry, remove instruction chunks of halving size with
+ * branch-target fixups, then simplify surviving instructions
+ * (drop guards, zero operands and immediates), iterating to a
+ * fixpoint. Every candidate is re-judged by the caller's
+ * interestingness predicate — for fuzzing, "the differential
+ * oracle still reports Mismatch", which automatically rejects
+ * candidates that merely fault uniformly (InvalidProgram).
+ */
+
+#ifndef SASSI_FUZZ_MINIMIZER_H
+#define SASSI_FUZZ_MINIMIZER_H
+
+#include <functional>
+
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace sassi::fuzz {
+
+/** Candidate judge: true when the failure still reproduces. */
+using Interesting = std::function<bool(const FuzzProgram &)>;
+
+/** The minimized program plus search statistics. */
+struct MinimizeResult
+{
+    FuzzProgram program;
+    int probes = 0;   //!< Candidates evaluated.
+    int accepted = 0; //!< Candidates that kept the failure.
+};
+
+/**
+ * Shrink `p` under an arbitrary interestingness predicate; `p`
+ * itself must be interesting. At most maxProbes candidates are
+ * evaluated (the search stops early at its fixpoint).
+ */
+MinimizeResult minimizeProgram(const FuzzProgram &p,
+                               const Interesting &interesting,
+                               int maxProbes = 4000);
+
+/** Shrink a program the differential oracle rejected, preserving
+ *  "runOracle(...).status == Mismatch". */
+MinimizeResult minimizeProgram(const FuzzProgram &p,
+                               const OracleOptions &oracle,
+                               int maxProbes = 4000);
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_MINIMIZER_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The unit of differential fuzzing: one generated kernel plus the
+ * launch geometry and buffer layout it was generated against.
+ *
+ * A FuzzProgram is self-contained and replayable: the kernel reads
+ * three pointer arguments from the constant bank (output, read-only
+ * input, atomic accumulator), the input buffer is refilled from
+ * inputSeed before every run, and the generator guarantees every
+ * address is masked in-bounds. Corpus files (see corpus.h) round-trip
+ * the whole struct through text.
+ */
+
+#ifndef SASSI_FUZZ_PROGRAM_H
+#define SASSI_FUZZ_PROGRAM_H
+
+#include <cstdint>
+
+#include "sassir/module.h"
+
+namespace sassi::fuzz {
+
+/** Byte offsets of the kernel arguments in the constant bank. */
+struct ProgramArgs
+{
+    static constexpr int64_t Out = 0;  //!< u64: output buffer base.
+    static constexpr int64_t In = 8;   //!< u64: read-only input base.
+    static constexpr int64_t Acc = 16; //!< u64: atomic accumulator.
+};
+
+/** One generated program and its launch/buffer contract. */
+struct FuzzProgram
+{
+    /** The kernel under test (single kernel named kernelName). */
+    ir::Module module;
+
+    /** Entry name (always "fuzz" for generated programs). */
+    std::string kernelName = "fuzz";
+
+    /** Launch geometry (1-D). */
+    uint32_t gridX = 2;
+    uint32_t blockX = 64;
+
+    /** Read-only input region size in 32-bit words (power of two). */
+    uint32_t inWords = 256;
+
+    /** Output words owned by each thread (stores stay in-slot). */
+    uint32_t outWordsPerThread = 8;
+
+    /** Atomic accumulator region size in words (power of two). */
+    uint32_t accWords = 64;
+
+    /** Seed of the host-side input fill stream. */
+    uint64_t inputSeed = 1;
+
+    /** Provenance: campaign seed and program index. */
+    uint64_t seed = 0;
+    uint64_t index = 0;
+
+    /** @return total threads in the launch. */
+    uint32_t threads() const { return gridX * blockX; }
+
+    /** @return the kernel, or nullptr when the module is empty. */
+    const ir::Kernel *
+    kernel() const
+    {
+        return module.find(kernelName);
+    }
+
+    ir::Kernel *
+    kernel()
+    {
+        return module.find(kernelName);
+    }
+};
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_PROGRAM_H

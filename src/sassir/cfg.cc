@@ -64,12 +64,30 @@ buildCfg(const Kernel &kernel)
 
     // Collect leaders (shared with the interpreter's superblock
     // compiler) and the SSY-target over-approximation for SYNC.
+    // Subroutine calls get the analogous treatment: the callee entry
+    // and the instruction after each JCAL are extra leaders here
+    // (control does enter at both), JCAL blocks gain an edge to
+    // their callee, and RET blocks gain edges to every call-return
+    // point. Without the return edges, liveness would see nothing
+    // live at a subroutine's RET and let instrumentation sites in
+    // the callee clobber the caller's live registers. Handler JCALs
+    // (target >= HandlerBase, far beyond any code index) are plain
+    // fall-through and match neither filter.
     std::vector<uint8_t> leader_flags = blockLeaders(kernel);
     std::vector<int> ssy_targets;
+    std::vector<int> call_returns;
     for (int pc = 0; pc < n; ++pc) {
         const Instruction &ins = code[static_cast<size_t>(pc)];
         if (ins.op == Opcode::SSY && ins.target >= 0)
             ssy_targets.push_back(ins.target);
+        if (ins.op == Opcode::JCAL && ins.target >= 0 &&
+            ins.target < n) {
+            leader_flags[static_cast<size_t>(ins.target)] = 1;
+            if (pc + 1 < n) {
+                leader_flags[static_cast<size_t>(pc + 1)] = 1;
+                call_returns.push_back(pc + 1);
+            }
+        }
     }
 
     // Materialize blocks.
@@ -112,8 +130,24 @@ buildCfg(const Kernel &kernel)
             if (last.guard != sass::PT)
                 link(static_cast<int>(b), bb.end);
             break;
-          case Opcode::EXIT:
+          case Opcode::JCAL:
+            // Real call: edge into the callee plus the usual
+            // fall-through to the return point. Handler JCALs have
+            // out-of-range targets and link() drops them.
+            link(static_cast<int>(b), last.target);
+            link(static_cast<int>(b), bb.end);
+            break;
           case Opcode::RET:
+            // Conservative return edges: every call-return point is
+            // a possible successor, so liveness at RET is the union
+            // over all callsites (same over-approximation SYNC uses
+            // for SSY targets).
+            for (int r : call_returns)
+                link(static_cast<int>(b), r);
+            if (last.guard != sass::PT)
+                link(static_cast<int>(b), bb.end);
+            break;
+          case Opcode::EXIT:
           case Opcode::BPT:
             if (last.guard != sass::PT)
                 link(static_cast<int>(b), bb.end);

@@ -8,6 +8,19 @@
 
 namespace sassi::simt {
 
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Ok: return "ok";
+      case Outcome::MemFault: return "mem-fault";
+      case Outcome::InvalidPC: return "invalid-pc";
+      case Outcome::Hang: return "hang";
+      case Outcome::Trap: return "trap";
+    }
+    return "?";
+}
+
 Device::Device(size_t heap_bytes)
 {
     heap_.reserve(heap_bytes);

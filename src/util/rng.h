@@ -64,6 +64,24 @@ class Rng
         return static_cast<float>(nextDouble());
     }
 
+    /**
+     * Derive an independent child generator for the given stream id
+     * without advancing this generator. The (state, stream) pair is
+     * mixed through the splitmix64 finalizer, so child streams are
+     * decorrelated from the parent and from each other; the fuzzer
+     * uses one stream per generated program, making program i
+     * identical no matter how many programs ran before it.
+     */
+    Rng
+    split(uint64_t stream) const
+    {
+        uint64_t z = state_ + 0x9e3779b97f4a7c15ull * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return Rng(z);
+    }
+
   private:
     uint64_t state_;
 };

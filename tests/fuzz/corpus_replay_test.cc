@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Corpus replay regression: every reproducer committed under
+ * tests/fuzz/corpus/ is re-run through the full differential oracle.
+ * Each file is a past failure (minimized) or a pinned generator
+ * output; once the underlying bug is fixed the file must pass
+ * forever. SASSI_FUZZ_CORPUS_DIR is injected by the build so the
+ * test finds the source-tree corpus from any build directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+
+using namespace sassi::fuzz;
+
+namespace {
+
+TEST(CorpusReplay, EveryCommittedReproducerPasses)
+{
+    std::vector<std::string> files = listCorpus(SASSI_FUZZ_CORPUS_DIR);
+    ASSERT_FALSE(files.empty())
+        << "no corpus files under " << SASSI_FUZZ_CORPUS_DIR;
+    for (const auto &f : files) {
+        FuzzProgram p = loadProgram(f);
+        OracleReport r = runOracle(p);
+        EXPECT_EQ(r.status, OracleStatus::Pass)
+            << f << ": " << r.message;
+    }
+}
+
+TEST(CorpusReplay, CorpusFilesAreAFormatFixpoint)
+{
+    // Committed files stay in canonical form, so diffs on future
+    // minimizer changes are meaningful.
+    for (const auto &f : listCorpus(SASSI_FUZZ_CORPUS_DIR)) {
+        FuzzProgram p = loadProgram(f);
+        FuzzProgram q = parseProgram(formatProgram(p));
+        EXPECT_EQ(formatProgram(q), formatProgram(p)) << f;
+    }
+}
+
+} // namespace

@@ -1,152 +1,119 @@
 /**
  * @file
- * Transparency fuzz: random ALU programs with random divergent
- * control flow must compute bit-identical results under every
- * instrumentation configuration — the strongest form of the
+ * Transparency fuzz: constrained random kernels from the fuzzing
+ * generator (src/fuzz) — nested divergence, bounded loops, memory
+ * traffic in every space, atomics, warp intrinsics — must compute
+ * bit-identical results under every instrumentation configuration,
+ * including both spill strategies. This is the strongest form of the
  * paper's "SASSI does not change the original SASS instructions in
- * any way" guarantee.
+ * any way" guarantee, and strictly stronger than the old ALU-only
+ * random programs this test used to build by hand.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/sassi.h"
-#include "sassir/builder.h"
-#include "simt/device.h"
+#include "fuzz/generator.h"
 #include "util/rng.h"
 
 using namespace sassi;
-using namespace sassi::sass;
 using namespace sassi::simt;
-using sassi::ir::KernelBuilder;
-using sassi::ir::Label;
+using sassi::fuzz::FuzzProgram;
 
 namespace {
 
-/** Random ALU/branch kernel writing R10..R13 per thread. */
-ir::Module
-randomModule(Rng &rng)
+/** The five instrumentation variants of the original test, now
+ *  applied to generated programs. */
+core::InstrumentOptions
+variantOptions(int config)
 {
-    KernelBuilder kb("fuzz");
-    kb.s2r(4, SpecialReg::TidX);
-    for (int r = 10; r <= 13; ++r) {
-        kb.imuli(static_cast<RegId>(r), 4,
-                 static_cast<int64_t>(r) * 131 + 7);
-        kb.iaddi(static_cast<RegId>(r), static_cast<RegId>(r), r);
+    core::InstrumentOptions opts;
+    switch (config) {
+      case 1:
+        opts.beforeCondBranch = true;
+        opts.branchInfo = true;
+        break;
+      case 2:
+        opts.beforeMem = true;
+        opts.memoryInfo = true;
+        opts.afterRegWrites = true;
+        opts.registerInfo = true;
+        break;
+      case 3:
+        opts.beforeAll = true;
+        opts.afterAll = true;
+        opts.memoryInfo = true;
+        opts.branchInfo = true;
+        opts.registerInfo = true;
+        opts.kernelEntry = true;
+        opts.kernelExit = true;
+        opts.blockHeaders = true;
+        break;
+      case 4:
+        opts.beforeAll = true;
+        opts.afterRegWrites = true;
+        opts.registerInfo = true;
+        opts.naiveSpillAll = true;
+        break;
+      case 5:
+        opts.beforeAll = true;
+        opts.afterRegWrites = true;
+        opts.registerInfo = true;
+        opts.elideRedundantSpills = true;
+        break;
+      default:
+        break;
     }
-    int segments = static_cast<int>(rng.nextRange(2, 5));
-    for (int s = 0; s < segments; ++s) {
-        // A few random ALU ops.
-        int ops = static_cast<int>(rng.nextRange(2, 8));
-        for (int i = 0; i < ops; ++i) {
-            auto d = static_cast<RegId>(rng.nextRange(10, 13));
-            auto a = static_cast<RegId>(rng.nextRange(10, 13));
-            auto b = static_cast<RegId>(rng.nextRange(10, 13));
-            switch (rng.nextBelow(5)) {
-              case 0: kb.iadd(d, a, b); break;
-              case 1: kb.imul(d, a, b); break;
-              case 2:
-                kb.lop(LogicOp::Xor, d, a, b);
-                break;
-              case 3:
-                kb.shl(d, a, rng.nextRange(0, 7));
-                break;
-              case 4:
-                kb.iaddi(d, a, rng.nextRange(-50, 50));
-                break;
-            }
-        }
-        // A random data-dependent diamond.
-        Label else_l = kb.newLabel();
-        Label reconv = kb.newLabel();
-        auto cond_reg = static_cast<RegId>(rng.nextRange(10, 13));
-        kb.lopi(LogicOp::And, 6, cond_reg,
-                static_cast<int64_t>(rng.nextBelow(255) + 1));
-        kb.ssy(reconv);
-        kb.isetpi(1, CmpOp::EQ, 6, 0);
-        kb.onP(1).bra(else_l);
-        kb.iaddi(static_cast<RegId>(rng.nextRange(10, 13)),
-                 static_cast<RegId>(rng.nextRange(10, 13)), 3);
-        kb.sync();
-        kb.bind(else_l);
-        kb.iaddi(static_cast<RegId>(rng.nextRange(10, 13)),
-                 static_cast<RegId>(rng.nextRange(10, 13)), 5);
-        kb.sync();
-        kb.bind(reconv);
-    }
-    // Store results.
-    kb.ldc(8, 0, 8);
-    kb.imuli(6, 4, 16);
-    kb.iaddcc(8, 8, 6);
-    kb.iaddx(9, 9, RZ);
-    for (int r = 10; r <= 13; ++r)
-        kb.stg(8, (r - 10) * 4, static_cast<RegId>(r));
-    kb.exit();
-    ir::Module mod;
-    mod.kernels.push_back(kb.finish());
-    return mod;
+    return opts;
 }
 
-std::vector<uint32_t>
-runConfig(const ir::Module &mod, int config)
+/** Run a generated program, config 0 bare or 1..5 instrumented with
+ *  no-op handlers, and return the output + accumulator bytes. */
+std::vector<uint8_t>
+runVariant(const FuzzProgram &p, int config)
 {
     Device dev;
-    dev.loadModule(mod);
+    dev.loadModule(p.module);
     std::unique_ptr<core::SassiRuntime> rt;
     if (config > 0) {
         rt = std::make_unique<core::SassiRuntime>(dev);
-        core::InstrumentOptions opts;
-        switch (config) {
-          case 1:
-            opts.beforeCondBranch = true;
-            opts.branchInfo = true;
-            break;
-          case 2:
-            opts.beforeMem = true;
-            opts.memoryInfo = true;
-            opts.afterRegWrites = true;
-            opts.registerInfo = true;
-            break;
-          case 3:
-            opts.beforeAll = true;
-            opts.afterAll = true;
-            opts.memoryInfo = true;
-            opts.branchInfo = true;
-            opts.registerInfo = true;
-            opts.kernelEntry = true;
-            opts.kernelExit = true;
-            opts.blockHeaders = true;
-            break;
-          case 4:
-            opts.beforeAll = true;
-            opts.afterRegWrites = true;
-            opts.registerInfo = true;
-            opts.naiveSpillAll = true;
-            break;
-          case 5:
-            opts.beforeAll = true;
-            opts.afterRegWrites = true;
-            opts.registerInfo = true;
-            opts.elideRedundantSpills = true;
-            break;
-          default:
-            break;
-        }
-        rt->instrument(opts);
+        rt->instrument(variantOptions(config));
         core::HandlerTraits fast;
         fast.warpSynchronous = false;
         rt->setBeforeHandler([](const core::HandlerEnv &) {}, fast);
         rt->setAfterHandler([](const core::HandlerEnv &) {}, fast);
     }
 
-    const uint32_t n = 64;
-    uint64_t dout = dev.malloc(n * 16);
+    const size_t outBytes =
+        size_t(p.threads()) * p.outWordsPerThread * 4;
+    const size_t inBytes = size_t(p.inWords) * 4;
+    const size_t accBytes = size_t(p.accWords) * 4;
+    uint64_t out = dev.malloc(outBytes);
+    uint64_t in = dev.malloc(inBytes);
+    uint64_t acc = dev.malloc(accBytes);
+    dev.memset(out, 0, outBytes);
+    dev.memset(acc, 0, accBytes);
+    std::vector<uint32_t> fill(p.inWords);
+    Rng rng(p.inputSeed);
+    for (auto &w : fill)
+        w = static_cast<uint32_t>(rng.next());
+    dev.memcpyHtoD(in, fill.data(), inBytes);
+
     KernelArgs args;
-    args.addU64(dout);
-    LaunchResult r = dev.launch("fuzz", Dim3(1), Dim3(n), args);
+    args.addU64(out);
+    args.addU64(in);
+    args.addU64(acc);
+    LaunchResult r =
+        dev.launch(p.kernelName, Dim3(p.gridX), Dim3(p.blockX), args);
     EXPECT_TRUE(r.ok()) << "config " << config << ": " << r.message;
-    std::vector<uint32_t> out(n * 4);
-    dev.memcpyDtoH(out.data(), dout, out.size() * 4);
-    return out;
+
+    std::vector<uint8_t> bytes(outBytes + accBytes);
+    dev.memcpyDtoH(bytes.data(), out, outBytes);
+    dev.memcpyDtoH(bytes.data() + outBytes, acc, accBytes);
+    return bytes;
 }
 
 class TransparencyFuzz : public ::testing::TestWithParam<int>
@@ -155,13 +122,14 @@ class TransparencyFuzz : public ::testing::TestWithParam<int>
 
 TEST_P(TransparencyFuzz, AllConfigsMatchBareExecution)
 {
-    Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 17);
-    for (int trial = 0; trial < 4; ++trial) {
-        ir::Module mod = randomModule(rng);
-        std::vector<uint32_t> golden = runConfig(mod, 0);
+    uint64_t seed = static_cast<uint64_t>(GetParam()) * 104729 + 17;
+    for (uint64_t trial = 0; trial < 2; ++trial) {
+        FuzzProgram p = fuzz::generateProgram(seed, trial);
+        std::vector<uint8_t> golden = runVariant(p, 0);
         for (int config = 1; config <= 5; ++config) {
-            EXPECT_EQ(runConfig(mod, config), golden)
-                << "config " << config << " trial " << trial;
+            EXPECT_EQ(runVariant(p, config), golden)
+                << "config " << config << " seed " << seed
+                << " trial " << trial;
         }
     }
 }

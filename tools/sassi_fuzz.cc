@@ -1,0 +1,194 @@
+/**
+ * @file
+ * sassi_fuzz: the differential fuzzing driver.
+ *
+ * Generates constrained random SASS programs (src/fuzz/generator.h)
+ * and checks each one across the full configuration matrix with the
+ * differential oracle (src/fuzz/oracle.h). On a mismatch the failure
+ * is minimized and written to the corpus directory as a replayable
+ * reproducer.
+ *
+ * Usage:
+ *   sassi_fuzz [--seed S] [--iters N] [--out DIR]
+ *              [--no-minimize] [--no-tools] [--emit-corpus DIR]
+ *              [--replay FILE...]
+ *
+ *   --seed S        campaign seed (default 1)
+ *   --iters N       programs to generate (default 25); 0 reads the
+ *                   SASSI_FUZZ_ITERS environment variable and exits
+ *                   with code 77 (the ctest skip code) when unset —
+ *                   this is how the fuzz-long target stays opt-in
+ *   --out DIR       where minimized reproducers land
+ *                   (default fuzz-corpus)
+ *   --no-minimize   write the unshrunk failing program instead
+ *   --no-tools      restrict the matrix to uninstrumented configs
+ *   --emit-corpus DIR  write the generated programs as corpus files
+ *                   without running the oracle (seeding a corpus)
+ *   --replay FILE   replay corpus files through the oracle instead
+ *                   of generating; every later argument is a file
+ *
+ * Exit codes: 0 all programs passed, 1 a mismatch was found (the
+ * reproducer path is printed), 2 usage error, 77 skipped.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/oracle.h"
+
+using namespace sassi;
+using namespace sassi::fuzz;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: sassi_fuzz [--seed S] [--iters N] [--out DIR]"
+                 " [--no-minimize] [--no-tools]\n"
+                 "                  [--emit-corpus DIR]"
+                 " [--replay FILE...]\n");
+    return 2;
+}
+
+/** Report one failing program: minimize, save, point at the file. */
+void
+reportFailure(const FuzzProgram &prog, const OracleReport &report,
+              const OracleOptions &oracle, const std::string &outDir,
+              bool minimize)
+{
+    std::printf("MISMATCH: seed=%llu index=%llu\n%s\n",
+                static_cast<unsigned long long>(prog.seed),
+                static_cast<unsigned long long>(prog.index),
+                report.message.c_str());
+    FuzzProgram repro = prog;
+    if (minimize) {
+        std::printf("minimizing (%zu instructions)...\n",
+                    prog.kernel()->code.size());
+        MinimizeResult m = minimizeProgram(prog, oracle);
+        repro = std::move(m.program);
+        std::printf("minimized to %zu instructions "
+                    "(%d probes, %d accepted)\n",
+                    repro.kernel()->code.size(), m.probes, m.accepted);
+    }
+    std::string path = outDir + "/seed" + std::to_string(prog.seed) +
+                       "-" + std::to_string(prog.index) + ".sass";
+    saveProgram(repro, path);
+    std::printf("reproducer written to %s\n", path.c_str());
+}
+
+int
+replay(const std::vector<std::string> &files,
+       const OracleOptions &oracle)
+{
+    int failures = 0;
+    for (const auto &f : files) {
+        FuzzProgram prog = loadProgram(f);
+        OracleReport report = runOracle(prog, oracle);
+        std::printf("%s: %s\n", f.c_str(),
+                    oracleStatusName(report.status));
+        if (report.status == OracleStatus::Mismatch) {
+            std::printf("%s\n", report.message.c_str());
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 1;
+    uint64_t iters = 25;
+    bool itersExplicit = false;
+    std::string outDir = "fuzz-corpus";
+    std::string emitDir;
+    bool minimize = true;
+    OracleOptions oracle;
+    std::vector<std::string> replayFiles;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--iters") {
+            iters = std::strtoull(value(), nullptr, 0);
+            itersExplicit = true;
+        } else if (arg == "--out") {
+            outDir = value();
+        } else if (arg == "--emit-corpus") {
+            emitDir = value();
+        } else if (arg == "--no-minimize") {
+            minimize = false;
+        } else if (arg == "--no-tools") {
+            oracle.withTools = false;
+        } else if (arg == "--replay") {
+            for (++i; i < argc; ++i)
+                replayFiles.push_back(argv[i]);
+        } else {
+            return usage();
+        }
+    }
+
+    if (!replayFiles.empty())
+        return replay(replayFiles, oracle);
+
+    if (itersExplicit && iters == 0) {
+        const char *env = std::getenv("SASSI_FUZZ_ITERS");
+        if (!env || !*env) {
+            std::printf("SASSI_FUZZ_ITERS not set; skipping\n");
+            return 77;
+        }
+        iters = std::strtoull(env, nullptr, 0);
+    }
+
+    if (!emitDir.empty()) {
+        for (uint64_t i = 0; i < iters; ++i) {
+            FuzzProgram prog = generateProgram(seed, i);
+            std::string path = emitDir + "/seed" +
+                               std::to_string(seed) + "-" +
+                               std::to_string(i) + ".sass";
+            saveProgram(prog, path);
+            std::printf("wrote %s\n", path.c_str());
+        }
+        return 0;
+    }
+
+    uint64_t invalid = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+        FuzzProgram prog = generateProgram(seed, i);
+        OracleReport report = runOracle(prog, oracle);
+        if (report.status == OracleStatus::Mismatch) {
+            reportFailure(prog, report, oracle, outDir, minimize);
+            return 1;
+        }
+        if (report.status == OracleStatus::InvalidProgram)
+            ++invalid;
+        if ((i + 1) % 25 == 0 || i + 1 == iters) {
+            std::printf("%llu/%llu programs ok (%llu uniform-fault)\n",
+                        static_cast<unsigned long long>(i + 1),
+                        static_cast<unsigned long long>(iters),
+                        static_cast<unsigned long long>(invalid));
+        }
+    }
+    std::printf("campaign passed: seed=%llu iters=%llu\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(iters));
+    return 0;
+}
