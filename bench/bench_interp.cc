@@ -10,13 +10,18 @@
  * merge-write the "interp" section of BENCH_simt.json.
  *
  * --smoke runs a short differential pass instead: every kernel is
- * executed in both modes and the LaunchStats and metrics registry
- * must match bit for bit (exit 1 otherwise). Wired up as a
- * bench-labeled ctest so the benchmark can't rot.
+ * executed with the generic interpreter, superblocks, and
+ * superblocks + compiled-handler fast path, and the LaunchStats and
+ * metrics registry must match bit for bit (exit 1 otherwise).
+ * --slowdown-gate measures the 8-worker instrumented alu_heavy
+ * slowdown and fails when it exceeds SASSI_BENCH_MAX_SLOWDOWN.
+ * Both are wired up as bench-labeled ctests so the benchmark can't
+ * rot and instrumentation overhead can't silently regress.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -166,11 +171,13 @@ prepare(const Bench &b, int iters)
 }
 
 LaunchResult
-launchOnce(Setup &s, int superblocks)
+launchOnce(Setup &s, int superblocks, int fastpath = -1,
+           int threads = 1)
 {
     LaunchOptions opts;
-    opts.numThreads = 1;
+    opts.numThreads = threads;
     opts.superblocks = superblocks;
+    opts.handlerFastpath = fastpath;
     return s.dev->launch(s.kernel, Dim3(Ctas), Dim3(Block),
                          KernelArgs(), opts);
 }
@@ -206,27 +213,39 @@ measure(Setup &s, int superblocks, double min_secs)
     return rate;
 }
 
-/** --smoke: both modes must produce bit-identical observables. */
+/** --smoke: every dispatch mode must produce bit-identical
+ *  observables: generic, superblocks, superblocks + compiled
+ *  handlers. */
 int
 runSmoke()
 {
+    // (superblocks, handlerFastpath) per mode; mode 0 is the
+    // reference generic interpreter.
+    constexpr struct { int sb, fp; } kModes[] = {
+        {0, 0}, {1, 0}, {1, 1}};
     int failures = 0;
     for (const Bench &b : kBenches) {
-        Setup off = prepare(b, 64);
-        Setup on = prepare(b, 64);
-        LaunchResult r0 = launchOnce(off, 0);
-        LaunchResult r1 = launchOnce(on, 1);
-        bool same =
-            r0.outcome == r1.outcome &&
-            r0.stats.warpInstrs == r1.stats.warpInstrs &&
-            r0.stats.threadInstrs == r1.stats.threadInstrs &&
-            r0.stats.syntheticWarpInstrs ==
-                r1.stats.syntheticWarpInstrs &&
-            r0.stats.handlerCalls == r1.stats.handlerCalls &&
-            r0.stats.handlerCostInstrs == r1.stats.handlerCostInstrs &&
-            r0.stats.memWarpInstrs == r1.stats.memWarpInstrs &&
-            r0.stats.opcodeCounts == r1.stats.opcodeCounts &&
-            r0.metrics.serialize() == r1.metrics.serialize();
+        LaunchResult r[3];
+        for (int mode = 0; mode < 3; ++mode) {
+            Setup s = prepare(b, 64);
+            r[mode] = launchOnce(s, kModes[mode].sb, kModes[mode].fp);
+        }
+        bool same = true;
+        for (int mode = 1; mode < 3; ++mode) {
+            const LaunchResult &r0 = r[0];
+            const LaunchResult &r1 = r[mode];
+            same = same && r0.outcome == r1.outcome &&
+                   r0.stats.warpInstrs == r1.stats.warpInstrs &&
+                   r0.stats.threadInstrs == r1.stats.threadInstrs &&
+                   r0.stats.syntheticWarpInstrs ==
+                       r1.stats.syntheticWarpInstrs &&
+                   r0.stats.handlerCalls == r1.stats.handlerCalls &&
+                   r0.stats.handlerCostInstrs ==
+                       r1.stats.handlerCostInstrs &&
+                   r0.stats.memWarpInstrs == r1.stats.memWarpInstrs &&
+                   r0.stats.opcodeCounts == r1.stats.opcodeCounts &&
+                   r0.metrics.serialize() == r1.metrics.serialize();
+        }
         std::printf("smoke %-24s %s\n", b.name,
                     same ? "ok" : "MISMATCH");
         if (!same)
@@ -235,17 +254,77 @@ runSmoke()
     return failures ? 1 : 0;
 }
 
+/**
+ * --slowdown-gate: the perf-regression tripwire. Measures the
+ * 8-worker instrumented alu_heavy wall-clock against the
+ * uninstrumented kernel (superblocks and the compiled-handler fast
+ * path both on, their default) and fails when the slowdown exceeds
+ * the budget in SASSI_BENCH_MAX_SLOWDOWN (default 75x — the
+ * measured post-fast-path ratio is ~35-40x at 8 workers, where
+ * handler counter atomics cap instrumented scaling while the
+ * uninstrumented baseline scales cleanly; the default trips on a
+ * near-2x regression while tolerating CI noise).
+ */
+int
+runSlowdownGate()
+{
+    double budget = 75.0;
+    if (const char *env = std::getenv("SASSI_BENCH_MAX_SLOWDOWN")) {
+        budget = std::atof(env);
+        if (budget <= 0) {
+            std::fprintf(stderr,
+                         "bad SASSI_BENCH_MAX_SLOWDOWN '%s'\n", env);
+            return 1;
+        }
+    }
+
+    constexpr int kIters = 256;
+    constexpr int kThreads = 8;
+    auto perLaunchSecs = [](const Bench &b) {
+        Setup s = prepare(b, kIters);
+        launchOnce(s, 1, -1, kThreads); // Warm pool + uop cache.
+        constexpr int kLaunches = 3;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kLaunches; ++i) {
+            auto r = launchOnce(s, 1, -1, kThreads);
+            if (!r.ok()) {
+                std::fprintf(stderr, "%s: launch failed: %s\n",
+                             s.kernel.c_str(), r.message.c_str());
+                std::exit(1);
+            }
+        }
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count() /
+               kLaunches;
+    };
+
+    double base = perLaunchSecs(kBenches[0]);  // alu_heavy
+    double instr = perLaunchSecs(kBenches[2]); // instrumented
+    double slowdown = base > 0 ? instr / base : 0;
+    bool ok = slowdown <= budget;
+    std::printf("slowdown gate: alu_heavy %d workers  base "
+                "%.3fs/launch  instrumented %.3fs/launch  slowdown "
+                "%.1fx  budget %.1fx  %s\n",
+                kThreads, base, instr, slowdown, budget,
+                ok ? "ok" : "EXCEEDED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool gate = false;
     double min_secs = 0.4;
     int iters = 512;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--slowdown-gate") == 0) {
+            gate = true;
         } else if (std::strcmp(argv[i], "--seconds") == 0 &&
                    i + 1 < argc) {
             min_secs = std::atof(argv[++i]);
@@ -256,6 +335,8 @@ main(int argc, char **argv)
     }
     if (smoke)
         return runSmoke();
+    if (gate)
+        return runSlowdownGate();
 
     std::printf("-- interpreter throughput, superblocks off vs on "
                 "(%d CTAs x %d threads, 1 worker) --\n",
@@ -284,6 +365,39 @@ main(int argc, char **argv)
                                    static_cast<double>(r.launches));
             if (mode)
                 rec.extra.emplace_back("speedup_vs_off", speedup);
+            json.add(rec);
+        }
+        if (b.instrumented) {
+            // Isolate the compiled-handler contribution: superblocks
+            // on but sites forced back onto the fiber path.
+            launchOnce(s, 1, 0);
+            Rate fiber;
+            {
+                uint64_t instrs = 0;
+                auto t0 = std::chrono::steady_clock::now();
+                do {
+                    auto r = launchOnce(s, 1, 0);
+                    instrs += r.stats.warpInstrs;
+                    ++fiber.launches;
+                    fiber.secs =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                } while (fiber.secs < min_secs);
+                fiber.instrsPerSec =
+                    static_cast<double>(instrs) / fiber.secs;
+            }
+            std::printf("%-24s sb on, handler fastpath off "
+                        "%8.2f Mwi/s\n",
+                        b.name, fiber.instrsPerSec / 1e6);
+            bench::BenchRecord rec;
+            rec.name = std::string(b.name) +
+                       "/superblocks=1+fastpath=0";
+            rec.wallSeconds = fiber.secs;
+            rec.warpInstrsPerSec = fiber.instrsPerSec;
+            rec.threads = 1;
+            rec.extra.emplace_back(
+                "launches", static_cast<double>(fiber.launches));
             json.add(rec);
         }
     }

@@ -32,8 +32,9 @@ namespace {
 
 struct StudyResult
 {
-    double t = 0; //!< Whole-program slowdown.
-    double k = 0; //!< Kernel-level slowdown.
+    double t = 0;    //!< Whole-program slowdown (modeled proxy).
+    double k = 0;    //!< Kernel-level slowdown (modeled proxy).
+    double wall = 0; //!< Instrumented run wall-clock, seconds.
 };
 
 /** Run one case study over a fresh device and compute T and K. */
@@ -50,11 +51,16 @@ runStudy(const workloads::SuiteEntry &entry,
     rt.instrument(opts);
     auto tool = make_tool(dev, rt);
     (void)tool;
+    auto t0 = std::chrono::steady_clock::now();
     RunOutcome out = runAll(*w, dev);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
     fatal_if(!out.last.ok() || !out.verified, "%s failed under %s",
              entry.name.c_str(), opts.describe().c_str());
     uint64_t kernel = out.total.kernelTimeProxy();
     StudyResult r;
+    r.wall = secs;
     r.k = static_cast<double>(kernel) /
           static_cast<double>(base_kernel);
     r.t = static_cast<double>(out.hostProxy + kernel) /
@@ -89,6 +95,7 @@ main()
     double max_k = 0;
     for (const auto &entry : workloads::fullSuite()) {
         uint64_t base_kernel, base_host, launches;
+        double base_wall = 0;
         {
             auto w = entry.make();
             simt::Device dev;
@@ -103,6 +110,7 @@ main()
             base_kernel = out.total.kernelTimeProxy();
             base_host = out.hostProxy;
             launches = out.launches;
+            base_wall = secs;
 
             total_wall += secs;
             total_instrs += out.total.warpInstrs;
@@ -145,6 +153,28 @@ main()
                                                                 rt);
             },
             base_kernel, base_host);
+
+        // Per-tool slowdown-ratio records: the trajectory the paper's
+        // Table 3 tracks. T/K are the modeled proxy ratios from the
+        // table; wall_slowdown is the measured instrumented /
+        // uninstrumented wall-clock ratio of this run.
+        const struct { const char *tool; const StudyResult *r; }
+            studies[] = {{"branch_profiler", &cs1},
+                         {"memdiv_profiler", &cs2},
+                         {"value_profiler", &cs3},
+                         {"error_injector", &cs4}};
+        for (const auto &s : studies) {
+            bench::BenchRecord rec;
+            rec.name = entry.suite + "/" + entry.name + "/" + s.tool;
+            rec.wallSeconds = s.r->wall;
+            rec.threads = sim_threads;
+            rec.extra.emplace_back("slowdown_t", s.r->t);
+            rec.extra.emplace_back("slowdown_k", s.r->k);
+            rec.extra.emplace_back(
+                "wall_slowdown",
+                base_wall > 0 ? s.r->wall / base_wall : 0);
+            json.add(rec);
+        }
 
         max_k = std::max({max_k, cs1.k, cs2.k, cs3.k, cs4.k});
         auto fm = [](double v) { return fmtDouble(v, 1); };

@@ -66,8 +66,10 @@ uint64_t
 rendezvous(uint64_t value, const FiberGroup::Reducer &reducer)
 {
     core::DispatchState *ds = dispatch();
-    panic_if(!ds->fibers->inFiber(),
-             "warp intrinsic outside fiber execution");
+    panic_if(!ds->fibers || !ds->fibers->inFiber(),
+             "warp intrinsic outside fiber execution (a handler "
+             "marked reentrantSafe must not rendezvous; use its "
+             "warpHandler body instead)");
     return ds->fibers->barrier(value, reducer);
 }
 

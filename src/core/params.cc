@@ -1,8 +1,16 @@
 #include "core/params.h"
 
+#include "core/runtime.h"
 #include "util/logging.h"
 
 namespace sassi::core {
+
+void
+noteFrameWrite()
+{
+    if (DispatchState *ds = currentDispatch())
+        ds->frameWritten = true;
+}
 
 namespace {
 
@@ -27,6 +35,15 @@ SASSIRegisterParams::GetRegValue(SASSIGPRRegInfo info) const
 {
     sass::RegId r = info.reg;
     if (r < 32 && (site_->spillMask >> r) & 1u) {
+        // Frame-resident spill slots take the host fast path when
+        // the caller provided one; persistent-region slots live at
+        // an absolute local offset outside the frame, so they keep
+        // the generic-address read.
+        if (host_ && !site_->persistentSpills) {
+            uint32_t v;
+            std::memcpy(&v, host_ + frame::gprSpillSlot(r), 4);
+            return v;
+        }
         return static_cast<uint32_t>(exec_->readGeneric(
             spillSlotAddr(exec_, warp_, lane_, frame_, site_, r), 4));
     }
@@ -40,6 +57,11 @@ SASSIRegisterParams::SetRegValue(SASSIGPRRegInfo info, uint32_t value) const
     if (r < 32 && (site_->spillMask >> r) & 1u) {
         // The epilogue's fill will move the modified value into the
         // register file — the paper's state-corruption mechanism.
+        noteFrameWrite();
+        if (host_ && !site_->persistentSpills) {
+            std::memcpy(host_ + frame::gprSpillSlot(r), &value, 4);
+            return;
+        }
         exec_->writeGeneric(
             spillSlotAddr(exec_, warp_, lane_, frame_, site_, r),
             value, 4);

@@ -15,6 +15,8 @@
 #ifndef SASSI_CORE_PARAMS_H
 #define SASSI_CORE_PARAMS_H
 
+#include <cstring>
+
 #include "sass/encoding.h"
 #include "simt/executor.h"
 #include "core/site.h"
@@ -32,6 +34,13 @@ enum class SASSIMemoryDomain : int32_t {
     Surface = 6,
 };
 
+/**
+ * Record on the current dispatch (if any) that handler code wrote
+ * frame-aliasing device memory. Out of line: params.h cannot see
+ * DispatchState (runtime.h includes this header).
+ */
+void noteFrameWrite();
+
 /** Shared plumbing of all parameter views: one lane at one site. */
 class ParamsBase
 {
@@ -45,17 +54,27 @@ class ParamsBase
      * @param frame Generic address of the parameter frame (the bp
      *              pointer passed in R4:R5).
      * @param site Static site metadata.
+     * @param host Optional host pointer to the same frame bytes.
+     *             When set (the fused-site inline dispatch), frame
+     *             accesses skip the generic-address resolution —
+     *             the caller already bounds-checked the frame.
      */
     ParamsBase(simt::Executor *exec, simt::Warp *warp, int lane,
-               uint64_t frame, const SiteInfo *site)
+               uint64_t frame, const SiteInfo *site,
+               uint8_t *host = nullptr)
         : exec_(exec), warp_(warp), lane_(lane), frame_(frame),
-          site_(site)
+          site_(site), host_(host)
     {}
 
   protected:
     int32_t
     read32(int64_t off) const
     {
+        if (host_) {
+            int32_t v;
+            std::memcpy(&v, host_ + off, 4);
+            return v;
+        }
         return static_cast<int32_t>(
             exec_->readGeneric(frame_ + static_cast<uint64_t>(off), 4));
     }
@@ -63,6 +82,11 @@ class ParamsBase
     int64_t
     read64(int64_t off) const
     {
+        if (host_) {
+            int64_t v;
+            std::memcpy(&v, host_ + off, 8);
+            return v;
+        }
         return static_cast<int64_t>(
             exec_->readGeneric(frame_ + static_cast<uint64_t>(off), 8));
     }
@@ -70,6 +94,11 @@ class ParamsBase
     void
     write32(int64_t off, int32_t v) const
     {
+        noteFrameWrite();
+        if (host_) {
+            std::memcpy(host_ + off, &v, 4);
+            return;
+        }
         exec_->writeGeneric(frame_ + static_cast<uint64_t>(off),
                             static_cast<uint64_t>(
                                 static_cast<uint32_t>(v)), 4);
@@ -80,6 +109,7 @@ class ParamsBase
     int lane_ = 0;
     uint64_t frame_ = 0;
     const SiteInfo *site_ = nullptr;
+    uint8_t *host_ = nullptr;
 };
 
 /**

@@ -21,6 +21,54 @@ flavorName(SiteFlavor f)
     }
     return "unknown";
 }
+
+/**
+ * Registry handles for the per-dispatch bookkeeping, cached in the
+ * executor's dispatcher-scratch slot so the hot path bumps plain
+ * uint64s instead of hashing key strings on every handler call.
+ * The slot is worker-private and dies with the executor, so the
+ * cached pointers cannot outlive the registry shard they index.
+ */
+struct SiteMetricsCache
+{
+    uint64_t *calls = nullptr;
+    MetricHistogram *lanes = nullptr;
+    uint64_t *flavor[8] = {};        //!< Indexed by SiteFlavor.
+    std::vector<uint64_t *> site;    //!< Indexed by site key (lazy).
+};
+
+SiteMetricsCache &
+metricsCache(simt::Executor &exec, size_t num_sites)
+{
+    std::shared_ptr<void> &slot = exec.dispatcherScratch();
+    if (!slot) {
+        auto cache = std::make_shared<SiteMetricsCache>();
+        Metrics &m = exec.metrics();
+        cache->calls = &m.counter("core/dispatch/calls");
+        cache->lanes = &m.histogram("core/dispatch/lanes");
+        cache->site.assign(num_sites, nullptr);
+        slot = std::move(cache);
+    }
+    return *static_cast<SiteMetricsCache *>(slot.get());
+}
+
+/** Per-dispatch counter bumps, shared by both dispatch paths. */
+void
+noteDispatch(simt::Executor &exec, SiteMetricsCache &cache,
+             const SiteInfo &site, int32_t site_key,
+             uint32_t active_mask)
+{
+    ++*cache.calls;
+    uint64_t *&fl = cache.flavor[static_cast<size_t>(site.flavor)];
+    if (!fl)
+        fl = &exec.metrics().counter(site.metricFlavor);
+    ++*fl;
+    uint64_t *&sc = cache.site[static_cast<size_t>(site_key)];
+    if (!sc)
+        sc = &exec.metrics().counter(site.metricCalls);
+    ++*sc;
+    cache.lanes->observe(static_cast<uint64_t>(popc(active_mask)));
+}
 } // namespace
 
 DispatchState *
@@ -46,6 +94,11 @@ SassiRuntime::~SassiRuntime()
 int32_t
 SassiRuntime::addSite(SiteInfo site)
 {
+    site.metricCalls =
+        detail::strFormat("core/site/%s@%d/calls",
+                          site.kernelName.c_str(), site.origPc);
+    site.metricFlavor =
+        std::string("core/dispatch/flavor/") + flavorName(site.flavor);
     sites_.push_back(std::move(site));
     return static_cast<int32_t>(sites_.size()) - 1;
 }
@@ -81,14 +134,8 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 
     // Dynamic per-site counts go into the worker's launch-registry
     // shard, so they merge deterministically like everything else.
-    Metrics &m = exec.metrics();
-    m.inc("core/dispatch/calls");
-    m.inc(std::string("core/dispatch/flavor/") +
-          flavorName(site.flavor));
-    m.inc(detail::strFormat("core/site/%s@%d/calls",
-                            site.kernelName.c_str(), site.origPc));
-    m.histogram("core/dispatch/lanes")
-        .observe(static_cast<uint64_t>(popc(warp.activeMask)));
+    noteDispatch(exec, metricsCache(exec, sites_.size()), site,
+                 site_key, warp.activeMask);
 
     bool is_after = site.flavor == SiteFlavor::After;
     const Handler &handler = is_after ? after_ : before_;
@@ -101,18 +148,25 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 
     // One fiber group per OS thread: parallel CTA workers dispatch
     // concurrently, and ucontext fiber state must never be shared
-    // (or migrated) across threads.
+    // (or migrated) across threads. The dispatch state is likewise
+    // thread-local so its 32 lane environments (and the lane list)
+    // are allocated once per thread, not once per site call;
+    // dispatches never nest (handlers are host closures).
     static thread_local FiberGroup fibers;
+    static thread_local DispatchState ds_storage;
+    static thread_local std::vector<int> lanes_storage;
 
-    DispatchState ds;
+    DispatchState &ds = ds_storage;
     ds.exec = &exec;
     ds.warp = &warp;
     ds.site = &site;
     ds.activeMask = warp.activeMask;
     ds.fibers = &fibers;
+    ds.faulted = false;
     ds.envs.resize(sass::WarpSize);
 
-    std::vector<int> lanes;
+    std::vector<int> &lanes = lanes_storage;
+    lanes.clear();
     for (int lane = 0; lane < sass::WarpSize; ++lane) {
         if (!(warp.activeMask & (1u << lane)))
             continue;
@@ -182,6 +236,128 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 
     if (ds.faulted)
         throw ds.fault;
+}
+
+bool
+SassiRuntime::inlineDispatchable(int32_t site_key)
+{
+    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
+    bool is_after = site.flavor == SiteFlavor::After;
+    const Handler &handler = is_after ? after_ : before_;
+    const HandlerTraits &traits =
+        is_after ? after_traits_ : before_traits_;
+    if (!handler)
+        return true; // Metrics-only dispatch: nothing can suspend.
+    if (!traits.reentrantSafe)
+        return false;
+    // Lane-iterating handlers run inline as-is; warp-synchronous
+    // ones need the explicit warp-level body (no fibers to
+    // rendezvous through).
+    return !traits.warpSynchronous ||
+           static_cast<bool>(traits.warpHandler);
+}
+
+bool
+SassiRuntime::dispatchInline(simt::Executor &exec, simt::Warp &warp,
+                             int32_t site_key,
+                             const uint64_t *frame_addr,
+                             uint8_t *const *frame_host)
+{
+    // Mirrors dispatch() observationally: identical handler cost,
+    // identical registry updates (same precomputed keys), identical
+    // handler effects and fault surfacing — minus the fiber group,
+    // which is the entire point. The executor's fused-site path only
+    // calls this after inlineDispatchable() said yes.
+    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
+    exec.chargeHandlerCost(opts_.handlerCostInstrs);
+
+    noteDispatch(exec, metricsCache(exec, sites_.size()), site,
+                 site_key, warp.activeMask);
+
+    bool is_after = site.flavor == SiteFlavor::After;
+    const Handler &handler = is_after ? after_ : before_;
+    const HandlerTraits &traits =
+        is_after ? after_traits_ : before_traits_;
+    if (!handler)
+        return false;
+    if (traits.warpFilter && !traits.warpFilter(exec, warp, site))
+        return false;
+
+    static thread_local DispatchState ds_storage;
+    DispatchState &ds = ds_storage;
+    ds.exec = &exec;
+    ds.warp = &warp;
+    ds.site = &site;
+    ds.activeMask = warp.activeMask;
+    ds.fibers = nullptr; // Inline: warp intrinsics must not be used.
+    ds.frameWritten = false;
+    ds.faulted = false;
+    ds.envs.resize(sass::WarpSize);
+
+    for (int lane = 0; lane < sass::WarpSize; ++lane) {
+        if (!(warp.activeMask & (1u << lane)))
+            continue;
+        // The fused path hands the frame's generic address and host
+        // pointer directly — the ABI argument registers have not
+        // been written (their L2G is replayed with the rest of the
+        // epilogue effects after the handler returns).
+        uint64_t frame = frame_addr[lane];
+        uint8_t *host = frame_host[lane];
+        HandlerEnv &env = ds.envs[static_cast<size_t>(lane)];
+        env.bp = SASSIBeforeParams(&exec, &warp, lane, frame, &site,
+                                   host);
+        env.mp = SASSIMemoryParams(&exec, &warp, lane, frame, &site,
+                                   host);
+        env.brp = SASSICondBranchParams(&exec, &warp, lane, frame,
+                                        &site, host);
+        env.rp = SASSIRegisterParams(&exec, &warp, lane, frame, &site,
+                                     host);
+        env.site = &site;
+        env.lane = lane;
+        env.threadIdx = exec.threadIdx(warp, lane);
+        env.blockIdx = exec.ctaId();
+        env.blockDim = exec.blockDim();
+        env.gridDim = exec.gridDim();
+    }
+
+    Trace &trace = Trace::global();
+    const bool traced = trace.enabled();
+    const uint64_t t0 = traced ? trace.nowNs() : 0;
+
+    tl_dispatch = &ds;
+    try {
+        // Prefer the warp-level body whenever one is provided (even
+        // for lane-iterating handlers): its contract is observational
+        // identity, and one call per warp beats 32.
+        if (traits.warpHandler) {
+            WarpHandlerEnv we;
+            we.envs = ds.envs.data();
+            we.activeMask = ds.activeMask;
+            traits.warpHandler(we);
+        } else {
+            for (int lane = 0; lane < sass::WarpSize; ++lane) {
+                if (warp.activeMask & (1u << lane))
+                    handler(ds.envs[static_cast<size_t>(lane)]);
+            }
+        }
+    } catch (const simt::SimFault &f) {
+        ds.faulted = true;
+        ds.fault = f;
+    }
+    tl_dispatch = nullptr;
+
+    if (traced) {
+        trace.complete(
+            detail::strFormat("%s@%d %s", site.kernelName.c_str(),
+                              site.origPc, flavorName(site.flavor)),
+            "handler", exec.traceTid(), t0, trace.nowNs() - t0,
+            {{"site", static_cast<uint64_t>(site_key)},
+             {"lanes", static_cast<uint64_t>(popc(warp.activeMask))}});
+    }
+
+    if (ds.faulted)
+        throw ds.fault;
+    return ds.frameWritten;
 }
 
 } // namespace sassi::core

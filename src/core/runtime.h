@@ -56,6 +56,22 @@ struct HandlerEnv
 /** User handler: one invocation per active lane per site. */
 using Handler = std::function<void(const HandlerEnv &)>;
 
+/**
+ * Warp-level view handed to a HandlerTraits::warpHandler: the
+ * per-lane environments (indexed by lane id; only activeMask lanes
+ * are populated) of one dispatch. The warp handler sees all lanes
+ * at once, so it can compute ballots/reductions directly instead of
+ * rendezvousing through fibers.
+ */
+struct WarpHandlerEnv
+{
+    const HandlerEnv *envs = nullptr; //!< Indexed by lane id.
+    uint32_t activeMask = 0;
+};
+
+/** Warp-level handler: one invocation per active warp per site. */
+using WarpHandler = std::function<void(const WarpHandlerEnv &)>;
+
 /** Static properties of a registered handler. */
 struct HandlerTraits
 {
@@ -68,6 +84,33 @@ struct HandlerTraits
      * simply iterates the active lanes.
      */
     bool warpSynchronous = true;
+
+    /**
+     * Whether the handler may be invoked inline from the
+     * interpreter's fused-site fast path (simt/site_fuse.h), with no
+     * fiber group backing it. An inline-safe handler must never
+     * suspend (no warp-rendezvous intrinsics outside warpHandler)
+     * and must not read scratch registers that were not spilled for
+     * the call: the fused path calls it before the ABI scratch
+     * registers (R2-R13) take their post-prologue values, so
+     * SASSIRegisterParams reads of unspilled scratch registers would
+     * differ from the fiber path. All bundled counters/profilers
+     * satisfy this; anything that suspends (value profiler's
+     * spin-lock ballot loops) or depends on raw scratch state must
+     * leave it false.
+     */
+    bool reentrantSafe = false;
+
+    /**
+     * Warp-level equivalent of the per-lane handler, required for a
+     * warpSynchronous handler to qualify for inline dispatch: the
+     * fused path cannot rendezvous lanes through fibers, so the
+     * handler author supplies the whole-warp computation explicitly.
+     * Must be observationally identical to running the per-lane
+     * handler on fibers (same device writes, same order of atomics
+     * per warp).
+     */
+    WarpHandler warpHandler;
 
     /**
      * Optional warp-level predicate evaluated before any lane's
@@ -90,6 +133,12 @@ struct DispatchState
     uint32_t activeMask = 0;
     FiberGroup *fibers = nullptr;
     std::vector<HandlerEnv> envs; //!< Indexed by lane id.
+    /** Set by the params/intrinsics write paths when the handler
+     *  stores into device memory the site frame could alias (the
+     *  frame itself or the lane-local window). Clear at the end of
+     *  an inline dispatch means the epilogue's identity fills can
+     *  be skipped. */
+    bool frameWritten = false;
     bool faulted = false;
     simt::SimFault fault{simt::Outcome::Ok, ""};
 };
@@ -163,6 +212,18 @@ class SassiRuntime : public simt::HandlerDispatcher
 
     void dispatch(simt::Executor &exec, simt::Warp &warp,
                   int32_t site_key) override;
+
+    /**
+     * A site is inline-dispatchable when its handler is marked
+     * reentrantSafe and either iterates lanes directly
+     * (!warpSynchronous) or supplies a warpHandler; a null handler
+     * (metrics-only dispatch) always qualifies.
+     */
+    bool inlineDispatchable(int32_t site_key) override;
+
+    bool dispatchInline(simt::Executor &exec, simt::Warp &warp,
+                        int32_t site_key, const uint64_t *frame_addr,
+                        uint8_t *const *frame_host) override;
 
   private:
     simt::Device &dev_;

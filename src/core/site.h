@@ -124,6 +124,14 @@ struct SiteInfo
 
     /** The injected code materialized SASSIRegisterParams. */
     bool hasRegParams = false;
+
+    /**
+     * Launch-registry keys, precomputed by SassiRuntime::addSite so
+     * both dispatch paths (fiber and inline) bump the exact same
+     * strings without per-dispatch formatting.
+     */
+    std::string metricCalls;  //!< "core/site/<kernel>@<pc>/calls"
+    std::string metricFlavor; //!< "core/dispatch/flavor/<flavor>"
 };
 
 } // namespace sassi::core

@@ -173,7 +173,8 @@ OracleConfig::describe() const
 {
     std::ostringstream out;
     out << "tool=" << toolName(tool) << " threads=" << threads
-        << " superblocks=" << superblocks;
+        << " superblocks=" << superblocks
+        << " fastpath=" << handlerFastpath;
     return out.str();
 }
 
@@ -234,6 +235,7 @@ runConfig(const FuzzProgram &p, const OracleConfig &cfg,
     LaunchOptions lopts;
     lopts.numThreads = cfg.threads;
     lopts.superblocks = cfg.superblocks;
+    lopts.handlerFastpath = cfg.handlerFastpath;
     lopts.watchdog = opt.watchdog;
     LaunchResult r =
         dev.launch(p.kernelName, Dim3(p.gridX), Dim3(p.blockX), args,
@@ -269,7 +271,15 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
             tools.push_back(static_cast<ToolKind>(t));
     }
 
-    OracleConfig base{ToolKind::None, opt.threadCounts.front(), 0};
+    // Dispatch modes: superblocks off, on, and on with the
+    // compiled-handler fast path. Fast path without superblocks is
+    // not a distinct mode — fused sites live in the superblock
+    // micro-program variant, so the executor ignores the flag there.
+    static constexpr struct { int sb, fp; } kModes[] = {
+        {0, 0}, {1, 0}, {1, 1}};
+    constexpr int kNumModes = 3;
+
+    OracleConfig base{ToolKind::None, opt.threadCounts.front(), 0, 0};
     RunObservation ref = runConfig(p, base, opt);
     ++report.configsRun;
 
@@ -283,19 +293,22 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
 
     for (ToolKind t : tools) {
         // Per-tool references: stats/metrics must be invariant
-        // across the threads x superblocks plane of one tool, and
-        // the tool aggregate across superblock modes at one worker.
+        // across the threads x dispatch-modes plane of one tool, and
+        // the tool aggregate across dispatch modes at one worker.
         const RunObservation *toolRef = nullptr;
         RunObservation toolRefStore;
-        std::string serialToolKey[2];
-        bool haveSerialKey[2] = {false, false};
+        std::string serialToolKey[kNumModes];
+        bool haveSerialKey[kNumModes] = {};
 
-        for (int sb = 0; sb <= 1; ++sb) {
+        for (int mode = 0; mode < kNumModes; ++mode) {
+            const int sb = kModes[mode].sb;
+            const int fp = kModes[mode].fp;
             for (int threads : opt.threadCounts) {
-                OracleConfig cfg{t, threads, sb};
+                OracleConfig cfg{t, threads, sb, fp};
                 RunObservation obs;
                 if (t == base.tool && threads == base.threads &&
-                    sb == base.superblocks) {
+                    sb == base.superblocks &&
+                    fp == base.handlerFastpath) {
                     obs = ref;
                 } else {
                     obs = runConfig(p, cfg, opt);
@@ -355,17 +368,22 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
                     }
                 }
                 if (threads == 1) {
-                    serialToolKey[sb] = obs.toolKey;
-                    haveSerialKey[sb] = true;
+                    serialToolKey[mode] = obs.toolKey;
+                    haveSerialKey[mode] = true;
                 }
             }
         }
-        if (haveSerialKey[0] && haveSerialKey[1] &&
-            serialToolKey[0] != serialToolKey[1]) {
-            OracleConfig cfg{t, 1, 1};
-            mismatch(cfg, "tool aggregate (vs superblocks=0)",
-                     serialToolKey[0], serialToolKey[1]);
-            return report;
+        for (int mode = 1; mode < kNumModes; ++mode) {
+            if (haveSerialKey[0] && haveSerialKey[mode] &&
+                serialToolKey[0] != serialToolKey[mode]) {
+                OracleConfig cfg{t, 1, kModes[mode].sb,
+                                 kModes[mode].fp};
+                mismatch(cfg,
+                         "tool aggregate (vs superblocks=0 "
+                         "fastpath=0)",
+                         serialToolKey[0], serialToolKey[mode]);
+                return report;
+            }
         }
     }
 

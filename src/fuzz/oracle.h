@@ -5,8 +5,9 @@
  * A generated program's architectural output is, by construction
  * (generator.h), a pure function of the program text. The oracle
  * exploits that: it runs the program across the full configuration
- * matrix — {superblocks off, on} x {worker threads 1, 2, 8} x
- * {uninstrumented, each instrumentation tool} — and demands that
+ * matrix — {superblocks off, on} x {compiled-handler fast path off,
+ * on} x {worker threads 1, 2, 8} x {uninstrumented, each
+ * instrumentation tool} — and demands that
  * every observable which should be invariant actually is:
  *
  *  - final output/accumulator memory digest: identical everywhere;
@@ -64,7 +65,13 @@ struct OracleConfig
     int threads = 1;
     int superblocks = 0;
 
-    /** @return e.g.\ "tool=instr_counter threads=8 superblocks=1". */
+    /** Compiled-handler fast path (fused instrumentation sites).
+     *  Only meaningful with superblocks on — the fused sites live in
+     *  the same micro-program variant. */
+    int handlerFastpath = 0;
+
+    /** @return e.g.\ "tool=instr_counter threads=8 superblocks=1
+     *  fastpath=1". */
     std::string describe() const;
 };
 

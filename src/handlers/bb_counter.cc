@@ -11,6 +11,23 @@ BlockCounter::BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
     : table_(dev, table_capacity, 2)
 {
     DevHashTable *table = &table_;
+    core::HandlerTraits traits;
+    traits.reentrantSafe = true;
+    // Warp-level body for the fused fast path: the flavor test and
+    // block key are warp-uniform, so the ballot collapses to the
+    // active mask and the per-lane thread-entry adds to one add of
+    // popc(active) — same table state, same counter sums.
+    traits.warpHandler = [table](const core::WarpHandlerEnv &we) {
+        uint32_t active = we.activeMask;
+        const core::HandlerEnv &lead =
+            we.envs[static_cast<size_t>(cuda::ffs(active) - 1)];
+        if (lead.site->flavor != core::SiteFlavor::BlockHeader)
+            return;
+        uint64_t stats = table->findOrInsert(lead.bp.GetInsAddr());
+        cuda::atomicAdd64(stats, 1);
+        cuda::atomicAdd64(stats + 8,
+                          static_cast<uint64_t>(cuda::popc(active)));
+    };
     rt.setBeforeHandler([table](const core::HandlerEnv &env) {
         if (env.site->flavor != core::SiteFlavor::BlockHeader)
             return;
@@ -19,7 +36,7 @@ BlockCounter::BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
         if (env.lane == cuda::ffs(active) - 1)
             cuda::atomicAdd64(stats, 1);
         cuda::atomicAdd64(stats + 8, 1);
-    });
+    }, traits);
 }
 
 std::vector<BlockStats>
@@ -64,6 +81,7 @@ OpcodeHistogram::OpcodeHistogram(simt::Device &dev,
     uint64_t counters = counters_;
     core::HandlerTraits traits;
     traits.warpSynchronous = false;
+    traits.reentrantSafe = true;
     rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
         auto op = static_cast<uint32_t>(env.bp.GetOpcode());
         cuda::atomicAdd64(counters + op * 8, 1);

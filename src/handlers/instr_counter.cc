@@ -13,6 +13,32 @@ InstrCounter::InstrCounter(simt::Device &dev, core::SassiRuntime &rt)
     uint64_t counters = counters_;
     core::HandlerTraits traits;
     traits.warpSynchronous = false; // Figure 3 uses only atomics.
+    traits.reentrantSafe = true;    // ...so it can run inline, too.
+    // Warp-level body for the fused fast path: every category test
+    // reads only the (lane-invariant) instruction encoding, so the
+    // 32 per-lane +1 atomics collapse to one +num_active per
+    // category. Same final counter values, observationally.
+    traits.warpHandler = [counters](const core::WarpHandlerEnv &we) {
+        auto n =
+            static_cast<uint64_t>(cuda::popc(we.activeMask));
+        const core::HandlerEnv &lead =
+            we.envs[static_cast<size_t>(cuda::ffs(we.activeMask) - 1)];
+        const auto &bp = lead.bp;
+        if (bp.IsMem()) {
+            cuda::atomicAdd64(counters + Memory * 8, n);
+            if (lead.mp.GetWidth() > 4 /*bytes*/)
+                cuda::atomicAdd64(counters + ExtendedMemory * 8, n);
+        }
+        if (bp.IsControlXfer())
+            cuda::atomicAdd64(counters + ControlXfer * 8, n);
+        if (bp.IsSync())
+            cuda::atomicAdd64(counters + Sync * 8, n);
+        if (bp.IsNumeric())
+            cuda::atomicAdd64(counters + Numeric * 8, n);
+        if (bp.IsTexture())
+            cuda::atomicAdd64(counters + Texture * 8, n);
+        cuda::atomicAdd64(counters + TotalExecuted * 8, n);
+    };
     rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
         // Figure 3, verbatim logic: overlapping category counters
         // bumped with device atomics.

@@ -658,7 +658,8 @@ classify(const Instruction &ins)
 
 } // namespace
 
-MicroProgram::MicroProgram(const ir::Kernel &kernel)
+MicroProgram::MicroProgram(const ir::Kernel &kernel,
+                           const UopConfig &cfg)
 {
     const size_t n = kernel.code.size();
     uops_.resize(n);
@@ -690,17 +691,37 @@ MicroProgram::MicroProgram(const ir::Kernel &kernel)
             return;
     }
 
+    const std::vector<uint8_t> leader = ir::blockLeaders(kernel);
+
+    // Compile instrumentation-site bundles first and exclude the
+    // instructions they cover from superblock formation, so a fused
+    // site is always entered through its head micro-op in step()
+    // (never from inside a batched superblock run).
+    std::vector<uint8_t> fused(n, 0);
+    if (cfg.fuseSites) {
+        site_runs_ = compileSiteRuns(kernel, leader);
+        if (site_runs_.size() > 0xfffe)
+            site_runs_.resize(0xfffe); // uint16 id space; ample.
+        for (size_t i = 0; i < site_runs_.size(); ++i) {
+            const SiteRun &run = site_runs_[i];
+            uops_[run.start].site = static_cast<uint16_t>(i + 1);
+            for (uint32_t pc = run.start; pc < run.start + run.len;
+                 ++pc)
+                fused[pc] = 1;
+        }
+    }
+
     // Form superblocks: maximal runs of fast-path, unpredicated ALU
     // micro-ops, never extending across a basic-block leader. Every
     // point control flow can enter — the kernel entry, branch/SSY
     // targets, and the instruction after any block terminator — is
     // a leader, so a warp can only ever land on a run's head;
     // mid-run pcs keep sb == 0 and fall back to generic stepping.
-    const std::vector<uint8_t> leader = ir::blockLeaders(kernel);
     auto runnable = [&](size_t pc) {
         const MicroOp &u = uops_[pc];
         return u.cls == ExecClass::Alu &&
-               u.guard == GuardKind::AlwaysOn && u.alu != nullptr;
+               u.guard == GuardKind::AlwaysOn && u.alu != nullptr &&
+               !fused[pc];
     };
     size_t pc = 0;
     while (pc < n) {
@@ -742,6 +763,15 @@ MicroProgram::superblockInstrs() const
     size_t total = 0;
     for (const Superblock &sb : superblocks_)
         total += sb.len;
+    return total;
+}
+
+size_t
+MicroProgram::siteRunInstrs() const
+{
+    size_t total = 0;
+    for (const SiteRun &run : site_runs_)
+        total += run.len;
     return total;
 }
 
@@ -805,9 +835,13 @@ UopCache::fingerprint(const ir::Kernel &kernel)
 }
 
 std::shared_ptr<const MicroProgram>
-UopCache::get(const ir::Kernel &kernel)
+UopCache::get(const ir::Kernel &kernel, const UopConfig &cfg)
 {
-    const uint64_t key = fingerprint(kernel);
+    // Salt the content print with the configuration so programs
+    // compiled with and without site fusing coexist in the cache.
+    uint64_t key = fingerprint(kernel);
+    if (cfg.fuseSites)
+        key ^= 0x9e3779b97f4a7c15ull;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -819,7 +853,7 @@ UopCache::get(const ir::Kernel &kernel)
     // Compile outside the lock: programs are pure functions of the
     // kernel, so two threads racing on the same key just do the
     // work twice and the loser's copy is dropped.
-    auto prog = std::make_shared<const MicroProgram>(kernel);
+    auto prog = std::make_shared<const MicroProgram>(kernel, cfg);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] =
         entries_.emplace(key, Entry{kernel.name, prog});
@@ -837,6 +871,20 @@ UopCache::get(const ir::Kernel &kernel)
         metrics_.histogram("uop/static/superblock_len");
     for (const Superblock &sb : prog->superblocks())
         lens.observe(sb.len);
+    if (!prog->siteRuns().empty()) {
+        metrics_.counter("uop/static/site_runs") +=
+            prog->siteRuns().size();
+        metrics_.counter("uop/static/site_run_instrs") +=
+            prog->siteRunInstrs();
+        for (const SiteRun &run : prog->siteRuns()) {
+            // Static property keyed by site, so assignment (not +=)
+            // keeps recompiles after invalidation idempotent.
+            metrics_.counter(
+                "uop/handler/site/" + kernel.name + "@" +
+                std::to_string(run.start) + "/spill_bytes") =
+                run.spillBytesPerLane();
+        }
+    }
     return it->second.prog;
 }
 
@@ -875,6 +923,21 @@ UopCache::noteRuns(uint64_t runs, uint64_t instrs)
     metrics_.counter("uop/dynamic/superblock_instrs") += instrs;
 }
 
+void
+UopCache::noteHandlerCalls(uint64_t inline_calls, uint64_t fiber_calls,
+                           uint64_t fallbacks,
+                           uint64_t inline_spill_bytes)
+{
+    if (!inline_calls && !fiber_calls && !fallbacks)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.counter("uop/handler/inline_calls") += inline_calls;
+    metrics_.counter("uop/handler/fiber_calls") += fiber_calls;
+    metrics_.counter("uop/handler/inline_fallbacks") += fallbacks;
+    metrics_.counter("uop/handler/inline_spill_bytes") +=
+        inline_spill_bytes;
+}
+
 Metrics
 UopCache::snapshot() const
 {
@@ -897,6 +960,16 @@ resolveSuperblocks(int requested)
     if (requested >= 0)
         return requested != 0;
     if (const char *env = std::getenv("SASSI_SIM_SUPERBLOCKS"))
+        return std::atoi(env) != 0;
+    return true;
+}
+
+bool
+resolveHandlerFastpath(int requested)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv("SASSI_SIM_HANDLER_FASTPATH"))
         return std::atoi(env) != 0;
     return true;
 }

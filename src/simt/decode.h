@@ -22,15 +22,23 @@
  *    *superblocks*: the executor runs a whole superblock for a
  *    converged warp in one tight loop, batching warpInstrs /
  *    threadInstrs / opcodeCounts and watchdog charging per run.
+ *  - Recognized SASSI instrumentation-site bundles (site_fuse.h)
+ *    become *site runs*: the executor materializes the site's frame
+ *    template with direct stores, calls the handler inline when the
+ *    dispatcher marks it reentrant-safe, and applies the epilogue's
+ *    register effects — eliding the per-site fiber round-trip.
  *  - Compiled MicroPrograms are cached per kernel *content* in a
  *    process-wide thread-safe registry (UopCache), shared across
  *    launches and CTA-worker shards, with compile/hit counters and
  *    superblock-length histograms published through util/metrics.
+ *    The cache key includes the UopConfig, so programs compiled
+ *    with and without site fusing coexist.
  *
  * The generic step() path is kept byte-for-byte as the fallback
- * (and as the whole path when SASSI_SIM_SUPERBLOCKS=0), so
- * instrumentation sites, divergence, faults, and statistics are
- * observationally identical with superblocks on or off.
+ * (and as the whole path when SASSI_SIM_SUPERBLOCKS=0 or
+ * SASSI_SIM_HANDLER_FASTPATH=0), so instrumentation sites,
+ * divergence, faults, and statistics are observationally identical
+ * with the fast paths on or off.
  */
 
 #ifndef SASSI_SIMT_DECODE_H
@@ -47,11 +55,22 @@
 
 #include "sassir/module.h"
 #include "simt/dim3.h"
+#include "simt/site_fuse.h"
 #include "util/metrics.h"
 
 namespace sassi::simt {
 
 struct Warp;
+
+/**
+ * Compile-time switches a MicroProgram is specialized on. Part of
+ * the UopCache key, so differently configured programs coexist.
+ */
+struct UopConfig
+{
+    /** Compile instrumentation-site bundles into SiteRuns. */
+    bool fuseSites = false;
+};
 
 /** Top-level dispatch class of an instruction in step(). */
 enum class ExecClass : uint8_t {
@@ -113,6 +132,9 @@ struct MicroOp
 
     /** 1-based id of the superblock headed here, 0 otherwise. */
     uint16_t sb = 0;
+
+    /** 1-based id of the site run headed here, 0 otherwise. */
+    uint16_t site = 0;
 };
 
 /**
@@ -140,7 +162,8 @@ class MicroProgram
     /** Shortest instruction run worth forming a superblock for. */
     static constexpr uint32_t MinSuperblockLen = 2;
 
-    explicit MicroProgram(const ir::Kernel &kernel);
+    explicit MicroProgram(const ir::Kernel &kernel,
+                          const UopConfig &cfg = {});
 
     /** @return the micro-op at an instruction index. */
     const MicroOp &
@@ -169,9 +192,27 @@ class MicroProgram
     /** @return total instructions covered by superblocks. */
     size_t superblockInstrs() const;
 
+    /** @return the site run with a MicroOp::site id (1-based). */
+    const SiteRun &
+    siteRun(uint16_t id) const
+    {
+        return site_runs_[static_cast<size_t>(id) - 1];
+    }
+
+    /** @return all compiled site runs, in program order. */
+    const std::vector<SiteRun> &
+    siteRuns() const
+    {
+        return site_runs_;
+    }
+
+    /** @return total instructions covered by site runs. */
+    size_t siteRunInstrs() const;
+
   private:
     std::vector<MicroOp> uops_;
     std::vector<Superblock> superblocks_;
+    std::vector<SiteRun> site_runs_;
 };
 
 /**
@@ -189,7 +230,8 @@ class UopCache
     static UopCache &global();
 
     /** Look up (or compile and insert) a kernel's micro-program. */
-    std::shared_ptr<const MicroProgram> get(const ir::Kernel &kernel);
+    std::shared_ptr<const MicroProgram> get(const ir::Kernel &kernel,
+                                            const UopConfig &cfg = {});
 
     /** Drop every entry compiled from a kernel with this name.
      *  Called when a pass rewrites a kernel in place; lookups would
@@ -203,6 +245,13 @@ class UopCache
     /** Credit dynamic superblock executions from a finished launch. */
     void noteRuns(uint64_t runs, uint64_t instrs);
 
+    /** Credit handler dispatches from a finished launch: inline
+     *  (fused) calls, fiber-path calls, sites that hit a fused head
+     *  but fell back, and frame-template bytes written inline. */
+    void noteHandlerCalls(uint64_t inline_calls, uint64_t fiber_calls,
+                          uint64_t fallbacks,
+                          uint64_t inline_spill_bytes);
+
     /** @return a copy of the cache's metrics: compile/hit/entry
      *  counters, superblock-length histogram, and dynamic run
      *  totals, under "uop/...". Process-wide (not launch-scoped),
@@ -213,7 +262,8 @@ class UopCache
     /** @return number of cached programs. */
     size_t size() const;
 
-    /** Content fingerprint a kernel is cached under. */
+    /** Content fingerprint a kernel is cached under (the final key
+     *  additionally mixes in the UopConfig). */
     static uint64_t fingerprint(const ir::Kernel &kernel);
 
   private:
@@ -235,6 +285,16 @@ class UopCache
  * otherwise on.
  */
 bool resolveSuperblocks(int requested);
+
+/**
+ * Resolve the compiled-handler fast-path switch for one launch: a
+ * non-negative LaunchOptions::handlerFastpath wins; otherwise the
+ * SASSI_SIM_HANDLER_FASTPATH environment variable ("0" disables);
+ * otherwise on. The fast path additionally requires superblocks to
+ * be enabled (superblocks off selects the fully generic
+ * interpreter, fused sites included).
+ */
+bool resolveHandlerFastpath(int requested);
 
 } // namespace sassi::simt
 

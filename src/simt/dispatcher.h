@@ -33,6 +33,49 @@ class HandlerDispatcher
      * @param site_key target - HandlerBase of the JCAL.
      */
     virtual void dispatch(Executor &exec, Warp &warp, int32_t site_key) = 0;
+
+    /**
+     * @return true when the handler behind site_key may be called
+     * inline from the executor's fused-site path — i.e.\ without a
+     * fiber group (so it must never suspend or use warp-rendezvous
+     * intrinsics). Sites that answer false take the generic
+     * per-instruction path with the full fiber dispatch.
+     */
+    virtual bool
+    inlineDispatchable(int32_t site_key)
+    {
+        (void)site_key;
+        return false;
+    }
+
+    /**
+     * Inline (fiber-less) variant of dispatch() for a fused site.
+     * Must be observationally identical to dispatch() — same
+     * metrics, same handler effects, same faults. Only called when
+     * inlineDispatchable(site_key) returned true.
+     *
+     * @param frame_addr Per-lane generic address of the site's
+     *        parameter frame (indexed by lane; active lanes only).
+     * @param frame_host Per-lane host pointer to the same frame
+     *        bytes, for direct parameter access.
+     * @return true when the handler wrote device memory that the
+     *         site's epilogue may reload (the parameter frame or the
+     *         lane-local window). A false return licenses the caller
+     *         to skip identity fills — the frame still holds exactly
+     *         what the prologue spilled.
+     */
+    virtual bool
+    dispatchInline(Executor &exec, Warp &warp, int32_t site_key,
+                   const uint64_t *frame_addr,
+                   uint8_t *const *frame_host)
+    {
+        (void)exec;
+        (void)warp;
+        (void)site_key;
+        (void)frame_addr;
+        (void)frame_host;
+        return true;
+    }
 };
 
 } // namespace sassi::simt

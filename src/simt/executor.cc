@@ -133,30 +133,25 @@ Executor::fault(Outcome outcome, const std::string &message) const
     throw SimFault{outcome, message};
 }
 
-Dim3
-Executor::threadIdx(const Warp &warp, int lane) const
-{
-    uint32_t linear =
-        static_cast<uint32_t>(threadLinearInCta(warp, lane));
-    Dim3 t;
-    t.x = linear % block_.x;
-    t.y = (linear / block_.x) % block_.y;
-    t.z = linear / (block_.x * block_.y);
-    return t;
-}
-
 LaunchResult
 Executor::run()
 {
-    if (!prog_)
-        prog_ = UopCache::global().get(kernel_);
     superblocks_on_ = resolveSuperblocks(opts_.superblocks);
+    handler_fastpath_on_ =
+        superblocks_on_ && resolveHandlerFastpath(opts_.handlerFastpath);
+    if (!prog_) {
+        UopConfig cfg;
+        cfg.fuseSites = handler_fastpath_on_;
+        prog_ = UopCache::global().get(kernel_, cfg);
+    }
 
     const uint64_t total = grid_.count();
     int workers = resolveSimThreads(opts_.numThreads, total);
     if (workers <= 1) {
         LaunchResult result = runShard(0, 1);
         UopCache::global().noteRuns(sb_runs_, sb_instrs_);
+        UopCache::global().noteHandlerCalls(
+            hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
         finalizeMetrics(result);
         return result;
     }
@@ -174,6 +169,7 @@ Executor::run()
             dev_, kernel_, grid_, block_, params_, opts_));
         shards.back()->prog_ = prog_;
         shards.back()->superblocks_on_ = superblocks_on_;
+        shards.back()->handler_fastpath_on_ = handler_fastpath_on_;
         shards.back()->stop_flag_ = &stop;
     }
     std::vector<LaunchResult> results(static_cast<size_t>(workers));
@@ -195,6 +191,10 @@ Executor::run()
         metrics_.merge(shards[i]->metrics_);
         sb_runs_ += shards[i]->sb_runs_;
         sb_instrs_ += shards[i]->sb_instrs_;
+        hs_inline_ += shards[i]->hs_inline_;
+        hs_fiber_ += shards[i]->hs_fiber_;
+        hs_fallback_ += shards[i]->hs_fallback_;
+        hs_inline_spill_bytes_ += shards[i]->hs_inline_spill_bytes_;
         if (!results[i].ok() && shards[i]->fault_cta_ < first_fault) {
             first_fault = shards[i]->fault_cta_;
             merged.outcome = results[i].outcome;
@@ -203,6 +203,8 @@ Executor::run()
     }
     stats_ = merged.stats;
     UopCache::global().noteRuns(sb_runs_, sb_instrs_);
+    UopCache::global().noteHandlerCalls(
+        hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
     finalizeMetrics(merged);
     return merged;
 }
@@ -998,6 +1000,357 @@ Executor::execSuperblock(Warp &warp, const Superblock &sb)
     sb_instrs_ += len;
 }
 
+bool
+Executor::enterSiteRun(Warp &warp, uint16_t id)
+{
+    const SiteRun &run = prog_->siteRun(id);
+    HandlerDispatcher *d = dev_.dispatcher();
+    if (!d || !d->inlineDispatchable(run.siteKey) ||
+        watchdog_count_ + run.len > opts_.watchdog) {
+        // Not inline-dispatchable (or the watchdog budget no longer
+        // covers the whole bundle): the generic path handles it —
+        // including the fiber dispatch and exact-pc hang fault.
+        ++hs_fallback_;
+        return false;
+    }
+    const uint32_t active = warp.activeMask;
+    if (active == 0)
+        return false;
+
+    // Frame bounds. The generic path faults store by store on a
+    // frame outside local memory; fall back so it reports the exact
+    // fault. base may legitimately differ per lane only through R1,
+    // which the ABI keeps warp-uniform, but check every lane anyway.
+    const int64_t frame_bytes = run.frameBytes();
+    int64_t base[WarpSize];
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(active & (1u << lane)))
+            continue;
+        int64_t b =
+            static_cast<int64_t>(warp.reg(lane, abi::StackPtr)) +
+            run.frameRel;
+        if (b < 0 ||
+            b + frame_bytes > static_cast<int64_t>(kernel_.localBytes)) {
+            ++hs_fallback_;
+            return false;
+        }
+        base[lane] = b;
+    }
+
+    // Charge the prologue half (through the JCAL) exactly as
+    // per-instruction stepping would. Every bundle instruction is
+    // synthetic and runs under the full active mask (guarded flag
+    // pairs partition it; SiteRunStats::threadFactor folds that in).
+    const uint64_t lanes = static_cast<uint64_t>(popc(active));
+    stats_.warpInstrs += run.pre.warpInstrs;
+    stats_.threadInstrs += run.pre.threadFactor * lanes;
+    stats_.syntheticWarpInstrs += run.pre.warpInstrs;
+    stats_.memWarpInstrs += run.pre.memInstrs;
+    *m_spill_instrs_ += run.pre.spillInstrs;
+    *m_spill_bytes_ += run.pre.spillWidthSum * lanes;
+    for (const auto &[op, count] : run.pre.opcodeCounts)
+        stats_.opcodeCounts[static_cast<size_t>(op)] += count;
+    watchdog_count_ += run.pre.warpInstrs;
+
+    // Materialize the frame template: every spill and parameter
+    // store of the prologue, as direct 32-bit stores. Store-major
+    // order: the per-lane ingredients (frame pointer, recomputed
+    // memory address) are captured once, then each template store's
+    // kind is decoded once and applied to every active lane in a
+    // tight strided loop. Register reads index the lane's register
+    // file slice directly, bounds-checked (out-of-budget and RZ
+    // read 0, like Warp::reg).
+    const int num_regs = warp.numRegs;
+    const uint32_t *const regs0 = warp.regs.data();
+    uint8_t *const lmem0 = warp.localMem.data();
+    const size_t lstride = kernel_.localBytes;
+    uint8_t *fptr[WarpSize];   // Frame base, per lane.
+    uint32_t addr_lo[WarpSize];
+    uint32_t addr_hi[WarpSize];
+    uint32_t carry[WarpSize];
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(active & (1u << lane)))
+            continue;
+        fptr[lane] = lmem0 + static_cast<size_t>(lane) * lstride +
+                     static_cast<uint64_t>(base[lane]);
+        if (run.hasAddr) {
+            uint64_t sum =
+                static_cast<uint64_t>(warp.reg(lane, run.addrLoReg)) +
+                run.addrImmLo;
+            addr_lo[lane] = static_cast<uint32_t>(sum);
+            carry[lane] = (sum >> 32) != 0 ? 1u : 0u;
+            if (run.addrPair) {
+                addr_hi[lane] = warp.reg(lane, run.addrHiReg) +
+                                run.addrImmHi + carry[lane];
+            }
+        }
+    }
+    for (const SiteStore &st : run.stores) {
+        // Destination of the store for one lane (frame-relative or
+        // absolute within the lane's local memory).
+        const auto dst = [&](int lane) -> uint8_t * {
+            return (st.abs
+                        ? lmem0 + static_cast<size_t>(lane) * lstride
+                        : fptr[lane]) +
+                   st.off;
+        };
+        switch (st.kind) {
+          case SiteStore::Kind::Const:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (active & (1u << lane))
+                    std::memcpy(dst(lane), &st.imm, 4);
+            break;
+          case SiteStore::Kind::Reg: {
+            const size_t r = st.reg < num_regs ? st.reg : 0;
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!(active & (1u << lane)))
+                    continue;
+                uint32_t v =
+                    st.reg < num_regs
+                        ? regs0[static_cast<size_t>(lane) *
+                                    static_cast<size_t>(num_regs) +
+                                r]
+                        : 0;
+                std::memcpy(dst(lane), &v, 4);
+            }
+            break;
+          }
+          case SiteStore::Kind::AddrLo:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (active & (1u << lane))
+                    std::memcpy(dst(lane), &addr_lo[lane], 4);
+            break;
+          case SiteStore::Kind::AddrHi:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (active & (1u << lane))
+                    std::memcpy(dst(lane), &addr_hi[lane], 4);
+            break;
+          case SiteStore::Kind::PredBits:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!(active & (1u << lane)))
+                    continue;
+                uint32_t v =
+                    warp.preds[static_cast<size_t>(lane)] & st.imm;
+                std::memcpy(dst(lane), &v, 4);
+            }
+            break;
+          case SiteStore::Kind::CCOrig:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!(active & (1u << lane)))
+                    continue;
+                uint32_t v =
+                    warp.cc[static_cast<size_t>(lane)] ? 0x80u : 0u;
+                std::memcpy(dst(lane), &v, 4);
+            }
+            break;
+          case SiteStore::Kind::CCCarry:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!(active & (1u << lane)))
+                    continue;
+                uint32_t v = carry[lane] ? 0x80u : 0u;
+                std::memcpy(dst(lane), &v, 4);
+            }
+            break;
+          case SiteStore::Kind::GuardFlag:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!(active & (1u << lane)))
+                    continue;
+                uint32_t v =
+                    warp.pred(lane, st.reg) != st.neg ? 1u : 0u;
+                std::memcpy(dst(lane), &v, 4);
+            }
+            break;
+        }
+    }
+
+    hs_inline_spill_bytes_ += run.spillBytesPerLane() * lanes;
+    ++hs_inline_;
+
+    // Park on the JCAL's round: this round covered instruction
+    // start, the next jcalIdx - 1 pay off the rest of the prologue,
+    // and the round after that — the exact round the generic path
+    // would execute the JCAL in — dispatches the handler.
+    warp.pendingSite = id;
+    warp.pc = run.start + run.jcalIdx;
+    warp.skipRounds = run.jcalIdx - 1;
+    return true;
+}
+
+void
+Executor::completeSiteRun(Warp &warp)
+{
+    const SiteRun &run = prog_->siteRun(warp.pendingSite);
+    warp.pendingSite = 0;
+    const uint32_t active = warp.activeMask;
+    const uint64_t lanes = static_cast<uint64_t>(popc(active));
+
+    // The JCAL round: call the handler inline, no fiber group. R1
+    // still holds its site-entry value (only the epilogue's register
+    // effects, applied below, touch registers).
+    ++stats_.handlerCalls;
+    // Per-warp bases, hoisted: lane addresses differ only by a
+    // localBytes stride (and R1, which the ABI keeps warp-uniform
+    // but is read per lane anyway).
+    const uint64_t warp_window = localWindowAddr(warp, 0);
+    uint64_t frame_addr[WarpSize] = {};
+    uint8_t *frame_host[WarpSize] = {};
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(active & (1u << lane)))
+            continue;
+        uint64_t b = static_cast<uint64_t>(
+            static_cast<int64_t>(warp.reg(lane, abi::StackPtr)) +
+            run.frameRel);
+        frame_host[lane] = warp.localMem.data() +
+                           static_cast<size_t>(lane) *
+                               kernel_.localBytes +
+                           b;
+        frame_addr[lane] = warp_window +
+                           static_cast<uint64_t>(lane) *
+                               kernel_.localBytes +
+                           b;
+    }
+    // When the handler left frame memory untouched, identity fills
+    // (reloads of exactly what the prologue spilled) are no-ops: the
+    // parked warp executed nothing between the phases, so the
+    // register/predicate files still hold the spilled values.
+    const bool frame_dirty = dev_.dispatcher()->dispatchInline(
+        *this, warp, run.siteKey, frame_addr, frame_host);
+
+    // Epilogue half: charged only once the handler returned, like
+    // the generic path (a handler fault leaves the JCAL charged but
+    // not the fills).
+    stats_.warpInstrs += run.post.warpInstrs;
+    stats_.threadInstrs += run.post.threadFactor * lanes;
+    stats_.syntheticWarpInstrs += run.post.warpInstrs;
+    stats_.memWarpInstrs += run.post.memInstrs;
+    *m_spill_instrs_ += run.post.spillInstrs;
+    *m_spill_bytes_ += run.post.spillWidthSum * lanes;
+    for (const auto &[op, count] : run.post.opcodeCounts)
+        stats_.opcodeCounts[static_cast<size_t>(op)] += count;
+    watchdog_count_ += run.post.warpInstrs;
+
+    // Apply the epilogue's effects, effect-major. Every effect value
+    // derives from entry register values (R1 and the memory-address
+    // base registers, captured below before any write — they may
+    // themselves be fill destinations) or from frame memory, which
+    // register writes never touch — so each effect can be written
+    // for all lanes as soon as it is decoded.
+    const size_t num_effects = run.effects.size();
+    const int num_regs = warp.numRegs;
+    uint32_t *const regs0 = warp.regs.data();
+    const uint8_t *const lmem0 = warp.localMem.data();
+    const size_t lstride = kernel_.localBytes;
+    uint32_t r1v[WarpSize];
+    uint64_t fb[WarpSize]; // Frame byte offset within lane lmem.
+    uint32_t addr_lo[WarpSize];
+    uint32_t addr_hi[WarpSize];
+    for (int lane = 0; lane < WarpSize; ++lane) {
+        if (!(active & (1u << lane)))
+            continue;
+        const uint32_t r1 = warp.reg(lane, abi::StackPtr);
+        r1v[lane] = r1;
+        fb[lane] = static_cast<uint64_t>(static_cast<int64_t>(r1) +
+                                         run.frameRel);
+        if (run.hasAddr) {
+            uint64_t sum =
+                static_cast<uint64_t>(warp.reg(lane, run.addrLoReg)) +
+                run.addrImmLo;
+            addr_lo[lane] = static_cast<uint32_t>(sum);
+            if (run.addrPair) {
+                addr_hi[lane] = warp.reg(lane, run.addrHiReg) +
+                                run.addrImmHi +
+                                ((sum >> 32) != 0 ? 1u : 0u);
+            }
+        }
+    }
+    for (size_t i = 0; i < num_effects; ++i) {
+        const SiteRegEffect &e = run.effects[i];
+        if (e.identity && !frame_dirty)
+            continue;
+        // RZ (and anything out of budget) discards, like setReg().
+        if (e.reg >= num_regs)
+            continue;
+        uint32_t *const dst = regs0 + e.reg;
+        const size_t rstride = static_cast<size_t>(num_regs);
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(active & (1u << lane)))
+                continue;
+            uint32_t v = 0;
+            switch (e.kind) {
+              case SiteRegEffect::Kind::Const:
+                v = e.imm;
+                break;
+              case SiteRegEffect::Kind::FrameRel:
+                v = static_cast<uint32_t>(
+                    static_cast<int64_t>(r1v[lane]) + e.rel);
+                break;
+              case SiteRegEffect::Kind::AddrLo:
+                v = addr_lo[lane];
+                break;
+              case SiteRegEffect::Kind::AddrHi:
+                v = addr_hi[lane];
+                break;
+              case SiteRegEffect::Kind::GenLo:
+              case SiteRegEffect::Kind::GenHi: {
+                uint64_t g = warp_window +
+                             static_cast<uint64_t>(lane) * lstride +
+                             static_cast<uint32_t>(
+                                 static_cast<int64_t>(r1v[lane]) +
+                                 e.rel);
+                v = e.kind == SiteRegEffect::Kind::GenLo ? lo32(g)
+                                                         : hi32(g);
+                break;
+              }
+              case SiteRegEffect::Kind::Load:
+                std::memcpy(
+                    &v,
+                    lmem0 + static_cast<size_t>(lane) * lstride +
+                        (e.abs ? static_cast<uint64_t>(e.off)
+                               : fb[lane] + e.off),
+                    4);
+                break;
+            }
+            dst[static_cast<size_t>(lane) * rstride] = v;
+        }
+    }
+    if (run.restorePred && (frame_dirty || !run.restorePredIdentity)) {
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(active & (1u << lane)))
+                continue;
+            uint32_t v;
+            std::memcpy(&v,
+                        lmem0 + static_cast<size_t>(lane) * lstride +
+                            (run.restorePredAbs
+                                 ? static_cast<uint64_t>(
+                                       run.restorePredOff)
+                                 : fb[lane] + run.restorePredOff),
+                        4);
+            // Equivalent to setPred on each of P0..P6: the pred file
+            // holds exactly those NumPred bits (PT is not stored).
+            warp.preds[static_cast<size_t>(lane)] =
+                static_cast<uint8_t>(v & ((1u << NumPred) - 1));
+        }
+    }
+    if (run.restoreCC && (frame_dirty || !run.restoreCCIdentity)) {
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(active & (1u << lane)))
+                continue;
+            uint32_t v;
+            std::memcpy(&v,
+                        lmem0 + static_cast<size_t>(lane) * lstride +
+                            (run.restoreCCAbs
+                                 ? static_cast<uint64_t>(
+                                       run.restoreCCOff)
+                                 : fb[lane] + run.restoreCCOff),
+                        4);
+            warp.cc[static_cast<size_t>(lane)] = (v & 0x80) != 0;
+        }
+    }
+
+    warp.pc = run.start + run.len;
+    warp.skipRounds = run.len - 1 - run.jcalIdx;
+}
+
 void
 Executor::step(Warp &warp)
 {
@@ -1008,12 +1361,30 @@ Executor::step(Warp &warp)
         return;
     }
 
+    // A warp parked mid-way through a fused instrumentation site:
+    // this is the round the generic path would have executed the
+    // site's JCAL in, so the handler dispatch (and the epilogue's
+    // warp-private effects) land here.
+    if (warp.pendingSite != 0) {
+        completeSiteRun(warp);
+        return;
+    }
+
     if (warp.pc >= kernel_.code.size()) {
         fault(Outcome::InvalidPC, detail::strFormat(
             "PC 0x%x outside kernel %s (%zu instructions)", warp.pc,
             kernel_.name.c_str(), kernel_.code.size()));
     }
     const MicroOp &dec = prog_->at(warp.pc);
+
+    // Compiled-handler fast path: this pc heads a fused
+    // instrumentation site whose spills, parameter stores, and
+    // handler call were compiled into a frame template at decode
+    // time. enterSiteRun falls back (returning false) when the site
+    // must take the generic path below.
+    if (dec.site != 0 && handler_fastpath_on_ &&
+        enterSiteRun(warp, dec.site))
+        return;
 
     // Superblock fast path: a run of unpredicated fast-path ALU
     // micro-ops headed here executes in one batched loop. Skipped
@@ -1142,6 +1513,7 @@ Executor::step(Warp &warp)
                       "handler JCAL with no dispatcher installed");
             }
             ++stats_.handlerCalls;
+            ++hs_fiber_;
             d->dispatch(*this, warp, ins.target - HandlerBase);
             ++warp.pc;
             return;

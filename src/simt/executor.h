@@ -83,8 +83,23 @@ class Executor
     /** Linear id of the CTA currently executing. */
     uint64_t ctaLinear() const { return cta_linear_; }
 
-    /** Thread index (x,y,z) of a lane in the current CTA. */
-    Dim3 threadIdx(const Warp &warp, int lane) const;
+    /** Thread index (x,y,z) of a lane in the current CTA. Inline —
+     *  handler dispatch builds a threadIdx per lane per site. */
+    Dim3
+    threadIdx(const Warp &warp, int lane) const
+    {
+        uint32_t linear =
+            static_cast<uint32_t>(threadLinearInCta(warp, lane));
+        // 1-D blocks (the overwhelmingly common case) skip the
+        // div/mod chain.
+        if (block_.y == 1 && block_.z == 1)
+            return Dim3(linear, 0, 0);
+        Dim3 t;
+        t.x = linear % block_.x;
+        t.y = (linear / block_.x) % block_.y;
+        t.z = linear / (block_.x * block_.y);
+        return t;
+    }
 
     /** Flat thread index of a lane within its CTA. */
     int
@@ -136,6 +151,17 @@ class Executor
     /** Timeline track (worker index) of this executor's events. */
     int traceTid() const { return trace_tid_; }
 
+    /**
+     * Opaque per-launch scratch slot owned by the installed
+     * dispatcher (e.g.\ cached registry handles into metrics()).
+     * Worker-private like stats(); dies with the executor, so
+     * cached pointers can never outlive the registry they index.
+     */
+    std::shared_ptr<void> &dispatcherScratch()
+    {
+        return dispatcher_scratch_;
+    }
+
     /** Charge modeled handler-body cost, in warp instructions. */
     void
     chargeHandlerCost(uint64_t warp_instrs)
@@ -165,6 +191,21 @@ class Executor
     /** Execute a whole superblock run for a converged warp. */
     void execSuperblock(Warp &warp, const Superblock &sb);
 
+    /**
+     * Try to enter a fused instrumentation site: materialize the
+     * site's parameter frame from its compiled template and park the
+     * warp on the round its JCAL would execute in. Returns false —
+     * and leaves the warp untouched — when the site must take the
+     * generic per-instruction path (handler not inline-dispatchable,
+     * watchdog budget too tight, or a frame address the generic path
+     * would fault on).
+     */
+    bool enterSiteRun(Warp &warp, uint16_t id);
+
+    /** Dispatch the parked site's handler inline and replay the
+     *  epilogue's register effects from the compiled template. */
+    void completeSiteRun(Warp &warp);
+
     void execAlu(Warp &warp, const sass::Instruction &ins, uint32_t exec);
     void execMem(Warp &warp, const sass::Instruction &ins, uint32_t exec);
     void execWarpOp(Warp &warp, const sass::Instruction &ins,
@@ -186,6 +227,7 @@ class Executor
     MetricHistogram *m_div_depth_ = nullptr;
     MetricHistogram *m_cta_warp_instrs_ = nullptr;
     int trace_tid_ = 0;
+    std::shared_ptr<void> dispatcher_scratch_;
 
     // The kernel's compiled micro-program: fetched from the
     // process-wide UopCache by the coordinating executor and shared
@@ -195,6 +237,20 @@ class Executor
     // Whether this launch takes the superblock fast path; resolved
     // once per launch from opts_.superblocks / the environment.
     bool superblocks_on_ = true;
+
+    // Whether this launch takes the compiled-handler fast path;
+    // requires superblocks (site runs are compiled into the same
+    // micro-program variant).
+    bool handler_fastpath_on_ = false;
+
+    // Dynamic compiled-handler dispatch counts of this worker,
+    // flushed to the UopCache once per launch alongside sb_runs_
+    // (never into the launch registry, which must serialize
+    // identically with the fast path on and off).
+    uint64_t hs_inline_ = 0;
+    uint64_t hs_fiber_ = 0;
+    uint64_t hs_fallback_ = 0;
+    uint64_t hs_inline_spill_bytes_ = 0;
 
     // Context the micro-op exec functions need beyond the warp;
     // refreshed per CTA.

@@ -163,6 +163,19 @@ struct LaunchOptions
      * SASSI_SIM_SUPERBLOCKS environment variable, defaulting to on.
      */
     int superblocks = -1;
+
+    /**
+     * Compiled-handler fast path: materialize recognized
+     * instrumentation-site bundles from prebuilt frame templates and
+     * call reentrant-safe handlers inline, eliding the per-site
+     * fiber round-trip (see simt/site_fuse.h). Observationally
+     * equivalent to the fiber path; 0 forces every site through the
+     * generic fiber dispatch (the differential-testing escape
+     * hatch), positive forces it on, and negative (the default)
+     * defers to the SASSI_SIM_HANDLER_FASTPATH environment variable,
+     * defaulting to on. Only effective when superblocks are enabled.
+     */
+    int handlerFastpath = -1;
 };
 
 /** The result of one kernel launch. */

@@ -80,6 +80,14 @@ struct Warp
      */
     uint32_t skipRounds = 0;
 
+    /**
+     * Nonzero while parked mid-way through a fused instrumentation
+     * site (simt/site_fuse.h): the 1-based SiteRun id whose handler
+     * dispatch and epilogue run in the warp's next scheduler round —
+     * the round the generic path would have executed the JCAL in.
+     */
+    uint16_t pendingSite = 0;
+
     int numRegs = 0;
     uint32_t localBytes = 0;
 

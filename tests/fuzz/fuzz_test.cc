@@ -121,8 +121,8 @@ TEST(FuzzOracle, UninstrumentedSweepIsCheaperAndPasses)
     FuzzProgram p = generateProgram(2, 0);
     OracleReport r = runOracle(p, opt);
     EXPECT_EQ(r.status, OracleStatus::Pass) << r.message;
-    // {sb 0,1} x {1,2,8 threads}, no tool dimension.
-    EXPECT_EQ(r.configsRun, 6);
+    // {(sb,fp) = (0,0),(1,0),(1,1)} x {1,2,8 threads}, no tools.
+    EXPECT_EQ(r.configsRun, 9);
 }
 
 /** A straight-line program with a marker instruction the broken-op
@@ -177,6 +177,28 @@ TEST(FuzzOracle, CatchesAnIntentionallyBrokenOp)
     // The untweaked program sails through.
     OracleReport clean = runOracle(markedProgram());
     EXPECT_EQ(clean.status, OracleStatus::Pass) << clean.message;
+}
+
+TEST(FuzzOracle, CatchesAFastpathOnlyBrokenOp)
+{
+    // Same marker corruption, but keyed to the compiled-handler fast
+    // path: only the (superblocks=1, fastpath=1) plane misbehaves,
+    // so a matrix without the fastpath dimension would miss it.
+    OracleOptions opt;
+    opt.moduleTweak = [](ir::Module &m, const OracleConfig &cfg) {
+        if (cfg.handlerFastpath != 1)
+            return;
+        for (auto &k : m.kernels)
+            for (auto &ins : k.code)
+                if (ins.bIsImm && ins.imm == 0x777) {
+                    ins.imm = 0x778;
+                    return;
+                }
+    };
+    OracleReport r = runOracle(markedProgram(), opt);
+    EXPECT_EQ(r.status, OracleStatus::Mismatch);
+    EXPECT_NE(r.message.find("fastpath=1"), std::string::npos)
+        << r.message;
 }
 
 TEST(FuzzMinimizer, ShrinksBrokenOpToTinyReproducer)

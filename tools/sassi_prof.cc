@@ -17,10 +17,15 @@
  *     --no-json      skip the BENCH_simt.json merge
  *     --no-superblocks  force the generic per-instruction
  *                    interpreter path (SASSI_SIM_SUPERBLOCKS=0)
+ *     --no-handler-fastpath  keep fused instrumentation sites on the
+ *                    generic fiber dispatch path
  *
  * The table includes the process-wide micro-op compiler counters
  * ("uop/...": compile/hit/entry counts, superblock statics and
- * dynamic run totals) alongside the launch-scoped registry.
+ * dynamic run totals, and the compiled-handler dispatch counters —
+ * inline vs fiber handler calls, inline fallbacks, per-site spill
+ * bytes) alongside the launch-scoped registry. An instrumented run
+ * also prints a one-line handler-dispatch summary.
  */
 
 #include <cstdio>
@@ -73,6 +78,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool write_json = true;
     int superblocks = -1;
+    int handler_fastpath = -1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -91,6 +97,8 @@ main(int argc, char **argv)
             write_json = false;
         } else if (arg == "--no-superblocks") {
             superblocks = 0;
+        } else if (arg == "--no-handler-fastpath") {
+            handler_fastpath = 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return 1;
@@ -114,6 +122,7 @@ main(int argc, char **argv)
     std::unique_ptr<workloads::Workload> w = entry->make();
     w->launchOptions.numThreads = threads;
     w->launchOptions.superblocks = superblocks;
+    w->launchOptions.handlerFastpath = handler_fastpath;
     w->setup(dev);
 
     std::unique_ptr<core::SassiRuntime> rt;
@@ -151,6 +160,36 @@ main(int argc, char **argv)
                 entry->name.c_str(), entry->suite.c_str(),
                 static_cast<unsigned long long>(dev.launches()),
                 verified ? "ok" : "FAILED");
+
+    if (instrument) {
+        // Handler dispatch split: how many site dispatches took the
+        // compiled inline path vs the generic fiber round-trip, and
+        // how much frame traffic the inline path wrote directly.
+        auto counter_of = [&m](const char *name) -> uint64_t {
+            for (const auto &[n, v] : m.counters())
+                if (n == name)
+                    return v;
+            return 0;
+        };
+        uint64_t inline_calls =
+            counter_of("uop/handler/inline_calls");
+        uint64_t fiber_calls = counter_of("uop/handler/fiber_calls");
+        uint64_t fallbacks =
+            counter_of("uop/handler/inline_fallbacks");
+        uint64_t spill_bytes =
+            counter_of("uop/handler/inline_spill_bytes");
+        uint64_t total = inline_calls + fiber_calls;
+        std::printf("handler dispatch: inline=%llu fiber=%llu "
+                    "(%.1f%% inline, %llu fallbacks), inline spill "
+                    "bytes=%llu\n",
+                    static_cast<unsigned long long>(inline_calls),
+                    static_cast<unsigned long long>(fiber_calls),
+                    total ? 100.0 * static_cast<double>(inline_calls) /
+                                static_cast<double>(total)
+                          : 0.0,
+                    static_cast<unsigned long long>(fallbacks),
+                    static_cast<unsigned long long>(spill_bytes));
+    }
 
     Table counters({"counter", "value"});
     for (const auto &[name, value] : m.counters())
