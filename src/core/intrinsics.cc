@@ -180,6 +180,19 @@ atomicAdd64(uint64_t addr, uint64_t v)
     return old;
 }
 
+void
+countAdd64(uint64_t addr, uint64_t v)
+{
+    // Validate eagerly so a bad counter address faults at the
+    // handler site, exactly where atomicAdd64 would have; only the
+    // visibility of the add is deferred.
+    core::DispatchState *ds = dispatch();
+    uint8_t *p = ds->exec->device().globalPtr(addr, 8);
+    fatal_if(!p, "handler accessed invalid device address 0x%llx",
+             static_cast<unsigned long long>(addr));
+    ds->exec->counterShard().add(addr, v);
+}
+
 uint32_t
 atomicAnd32(uint64_t addr, uint32_t v)
 {

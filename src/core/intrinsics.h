@@ -83,6 +83,20 @@ uint32_t atomicCAS32(uint64_t addr, uint32_t compare, uint32_t v);
 uint64_t atomicCAS64(uint64_t addr, uint64_t compare, uint64_t v);
 uint32_t atomicExch32(uint64_t addr, uint32_t v);
 
+/**
+ * Blind atomicAdd64 with deferred visibility: the delta lands in
+ * the calling worker's CounterShard and reaches device memory when
+ * the launch's shards merge, so hot handler counters stop
+ * ping-ponging one cache line between workers. Final counter values
+ * are bit-identical to atomicAdd64 (addition commutes); the only
+ * observable difference is that a devLoad of the counter *during*
+ * the launch won't see the pending deltas. Use for counters that
+ * are only read back on the host after the launch (the paper's
+ * Figure 3/4/6 handlers); anything that needs the old value or
+ * in-launch visibility must stay on atomicAdd64/atomicCAS.
+ */
+void countAdd64(uint64_t addr, uint64_t v);
+
 /// @}
 
 /// @name Plain device-memory access from handlers

@@ -24,8 +24,8 @@ BlockCounter::BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
         if (lead.site->flavor != core::SiteFlavor::BlockHeader)
             return;
         uint64_t stats = table->findOrInsert(lead.bp.GetInsAddr());
-        cuda::atomicAdd64(stats, 1);
-        cuda::atomicAdd64(stats + 8,
+        cuda::countAdd64(stats, 1);
+        cuda::countAdd64(stats + 8,
                           static_cast<uint64_t>(cuda::popc(active)));
     };
     rt.setBeforeHandler([table](const core::HandlerEnv &env) {
@@ -34,8 +34,8 @@ BlockCounter::BlockCounter(simt::Device &dev, core::SassiRuntime &rt,
         uint32_t active = cuda::ballot(1);
         uint64_t stats = table->findOrInsert(env.bp.GetInsAddr());
         if (env.lane == cuda::ffs(active) - 1)
-            cuda::atomicAdd64(stats, 1);
-        cuda::atomicAdd64(stats + 8, 1);
+            cuda::countAdd64(stats, 1);
+        cuda::countAdd64(stats + 8, 1);
     }, traits);
 }
 
@@ -84,7 +84,7 @@ OpcodeHistogram::OpcodeHistogram(simt::Device &dev,
     traits.reentrantSafe = true;
     rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
         auto op = static_cast<uint32_t>(env.bp.GetOpcode());
-        cuda::atomicAdd64(counters + op * 8, 1);
+        cuda::countAdd64(counters + op * 8, 1);
     }, traits);
 }
 

@@ -47,15 +47,15 @@ BranchProfiler::BranchProfiler(simt::Device &dev, core::SassiRuntime &rt,
         const core::HandlerEnv &lead =
             we.envs[static_cast<size_t>(cuda::ffs(active) - 1)];
         uint64_t stats = table->findOrInsert(lead.bp.GetInsAddr());
-        cuda::atomicAdd64(stats + PTotal * 8, 1);
-        cuda::atomicAdd64(stats + PActive * 8,
+        cuda::countAdd64(stats + PTotal * 8, 1);
+        cuda::countAdd64(stats + PActive * 8,
                           static_cast<uint64_t>(num_active));
-        cuda::atomicAdd64(stats + PTaken * 8,
+        cuda::countAdd64(stats + PTaken * 8,
                           static_cast<uint64_t>(num_taken));
-        cuda::atomicAdd64(stats + PNotTaken * 8,
+        cuda::countAdd64(stats + PNotTaken * 8,
                           static_cast<uint64_t>(num_not_taken));
         if (num_taken != num_active && num_not_taken != num_active)
-            cuda::atomicAdd64(stats + PDivergent * 8, 1);
+            cuda::countAdd64(stats + PDivergent * 8, 1);
     };
     rt.setBeforeHandler([table](const core::HandlerEnv &env) {
         // Figure 4: the conditional-branch analysis handler.
@@ -75,16 +75,16 @@ BranchProfiler::BranchProfiler(simt::Device &dev, core::SassiRuntime &rt,
         // The first active thread in each warp writes the results.
         if ((cuda::ffs(active) - 1) == thread_idx_in_warp) {
             uint64_t stats = table->findOrInsert(env.bp.GetInsAddr());
-            cuda::atomicAdd64(stats + PTotal * 8, 1);
-            cuda::atomicAdd64(stats + PActive * 8,
+            cuda::countAdd64(stats + PTotal * 8, 1);
+            cuda::countAdd64(stats + PActive * 8,
                               static_cast<uint64_t>(num_active));
-            cuda::atomicAdd64(stats + PTaken * 8,
+            cuda::countAdd64(stats + PTaken * 8,
                               static_cast<uint64_t>(num_taken));
-            cuda::atomicAdd64(stats + PNotTaken * 8,
+            cuda::countAdd64(stats + PNotTaken * 8,
                               static_cast<uint64_t>(num_not_taken));
             if (num_taken != num_active && num_not_taken != num_active) {
                 // Threads went different ways: a divergent branch.
-                cuda::atomicAdd64(stats + PDivergent * 8, 1);
+                cuda::countAdd64(stats + PDivergent * 8, 1);
             }
         }
     }, traits);

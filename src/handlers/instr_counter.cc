@@ -25,39 +25,41 @@ InstrCounter::InstrCounter(simt::Device &dev, core::SassiRuntime &rt)
             we.envs[static_cast<size_t>(cuda::ffs(we.activeMask) - 1)];
         const auto &bp = lead.bp;
         if (bp.IsMem()) {
-            cuda::atomicAdd64(counters + Memory * 8, n);
+            cuda::countAdd64(counters + Memory * 8, n);
             if (lead.mp.GetWidth() > 4 /*bytes*/)
-                cuda::atomicAdd64(counters + ExtendedMemory * 8, n);
+                cuda::countAdd64(counters + ExtendedMemory * 8, n);
         }
         if (bp.IsControlXfer())
-            cuda::atomicAdd64(counters + ControlXfer * 8, n);
+            cuda::countAdd64(counters + ControlXfer * 8, n);
         if (bp.IsSync())
-            cuda::atomicAdd64(counters + Sync * 8, n);
+            cuda::countAdd64(counters + Sync * 8, n);
         if (bp.IsNumeric())
-            cuda::atomicAdd64(counters + Numeric * 8, n);
+            cuda::countAdd64(counters + Numeric * 8, n);
         if (bp.IsTexture())
-            cuda::atomicAdd64(counters + Texture * 8, n);
-        cuda::atomicAdd64(counters + TotalExecuted * 8, n);
+            cuda::countAdd64(counters + Texture * 8, n);
+        cuda::countAdd64(counters + TotalExecuted * 8, n);
     };
     rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
         // Figure 3, verbatim logic: overlapping category counters
-        // bumped with device atomics.
+        // bumped with blind adds (countAdd64 defers visibility to
+        // launch end — the host only reads them after the launch,
+        // and sharded adds commute to the same totals).
         const auto &bp = env.bp;
         const auto &mp = env.mp;
         if (bp.IsMem()) {
-            cuda::atomicAdd64(counters + Memory * 8, 1);
+            cuda::countAdd64(counters + Memory * 8, 1);
             if (mp.GetWidth() > 4 /*bytes*/)
-                cuda::atomicAdd64(counters + ExtendedMemory * 8, 1);
+                cuda::countAdd64(counters + ExtendedMemory * 8, 1);
         }
         if (bp.IsControlXfer())
-            cuda::atomicAdd64(counters + ControlXfer * 8, 1);
+            cuda::countAdd64(counters + ControlXfer * 8, 1);
         if (bp.IsSync())
-            cuda::atomicAdd64(counters + Sync * 8, 1);
+            cuda::countAdd64(counters + Sync * 8, 1);
         if (bp.IsNumeric())
-            cuda::atomicAdd64(counters + Numeric * 8, 1);
+            cuda::countAdd64(counters + Numeric * 8, 1);
         if (bp.IsTexture())
-            cuda::atomicAdd64(counters + Texture * 8, 1);
-        cuda::atomicAdd64(counters + TotalExecuted * 8, 1);
+            cuda::countAdd64(counters + Texture * 8, 1);
+        cuda::countAdd64(counters + TotalExecuted * 8, 1);
     }, traits);
 }
 

@@ -57,7 +57,7 @@ MemDivProfiler::MemDivProfiler(simt::Device &dev, core::SassiRuntime &rt)
         uint64_t cell = counters +
             (static_cast<uint64_t>(num_active - 1) * 32 +
              (unique - 1)) * 8;
-        cuda::atomicAdd64(cell, 1);
+        cuda::countAdd64(cell, 1);
     };
     rt.setBeforeHandler([counters](const core::HandlerEnv &env) {
         // Figure 6: the memory-divergence handler. Note that unlike
@@ -102,7 +102,7 @@ MemDivProfiler::MemDivProfiler(simt::Device &dev, core::SassiRuntime &rt)
             uint64_t cell = counters +
                 (static_cast<uint64_t>(num_active - 1) * 32 +
                  (unique - 1)) * 8;
-            cuda::atomicAdd64(cell, 1);
+            cuda::countAdd64(cell, 1);
         }
     }, traits);
 }

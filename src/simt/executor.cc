@@ -1,5 +1,6 @@
 #include "simt/executor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -147,21 +148,41 @@ Executor::run()
 
     const uint64_t total = grid_.count();
     int workers = resolveSimThreads(opts_.numThreads, total);
+    const uint64_t chunk_ctas =
+        ChunkScheduler::resolveChunkCtas(total, workers);
+    const uint64_t chunks = (total + chunk_ctas - 1) / chunk_ctas;
+    // A worker with no chunk to start from would only ever steal;
+    // don't spin one up.
+    workers = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(workers), chunks));
+
     if (workers <= 1) {
-        LaunchResult result = runShard(0, 1);
+        // Serial: one chunk spanning the grid — byte for byte the
+        // historical strictly-serial execution.
+        trace_tid_ = 0;
+        ChunkOutcome chunk;
+        runChunk(CtaChunk{0, total}, chunk);
+        LaunchResult result;
+        result.outcome = chunk.outcome;
+        result.message = std::move(chunk.message);
+        result.stats = chunk.stats;
+        stats_ = result.stats;
         UopCache::global().noteRuns(sb_runs_, sb_instrs_);
         UopCache::global().noteHandlerCalls(
             hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
+        flushCounterShard();
         finalizeMetrics(result);
         return result;
     }
 
-    // Shard the grid round-robin: worker w runs CTAs w, w+n, w+2n...
-    // Each worker is a full Executor with private warp state, shared
-    // memory, and statistics; only device global memory is shared,
-    // and every RMW on it goes through a real atomic (execMem,
-    // intrinsics.cc), matching the GPU's own guarantees.
-    std::atomic<bool> stop{false};
+    // Deal contiguous CTA chunks onto per-worker deques with
+    // steal-on-empty. Each worker is a full Executor with private
+    // warp state, shared memory, statistics, and counter shard; only
+    // device global memory is shared, and every RMW on it goes
+    // through a real atomic (execMem, intrinsics.cc), matching the
+    // GPU's own guarantees.
+    std::atomic<uint64_t> fault_bound{~0ull};
+    ChunkScheduler sched(total, workers, chunk_ctas);
     std::vector<std::unique_ptr<Executor>> shards;
     shards.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
@@ -170,41 +191,50 @@ Executor::run()
         shards.back()->prog_ = prog_;
         shards.back()->superblocks_on_ = superblocks_on_;
         shards.back()->handler_fastpath_on_ = handler_fastpath_on_;
-        shards.back()->stop_flag_ = &stop;
+        shards.back()->fault_bound_ = &fault_bound;
     }
-    std::vector<LaunchResult> results(static_cast<size_t>(workers));
+    std::vector<ChunkOutcome> chunks_out(sched.chunkCount());
     ThreadPool::global().parallelFor(workers, [&](int w) {
-        size_t i = static_cast<size_t>(w);
-        results[i] = shards[i]->runShard(static_cast<uint64_t>(w),
-                                         static_cast<uint64_t>(workers));
+        shards[static_cast<size_t>(w)]->runWorker(w, sched, chunks_out);
     });
 
-    // Merge in worker order. Every LaunchStats field is a sum over
-    // CTAs, so the merged statistics are independent of both the
-    // worker count and execution timing. Faults are attributed to
-    // the lowest faulting CTA-linear id for determinism.
+    // Merge statistics in chunk id order == ascending CTA order, so
+    // which worker ran (or stole) a chunk never shows in the result.
+    // On a fault, stop at the first faulted chunk: chunk ranges
+    // ascend, so it holds the globally lowest faulting CTA, and the
+    // accumulated stats are exactly the CTAs the serial path would
+    // have executed before faulting there (work from later chunks
+    // that raced to completion is dropped).
     LaunchResult merged;
-    uint64_t first_fault = ~0ull;
+    for (uint32_t id = 0; id < sched.chunkCount(); ++id) {
+        ChunkOutcome &c = chunks_out[id];
+        merged.stats.add(c.stats);
+        if (c.outcome != Outcome::Ok) {
+            merged.outcome = c.outcome;
+            merged.message = std::move(c.message);
+            break;
+        }
+    }
+
+    // Per-worker state merges in worker order; everything here is
+    // commutative (counter sums, histogram bucket sums + min/max,
+    // deferred adds), so this too is thread-count-invariant.
     for (int w = 0; w < workers; ++w) {
         size_t i = static_cast<size_t>(w);
-        merged.stats.add(results[i].stats);
         metrics_.merge(shards[i]->metrics_);
+        counter_shard_.merge(shards[i]->counter_shard_);
         sb_runs_ += shards[i]->sb_runs_;
         sb_instrs_ += shards[i]->sb_instrs_;
         hs_inline_ += shards[i]->hs_inline_;
         hs_fiber_ += shards[i]->hs_fiber_;
         hs_fallback_ += shards[i]->hs_fallback_;
         hs_inline_spill_bytes_ += shards[i]->hs_inline_spill_bytes_;
-        if (!results[i].ok() && shards[i]->fault_cta_ < first_fault) {
-            first_fault = shards[i]->fault_cta_;
-            merged.outcome = results[i].outcome;
-            merged.message = results[i].message;
-        }
     }
     stats_ = merged.stats;
     UopCache::global().noteRuns(sb_runs_, sb_instrs_);
     UopCache::global().noteHandlerCalls(
         hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
+    flushCounterShard();
     finalizeMetrics(merged);
     return merged;
 }
@@ -232,51 +262,97 @@ Executor::finalizeMetrics(LaunchResult &result)
     result.metrics = metrics_;
 }
 
-LaunchResult
-Executor::runShard(uint64_t first, uint64_t step)
+void
+Executor::runWorker(int worker, ChunkScheduler &sched,
+                    std::vector<ChunkOutcome> &out)
 {
-    LaunchResult result;
-    const uint64_t total = grid_.count();
-    const uint64_t plane = static_cast<uint64_t>(grid_.x) * grid_.y;
-    trace_tid_ = step > 1 ? static_cast<int>(first) : 0;
-    Trace &trace = Trace::global();
+    trace_tid_ = worker;
+    uint32_t id = 0;
+    while (sched.next(worker, id))
+        runChunk(sched.chunk(id), out[id]);
+}
+
+void
+Executor::runChunk(const CtaChunk &chunk, ChunkOutcome &out)
+{
+    stats_ = LaunchStats{};
     try {
-        for (uint64_t linear = first; linear < total; linear += step) {
-            if (stop_flag_ &&
-                stop_flag_->load(std::memory_order_relaxed))
+        for (uint64_t linear = chunk.begin; linear < chunk.end;
+             ++linear) {
+            // CTAs above a published fault can never beat it for
+            // "earliest fault" and the serial path would not have
+            // reached them; CTAs below it must still run to
+            // completion so the bound converges on the CTA serial
+            // execution faults on.
+            if (fault_bound_ &&
+                linear > fault_bound_->load(std::memory_order_relaxed))
                 break;
-            cta_linear_ = linear;
-            cta_ = Dim3(static_cast<uint32_t>(linear % grid_.x),
-                        static_cast<uint32_t>((linear / grid_.x) %
-                                              grid_.y),
-                        static_cast<uint32_t>(linear / plane));
-            const uint64_t instrs_before = stats_.warpInstrs;
-            const bool traced = trace.enabled();
-            const uint64_t t0 = traced ? trace.nowNs() : 0;
-            runCta();
-            const uint64_t cta_instrs =
-                stats_.warpInstrs - instrs_before;
-            m_cta_warp_instrs_->observe(cta_instrs);
-            if (traced) {
-                trace.complete(
-                    detail::strFormat(
-                        "%s cta %llu", kernel_.name.c_str(),
-                        static_cast<unsigned long long>(linear)),
-                    "cta", trace_tid_, t0, trace.nowNs() - t0,
-                    {{"cta", linear}, {"warp_instrs", cta_instrs}});
-            }
-            ++stats_.ctas;
+            runOneCta(linear);
         }
-        result.outcome = Outcome::Ok;
+        out.outcome = Outcome::Ok;
     } catch (const SimFault &f) {
-        result.outcome = f.outcome;
-        result.message = f.message;
-        fault_cta_ = cta_linear_;
-        if (stop_flag_)
-            stop_flag_->store(true, std::memory_order_relaxed);
+        out.outcome = f.outcome;
+        out.message = f.message;
+        out.faultCta = cta_linear_;
+        if (fault_bound_) {
+            // fetch-min of the faulting CTA-linear id.
+            uint64_t cur =
+                fault_bound_->load(std::memory_order_relaxed);
+            while (cta_linear_ < cur &&
+                   !fault_bound_->compare_exchange_weak(
+                       cur, cta_linear_, std::memory_order_relaxed,
+                       std::memory_order_relaxed)) {
+            }
+        }
     }
-    result.stats = stats_;
-    return result;
+    out.stats = stats_;
+}
+
+void
+Executor::runOneCta(uint64_t linear)
+{
+    const uint64_t plane = static_cast<uint64_t>(grid_.x) * grid_.y;
+    Trace &trace = Trace::global();
+    cta_linear_ = linear;
+    cta_ = Dim3(static_cast<uint32_t>(linear % grid_.x),
+                static_cast<uint32_t>((linear / grid_.x) % grid_.y),
+                static_cast<uint32_t>(linear / plane));
+    const uint64_t instrs_before = stats_.warpInstrs;
+    const bool traced = trace.enabled();
+    const uint64_t t0 = traced ? trace.nowNs() : 0;
+    runCta();
+    const uint64_t cta_instrs = stats_.warpInstrs - instrs_before;
+    m_cta_warp_instrs_->observe(cta_instrs);
+    if (traced) {
+        trace.complete(
+            detail::strFormat("%s cta %llu", kernel_.name.c_str(),
+                              static_cast<unsigned long long>(linear)),
+            "cta", trace_tid_, t0, trace.nowNs() - t0,
+            {{"cta", linear}, {"warp_instrs", cta_instrs}});
+    }
+    ++stats_.ctas;
+}
+
+void
+Executor::flushCounterShard()
+{
+    if (counter_shard_.empty())
+        return;
+    // Launches are serialized by the device and the workers have
+    // joined, so plain read-modify-writes are race-free here; the
+    // ascending-address drain makes the walk sequential and any
+    // flush fault deterministic.
+    for (const auto &[addr, delta] : counter_shard_.drainSorted()) {
+        uint8_t *p = dev_.globalPtr(addr, 8);
+        fatal_if(!p,
+                 "deferred counter flush to invalid device address "
+                 "0x%llx",
+                 static_cast<unsigned long long>(addr));
+        uint64_t v;
+        std::memcpy(&v, p, 8);
+        v += delta;
+        std::memcpy(p, &v, 8);
+    }
 }
 
 void

@@ -9,10 +9,14 @@
  * branches push the not-taken side, SYNC pops), and predication
  * nullifies guarded-false lanes. Warps within a CTA interleave
  * round-robin, one instruction at a time; CTAs are independent up
- * to global atomics, so the grid is sharded round-robin across a
- * worker pool (LaunchOptions::numThreads), each worker running an
- * executor of its own with private warp state, shared memory, and
- * statistics that are merged deterministically at the end. With one
+ * to global atomics, so the grid is split into contiguous CTA
+ * chunks scheduled work-stealing across a worker pool
+ * (LaunchOptions::numThreads, simt/chunk_sched.h). Each worker is
+ * an executor of its own with private warp state, shared memory,
+ * statistics, and a deferred-counter shard; per-chunk statistics
+ * are merged in chunk (i.e.\ ascending CTA) order and everything
+ * per-worker is commutative, so results are bit-identical at any
+ * thread count no matter which worker ran which chunk. With one
  * worker the historical strictly-serial execution is preserved
  * byte for byte.
  *
@@ -29,6 +33,8 @@
 #include <vector>
 
 #include "sassir/module.h"
+#include "simt/chunk_sched.h"
+#include "simt/counter_shard.h"
 #include "simt/decode.h"
 #include "simt/device.h"
 #include "simt/launch.h"
@@ -60,12 +66,17 @@ class Executor
              std::vector<uint8_t> params, const LaunchOptions &opts);
 
     /**
-     * Run the whole grid to completion, sharding CTAs across the
-     * worker pool when the options allow more than one thread. All
-     * LaunchStats counters are per-CTA sums merged in worker order,
-     * so completed launches report thread-count-invariant
-     * statistics; on a fault, the reported fault is the one from
-     * the lowest faulting CTA-linear id.
+     * Run the whole grid to completion, scheduling CTA chunks
+     * work-stealing across the worker pool when the options allow
+     * more than one thread. LaunchStats are accumulated per chunk
+     * and merged in chunk order, so completed launches report
+     * thread-count-invariant statistics. On a fault, the reported
+     * fault — outcome, message, *and* statistics — comes from the
+     * globally lowest faulting CTA-linear id: workers abandon CTAs
+     * above the published fault bound but finish everything below
+     * it, and chunks past the faulting one are dropped from the
+     * merge, reproducing exactly what the serial path would have
+     * executed and reported.
      */
     LaunchResult run();
 
@@ -148,6 +159,15 @@ class Executor
      */
     Metrics &metrics() { return metrics_; }
 
+    /**
+     * Worker-private buffer for deferred blind counter adds
+     * (cuda::countAdd64). Shards merge after the workers join and
+     * the coordinator applies the summed deltas once; addition
+     * commutes, so flushed counter values are bit-identical to
+     * contended atomics at any thread count.
+     */
+    CounterShard &counterShard() { return counter_shard_; }
+
     /** Timeline track (worker index) of this executor's events. */
     int traceTid() const { return trace_tid_; }
 
@@ -172,8 +192,24 @@ class Executor
     /// @}
 
   private:
-    /** Run CTAs first, first+step, first+2*step, ... to completion. */
-    LaunchResult runShard(uint64_t first, uint64_t step);
+    /** Outcome and statistics of one CTA chunk. */
+    struct ChunkOutcome
+    {
+        LaunchStats stats;
+        Outcome outcome = Outcome::Ok;
+        std::string message;
+        uint64_t faultCta = ~0ull;
+    };
+
+    /** Pull chunks from the scheduler until none remain. */
+    void runWorker(int worker, ChunkScheduler &sched,
+                   std::vector<ChunkOutcome> &out);
+    /** Run one chunk's CTAs (ascending), honoring the fault bound. */
+    void runChunk(const CtaChunk &chunk, ChunkOutcome &out);
+    /** Run one CTA by linear id (trace + per-CTA bookkeeping). */
+    void runOneCta(uint64_t linear);
+    /** Apply the merged deferred-counter deltas to device memory. */
+    void flushCounterShard();
     /** Republish final stats into metrics_ and attach the registry. */
     void finalizeMetrics(LaunchResult &result);
     void runCta();
@@ -217,7 +253,13 @@ class Executor
     Dim3 block_;
     std::vector<uint8_t> params_;
     LaunchOptions opts_;
-    LaunchStats stats_;
+
+    // --- Hot per-worker accumulators, written on every interpreted
+    // instruction. Shard executors are separate allocations but the
+    // allocator packs them; starting this block on its own cache
+    // line keeps neighboring shards from false-sharing the fields
+    // the inner loop hammers. ---
+    alignas(64) LaunchStats stats_;
     Metrics metrics_;
 
     // Registry handles cached at construction so the interpreter's
@@ -262,10 +304,17 @@ class Executor
     uint64_t sb_runs_ = 0;
     uint64_t sb_instrs_ = 0;
 
-    // Set when any shard of this launch faults, so sibling workers
-    // stop at their next CTA boundary. Points into run()'s frame.
-    std::atomic<bool> *stop_flag_ = nullptr;
-    uint64_t fault_cta_ = 0;
+    // Lowest faulting CTA-linear id published so far (fetch-min),
+    // pointing into run()'s frame. Workers skip CTAs above the
+    // bound at CTA boundaries but still finish everything below it,
+    // so the final bound is deterministically the CTA the serial
+    // path would have faulted on.
+    std::atomic<uint64_t> *fault_bound_ = nullptr;
+
+    // Deferred blind counter adds of this worker (cache-line-
+    // aligned: the counterShard() add path runs once per handler
+    // category bump).
+    alignas(64) CounterShard counter_shard_;
 
     // Current CTA context (worker-private).
     std::vector<Warp> warps_;

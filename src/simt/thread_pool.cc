@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/logging.h"
+
 namespace sassi::simt {
 
 ThreadPool::ThreadPool(int threads)
 {
-    workers_.reserve(static_cast<size_t>(std::max(threads, 0)));
-    for (int i = 0; i < threads; ++i)
+    int n = std::min(std::max(threads, 0), kMaxWorkers);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
         workers_.emplace_back([this] { workerMain(); });
 }
 
@@ -26,8 +29,11 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerMain()
 {
-    uint64_t seen_generation = 0;
+    uint32_t seen_generation = 0;
     for (;;) {
+        uint32_t generation;
+        const std::function<void(int)> *fn;
+        int jobs;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [&] {
@@ -35,29 +41,40 @@ ThreadPool::workerMain()
             });
             if (shutdown_)
                 return;
-            seen_generation = generation_;
+            // Copy the batch fields under the same lock that
+            // observed the generation; drainBatch must not read
+            // them again (a later batch may be rewriting them).
+            generation = generation_;
+            fn = fn_;
+            jobs = jobs_;
+            seen_generation = generation;
         }
-        drainBatch();
+        drainBatch(generation, fn, jobs);
     }
 }
 
 void
-ThreadPool::drainBatch()
+ThreadPool::drainBatch(uint32_t generation,
+                       const std::function<void(int)> *fn, int jobs)
 {
     for (;;) {
-        int job;
-        {
+        uint64_t cur = cursor_.load(std::memory_order_acquire);
+        if (static_cast<uint32_t>(cur >> 32) != generation)
+            return; // A newer batch superseded this one.
+        int job = static_cast<int>(static_cast<uint32_t>(cur));
+        if (job >= jobs)
+            return;
+        if (!cursor_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+            continue;
+        (*fn)(job);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last job of the batch: wake the caller. Taking the
+            // mutex orders the notify against the caller's predicate
+            // check, so the wakeup can't be lost.
             std::lock_guard<std::mutex> lock(mutex_);
-            if (next_job_ >= jobs_)
-                return;
-            job = next_job_++;
-        }
-        (*fn_)(job);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --pending_;
-            if (pending_ == 0)
-                done_cv_.notify_all();
+            done_cv_.notify_all();
         }
     }
 }
@@ -65,9 +82,16 @@ ThreadPool::drainBatch()
 void
 ThreadPool::ensureWorkers(int target)
 {
-    constexpr int kMaxWorkers = 64;
-    target = std::min(target, kMaxWorkers);
     std::lock_guard<std::mutex> lock(mutex_);
+    if (target > kMaxWorkers) {
+        if (!clamp_warned_) {
+            clamp_warned_ = true;
+            warn("thread pool capped at %d workers (%d requested); "
+                 "resolveSimThreads applies the same cap",
+                 kMaxWorkers, target);
+        }
+        target = kMaxWorkers;
+    }
     while (static_cast<int>(workers_.size()) < target)
         workers_.emplace_back([this] { workerMain(); });
 }
@@ -84,26 +108,30 @@ ThreadPool::parallelFor(int jobs, const std::function<void(int)> &fn)
             fn(i);
         return;
     }
+    uint32_t generation;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         fn_ = &fn;
         jobs_ = jobs;
-        next_job_ = 0;
-        pending_ = jobs;
-        ++generation_;
+        generation = ++generation_;
+        pending_.store(jobs, std::memory_order_relaxed);
+        cursor_.store(static_cast<uint64_t>(generation) << 32,
+                      std::memory_order_release);
     }
     work_cv_.notify_all();
-    drainBatch(); // The caller works too.
+    drainBatch(generation, &fn, jobs); // The caller works too.
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    done_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
     fn_ = nullptr;
 }
 
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(
-        std::max(1u, std::thread::hardware_concurrency()) - 1);
+    static ThreadPool pool(static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()) - 1));
     return pool;
 }
 
@@ -118,6 +146,9 @@ resolveSimThreads(int requested, uint64_t ctas)
             n = static_cast<int>(
                 std::max(1u, std::thread::hardware_concurrency()));
     }
+    // Mirror the pool's hard cap so a launch never plans more
+    // shards than the pool can actually run.
+    n = std::min(n, ThreadPool::kMaxWorkers);
     uint64_t cap = std::max<uint64_t>(ctas, 1);
     return static_cast<int>(
         std::min<uint64_t>(static_cast<uint64_t>(n), cap));

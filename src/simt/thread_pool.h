@@ -2,19 +2,26 @@
  * @file
  * A persistent worker pool for parallel CTA execution.
  *
- * Kernel launches shard their CTA grid across workers (see
+ * Kernel launches schedule their CTA chunks across workers (see
  * Executor::run); spawning threads per launch would dominate the
  * small grids the paper's workloads use, so one process-wide pool is
  * created lazily and reused by every launch. parallelFor() is the
  * only entry point: it runs a job index space on the pool plus the
  * calling thread and blocks until every index has finished, so
  * callers never observe partially-executed launches.
+ *
+ * Job claiming is lock-free: workers race a generation-tagged
+ * atomic cursor instead of taking the pool mutex per job, so a
+ * finely-chunked batch never serializes on the pool lock. The
+ * mutex only guards batch setup, worker wakeup, and growth.
  */
 
 #ifndef SASSI_SIMT_THREAD_POOL_H
 #define SASSI_SIMT_THREAD_POOL_H
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,6 +33,13 @@ namespace sassi::simt {
 class ThreadPool
 {
   public:
+    /**
+     * Hard cap on pool workers. Requests beyond it are clamped
+     * (warned once) — resolveSimThreads applies the same cap so a
+     * launch never plans more shards than the pool can run.
+     */
+    static constexpr int kMaxWorkers = 64;
+
     /**
      * Construct a pool of `threads` workers (not counting callers
      * that join in through parallelFor).
@@ -39,12 +53,12 @@ class ThreadPool
     /**
      * Run fn(i) for every i in [0, jobs), distributing indices over
      * the pool's workers and the calling thread; blocks until all
-     * jobs complete. The pool grows (up to a fixed cap) when jobs
+     * jobs complete. The pool grows (up to kMaxWorkers) when jobs
      * exceeds workerCount() + 1, so an explicit numThreads request
      * always gets real OS threads even on machines with fewer cores
      * — that is what lets TSan and the determinism tests exercise
      * genuine cross-thread interleavings anywhere. fn must not throw
-     * (launch workers convert SimFaults into LaunchResults before
+     * (launch workers convert SimFaults into chunk outcomes before
      * returning). Reentrant calls are not supported; launches are
      * serialized by the device, which is the only caller.
      */
@@ -65,18 +79,34 @@ class ThreadPool
     void workerMain();
     /** Grow the pool to at least `target` workers (capped). */
     void ensureWorkers(int target);
-    /** Pull and run job indices until the current batch drains. */
-    void drainBatch();
+    /**
+     * Claim and run job indices of batch `generation` until it
+     * drains or a newer batch supersedes it. fn/jobs are the batch
+     * fields as read under the mutex when `generation` was observed,
+     * so a straggler can never touch a later batch's closure.
+     */
+    void drainBatch(uint32_t generation,
+                    const std::function<void(int)> *fn, int jobs);
 
     std::mutex mutex_;
     std::condition_variable work_cv_; //!< Signals a new batch.
     std::condition_variable done_cv_; //!< Signals batch completion.
+    // Batch setup, written under mutex_ by parallelFor and read
+    // under mutex_ by waking workers.
     const std::function<void(int)> *fn_ = nullptr;
     int jobs_ = 0;
-    int next_job_ = 0;
-    int pending_ = 0;      //!< Jobs issued but not yet finished.
-    uint64_t generation_ = 0;
+    uint32_t generation_ = 0;
     bool shutdown_ = false;
+    bool clamp_warned_ = false;
+
+    /**
+     * Generation-tagged job cursor: (generation << 32) | next index.
+     * Claiming a job is one CAS; the tag makes a straggler from a
+     * finished batch fail its CAS instead of stealing (and
+     * miscounting) a job from the batch that replaced it.
+     */
+    std::atomic<uint64_t> cursor_{0};
+    std::atomic<int> pending_{0}; //!< Jobs claimed but not finished.
     std::vector<std::thread> workers_;
 };
 
@@ -84,7 +114,8 @@ class ThreadPool
  * Resolve a LaunchOptions::numThreads request into a worker count:
  * 0 means auto (the SASSI_SIM_THREADS environment variable when
  * set, otherwise hardware concurrency); the result is clamped to
- * [1, ctas] since a worker with no CTAs is pure overhead.
+ * [1, ctas] since a worker with no CTAs is pure overhead, and to
+ * ThreadPool::kMaxWorkers, which is all the pool will ever run.
  */
 int resolveSimThreads(int requested, uint64_t ctas);
 

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <thread>
@@ -18,6 +20,7 @@
 
 #include "core/sassi.h"
 #include "handlers/bb_counter.h"
+#include "handlers/instr_counter.h"
 #include "handlers/value_profiler.h"
 #include "sassir/builder.h"
 #include "simt/decode.h"
@@ -330,6 +333,184 @@ TEST(ParallelHandlers, BlockCounterInvariantAcrossThreads)
         else
             EXPECT_EQ(got, ref)
                 << "block profile differs at threads=" << threads;
+    }
+}
+
+/**
+ * RAII guard forcing 1-CTA scheduler chunks for a test's duration,
+ * so every grid decomposes into many stealable chunks and the
+ * work-stealing paths (owner pop, thief pop, deque handoff) run
+ * even on small grids.
+ */
+struct ForceTinyChunks
+{
+    ForceTinyChunks() { setenv("SASSI_SIM_CHUNK_CTAS", "1", 1); }
+    ~ForceTinyChunks() { unsetenv("SASSI_SIM_CHUNK_CTAS"); }
+};
+
+/**
+ * A deliberately imbalanced grid: every thread iterates tid+1
+ * times, and CTA 0 additionally runs 2048 extra iterations, so the
+ * worker that drew CTA 0 grinds while its siblings go idle and must
+ * steal the remainder of the grid. Params: out u32[gridDim*blockDim].
+ */
+ir::Kernel
+buildImbalanced()
+{
+    KernelBuilder kb("imbalanced");
+    kb.s2r(4, SpecialReg::TidX);
+    kb.s2r(8, SpecialReg::CtaIdX);
+    kb.s2r(9, SpecialReg::NTidX);
+    kb.imad(10, 8, 9, 4); // gid
+    kb.iaddi(5, 4, 1);    // bound = tid + 1
+    kb.isetpi(0, CmpOp::EQ, 8, 0);
+    kb.onP(0).iaddi(5, 5, 2048); // ... plus 2048 in the long CTA.
+    kb.mov32i(6, 0);
+    kb.mov32i(7, 0);
+    Label top = kb.newLabel();
+    Label out = kb.newLabel();
+    kb.ssy(out);
+    kb.bind(top);
+    Label done = kb.newLabel();
+    kb.isetp(0, CmpOp::GE, 6, 5);
+    kb.onP(0).bra(done);
+    kb.lopi(LogicOp::Xor, 7, 7, 0x21);
+    kb.iaddi(7, 7, 3);
+    kb.iaddi(6, 6, 1);
+    kb.bra(top);
+    kb.bind(done);
+    kb.sync();
+    kb.bind(out);
+    kb.ldc(12, 0, 8); // out[gid] = accumulated value
+    kb.shl(14, 10, 2);
+    kb.iaddcc(12, 12, 14);
+    kb.iaddx(13, 13, RZ);
+    kb.stg(12, 0, 7);
+    kb.exit();
+    return kb.finish();
+}
+
+TEST(ParallelDeterminism, WorkStealingImbalancedGridBitIdentical)
+{
+    ForceTinyChunks tiny;
+    LaunchResult ref;
+    std::vector<uint32_t> ref_out;
+    for (int i = 0; i < 3; ++i) {
+        int threads = kThreadCounts[i];
+        Device dev;
+        loadKernel(dev, buildImbalanced());
+        const size_t n = kCtas * kBlock;
+        uint64_t d_out = dev.malloc(n * 4);
+        std::vector<uint32_t> zeros(n, 0);
+        dev.memcpyHtoD(d_out, zeros.data(), n * 4);
+        KernelArgs args;
+        args.addU64(d_out);
+        LaunchOptions opts;
+        opts.numThreads = threads;
+        LaunchResult r = dev.launch("imbalanced", Dim3(kCtas),
+                                    Dim3(kBlock), args, opts);
+        ASSERT_TRUE(r.ok()) << r.message;
+        std::vector<uint32_t> got(n);
+        dev.memcpyDtoH(got.data(), d_out, n * 4);
+        if (i == 0) {
+            ref = r;
+            ref_out = got;
+        } else {
+            expectStatsEqual(r.stats, ref.stats, threads);
+            EXPECT_EQ(r.metrics.serialize(), ref.metrics.serialize())
+                << "metrics differ at threads=" << threads;
+            EXPECT_EQ(got, ref_out)
+                << "output buffer differs at threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelHandlers, InstrCounterImbalancedGridInvariant)
+{
+    ForceTinyChunks tiny;
+    std::array<uint64_t, handlers::InstrCounter::NumCategories> ref{};
+    for (int i = 0; i < 3; ++i) {
+        int threads = kThreadCounts[i];
+        Device dev;
+        loadKernel(dev, buildImbalanced());
+        core::SassiRuntime rt(dev);
+        rt.instrument(handlers::InstrCounter::options());
+        handlers::InstrCounter counter(dev, rt);
+
+        const size_t n = kCtas * kBlock;
+        uint64_t d_out = dev.malloc(n * 4);
+        std::vector<uint32_t> zeros(n, 0);
+        dev.memcpyHtoD(d_out, zeros.data(), n * 4);
+        KernelArgs args;
+        args.addU64(d_out);
+        LaunchOptions opts;
+        opts.numThreads = threads;
+        auto r = dev.launch("imbalanced", Dim3(kCtas), Dim3(kBlock),
+                            args, opts);
+        ASSERT_TRUE(r.ok()) << r.message;
+
+        auto got = counter.counts();
+        ASSERT_GT(got[handlers::InstrCounter::TotalExecuted], 0u);
+        if (i == 0)
+            ref = got;
+        else
+            EXPECT_EQ(got, ref)
+                << "instruction-category counters differ at threads="
+                << threads;
+    }
+}
+
+/**
+ * Faults land in stolen chunks: CTA 0 grinds a long uniform loop
+ * while every CTA past the midpoint faults on a wild load, so at 2+
+ * threads the faulting tail is reached by stealing workers long
+ * before the owner finishes CTA 0. The reported fault must still be
+ * the earliest faulting CTA's, and the merged statistics must match
+ * the serial run bit for bit (stats past the first faulted chunk
+ * are discarded from the merge).
+ */
+TEST(ParallelDeterminism, StolenChunkFaultReportsEarliestCta)
+{
+    ForceTinyChunks tiny;
+    LaunchResult ref;
+    for (int i = 0; i < 3; ++i) {
+        int threads = kThreadCounts[i];
+        Device dev;
+        KernelBuilder kb("tailfault");
+        kb.s2r(4, SpecialReg::CtaIdX);
+        // CTA 0: 4096 iterations of busywork (uniform branch).
+        Label skip = kb.newLabel();
+        kb.isetpi(0, CmpOp::NE, 4, 0);
+        kb.onP(0).bra(skip);
+        kb.mov32i(6, 0);
+        Label top = kb.newLabel();
+        kb.bind(top);
+        kb.lopi(LogicOp::Xor, 7, 6, 0x21);
+        kb.iaddi(6, 6, 1);
+        kb.isetpi(1, CmpOp::LT, 6, 4096);
+        kb.onP(1).bra(top);
+        kb.bind(skip);
+        // CTAs >= kCtas/2 fault on a wild load.
+        kb.mov32i(8, 0x7fffff00);
+        kb.mov32i(9, 0x7fffffff);
+        kb.isetpi(2, CmpOp::GE, 4, kCtas / 2);
+        kb.onP(2).ldg(10, 8);
+        kb.exit();
+        loadKernel(dev, kb.finish());
+
+        LaunchOptions opts;
+        opts.numThreads = threads;
+        LaunchResult r = dev.launch("tailfault", Dim3(kCtas),
+                                    Dim3(kBlock), KernelArgs(), opts);
+        EXPECT_EQ(r.outcome, Outcome::MemFault);
+        if (i == 0) {
+            ref = r;
+        } else {
+            EXPECT_EQ(r.outcome, ref.outcome);
+            EXPECT_EQ(r.message, ref.message)
+                << "fault message differs at threads=" << threads;
+            expectStatsEqual(r.stats, ref.stats, threads);
+        }
     }
 }
 
