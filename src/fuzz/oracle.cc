@@ -174,7 +174,7 @@ OracleConfig::describe() const
     std::ostringstream out;
     out << "tool=" << toolName(tool) << " threads=" << threads
         << " superblocks=" << superblocks
-        << " fastpath=" << handlerFastpath;
+        << " fastpath=" << handlerFastpath << " simd=" << simd;
     return out.str();
 }
 
@@ -236,6 +236,7 @@ runConfig(const FuzzProgram &p, const OracleConfig &cfg,
     lopts.numThreads = cfg.threads;
     lopts.superblocks = cfg.superblocks;
     lopts.handlerFastpath = cfg.handlerFastpath;
+    lopts.simd = cfg.simd;
     lopts.watchdog = opt.watchdog;
     LaunchResult r =
         dev.launch(p.kernelName, Dim3(p.gridX), Dim3(p.blockX), args,
@@ -271,15 +272,17 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
             tools.push_back(static_cast<ToolKind>(t));
     }
 
-    // Dispatch modes: superblocks off, on, and on with the
-    // compiled-handler fast path. Fast path without superblocks is
-    // not a distinct mode — fused sites live in the superblock
-    // micro-program variant, so the executor ignores the flag there.
-    static constexpr struct { int sb, fp; } kModes[] = {
-        {0, 0}, {1, 0}, {1, 1}};
-    constexpr int kNumModes = 3;
+    // Dispatch modes: superblocks off, on (scalar and SIMD uop
+    // tiers), and on with the compiled-handler fast path (again
+    // both tiers). Fast path or SIMD without superblocks are not
+    // distinct modes — fused sites and the vector tier both live
+    // under the superblock executor, so the flags are ignored there.
+    static constexpr struct { int sb, fp, sd; } kModes[] = {
+        {0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1}};
+    constexpr int kNumModes = 5;
 
-    OracleConfig base{ToolKind::None, opt.threadCounts.front(), 0, 0};
+    OracleConfig base{ToolKind::None, opt.threadCounts.front(), 0, 0,
+                      0};
     RunObservation ref = runConfig(p, base, opt);
     ++report.configsRun;
 
@@ -303,12 +306,14 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
         for (int mode = 0; mode < kNumModes; ++mode) {
             const int sb = kModes[mode].sb;
             const int fp = kModes[mode].fp;
+            const int sd = kModes[mode].sd;
             for (int threads : opt.threadCounts) {
-                OracleConfig cfg{t, threads, sb, fp};
+                OracleConfig cfg{t, threads, sb, fp, sd};
                 RunObservation obs;
                 if (t == base.tool && threads == base.threads &&
                     sb == base.superblocks &&
-                    fp == base.handlerFastpath) {
+                    fp == base.handlerFastpath &&
+                    sd == base.simd) {
                     obs = ref;
                 } else {
                     obs = runConfig(p, cfg, opt);
@@ -377,10 +382,10 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
             if (haveSerialKey[0] && haveSerialKey[mode] &&
                 serialToolKey[0] != serialToolKey[mode]) {
                 OracleConfig cfg{t, 1, kModes[mode].sb,
-                                 kModes[mode].fp};
+                                 kModes[mode].fp, kModes[mode].sd};
                 mismatch(cfg,
                          "tool aggregate (vs superblocks=0 "
-                         "fastpath=0)",
+                         "fastpath=0 simd=0)",
                          serialToolKey[0], serialToolKey[mode]);
                 return report;
             }

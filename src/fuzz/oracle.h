@@ -70,8 +70,14 @@ struct OracleConfig
      *  the same micro-program variant. */
     int handlerFastpath = 0;
 
+    /** SIMD interpreter tier (lane-vectorized superblock uops).
+     *  Only meaningful with superblocks on; on a host without AVX2
+     *  the scalar tier runs either way, so the dimension collapses
+     *  harmlessly. */
+    int simd = 0;
+
     /** @return e.g.\ "tool=instr_counter threads=8 superblocks=1
-     *  fastpath=1". */
+     *  fastpath=1 simd=1". */
     std::string describe() const;
 };
 

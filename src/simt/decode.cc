@@ -8,6 +8,7 @@
 
 #include "sassir/cfg.h"
 #include "simt/device.h"
+#include "simt/simd/simd_exec.h"
 #include "simt/warp.h"
 #include "util/bitops.h"
 
@@ -20,44 +21,47 @@ namespace {
 /*
  * Fast-path lane helpers. These run only inside superblocks, where
  * the compiler has already proven every referenced register is
- * within the kernel's budget, so they index the lane's register
- * slice directly instead of going through Warp::reg/setReg's
- * panic_if checks. RZ still reads 0 / discards writes.
+ * within the kernel's budget, so they index the register-major file
+ * directly instead of going through Warp::reg/setReg's panic_if
+ * checks. RZ still reads 0 / discards writes.
  */
 
 inline uint32_t
-rd(const uint32_t *lr, RegId r)
+rd(const uint32_t *regs, int lane, RegId r)
 {
-    return r == RZ ? 0u : lr[r];
+    return r == RZ
+               ? 0u
+               : regs[static_cast<size_t>(r) * WarpSize +
+                      static_cast<size_t>(lane)];
 }
 
 inline void
-wr(uint32_t *lr, RegId r, uint32_t v)
+wr(uint32_t *regs, int lane, RegId r, uint32_t v)
 {
     if (r != RZ)
-        lr[r] = v;
+        regs[static_cast<size_t>(r) * WarpSize +
+             static_cast<size_t>(lane)] = v;
 }
 
 template <bool BImm>
 inline uint32_t
-srcB(const uint32_t *lr, const Instruction &ins)
+srcB(const uint32_t *regs, int lane, const Instruction &ins)
 {
     if constexpr (BImm)
         return static_cast<uint32_t>(ins.imm);
     else
-        return rd(lr, ins.srcB);
+        return rd(regs, lane, ins.srcB);
 }
 
-/** Iterate the set lanes of exec; body(lane, lane_regs). */
+/** Iterate the set lanes of exec; body(lane, register_file). */
 template <typename Body>
 inline void
 forLanes(Warp &warp, uint32_t exec, Body &&body)
 {
     uint32_t *regs = warp.regs.data();
-    const size_t stride = static_cast<size_t>(warp.numRegs);
     for (uint32_t m = exec; m; m &= m - 1) {
         const int lane = std::countr_zero(m);
-        body(lane, regs + static_cast<size_t>(lane) * stride);
+        body(lane, regs);
     }
 }
 
@@ -134,8 +138,8 @@ uNop(const UopCtx &, Warp &, const Instruction &, uint32_t)
 void
 uMov(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst, rd(lr, ins.srcA));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, rd(regs, lane, ins.srcA));
     });
 }
 
@@ -145,16 +149,16 @@ uMov32i(const UopCtx &, Warp &warp, const Instruction &ins,
 {
     const uint32_t imm_u = static_cast<uint32_t>(ins.imm);
     forLanes(warp, exec,
-             [&](int, uint32_t *lr) { wr(lr, ins.dst, imm_u); });
+             [&](int lane, uint32_t *regs) { wr(regs, lane, ins.dst, imm_u); });
 }
 
 template <bool BImm>
 void
 uSel(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         bool p = warp.pred(lane, ins.pSrc) != ins.pSrcNeg;
-        wr(lr, ins.dst, p ? rd(lr, ins.srcA) : srcB<BImm>(lr, ins));
+        wr(regs, lane, ins.dst, p ? rd(regs, lane, ins.srcA) : srcB<BImm>(regs, lane, ins));
     });
 }
 
@@ -162,14 +166,13 @@ template <bool BImm, bool UseCC, bool SetCC>
 void
 uIadd(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
-        uint64_t sum = static_cast<uint64_t>(rd(lr, ins.srcA)) +
-                       srcB<BImm>(lr, ins) +
-                       (UseCC && warp.cc[static_cast<size_t>(lane)]
-                            ? 1u : 0u);
-        wr(lr, ins.dst, static_cast<uint32_t>(sum));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint64_t sum = static_cast<uint64_t>(rd(regs, lane, ins.srcA)) +
+                       srcB<BImm>(regs, lane, ins) +
+                       (UseCC && warp.cc(lane) ? 1u : 0u);
+        wr(regs, lane, ins.dst, static_cast<uint32_t>(sum));
         if constexpr (SetCC)
-            warp.cc[static_cast<size_t>(lane)] = (sum >> 32) != 0;
+            warp.setCC(lane, (sum >> 32) != 0);
     });
 }
 
@@ -177,8 +180,8 @@ template <bool BImm>
 void
 uImul(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst, rd(lr, ins.srcA) * srcB<BImm>(lr, ins));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, rd(regs, lane, ins.srcA) * srcB<BImm>(regs, lane, ins));
     });
 }
 
@@ -186,9 +189,9 @@ template <bool BImm>
 void
 uImad(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst,
-           rd(lr, ins.srcA) * srcB<BImm>(lr, ins) + rd(lr, ins.srcC));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst,
+           rd(regs, lane, ins.srcA) * srcB<BImm>(regs, lane, ins) + rd(regs, lane, ins.srcC));
     });
 }
 
@@ -196,10 +199,10 @@ template <bool BImm, bool IsMin>
 void
 uImnmx(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        int32_t sa = static_cast<int32_t>(rd(lr, ins.srcA));
-        int32_t sb = static_cast<int32_t>(srcB<BImm>(lr, ins));
-        wr(lr, ins.dst, static_cast<uint32_t>(
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        int32_t sa = static_cast<int32_t>(rd(regs, lane, ins.srcA));
+        int32_t sb = static_cast<int32_t>(srcB<BImm>(regs, lane, ins));
+        wr(regs, lane, ins.dst, static_cast<uint32_t>(
             IsMin ? std::min(sa, sb) : std::max(sa, sb)));
     });
 }
@@ -208,10 +211,10 @@ template <bool BImm>
 void
 uShl(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        uint32_t a = rd(lr, ins.srcA);
-        uint32_t b = srcB<BImm>(lr, ins);
-        wr(lr, ins.dst, b >= 32 ? 0 : a << (b & 31));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t a = rd(regs, lane, ins.srcA);
+        uint32_t b = srcB<BImm>(regs, lane, ins);
+        wr(regs, lane, ins.dst, b >= 32 ? 0 : a << (b & 31));
     });
 }
 
@@ -219,11 +222,11 @@ template <bool BImm>
 void
 uShrS(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        uint32_t a = rd(lr, ins.srcA);
-        wr(lr, ins.dst, static_cast<uint32_t>(
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t a = rd(regs, lane, ins.srcA);
+        wr(regs, lane, ins.dst, static_cast<uint32_t>(
             static_cast<int32_t>(a) >>
-            std::min<uint32_t>(srcB<BImm>(lr, ins), 31)));
+            std::min<uint32_t>(srcB<BImm>(regs, lane, ins), 31)));
     });
 }
 
@@ -231,10 +234,10 @@ template <bool BImm>
 void
 uShrU(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        uint32_t a = rd(lr, ins.srcA);
-        uint32_t b = srcB<BImm>(lr, ins);
-        wr(lr, ins.dst, b >= 32 ? 0 : a >> (b & 31));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t a = rd(regs, lane, ins.srcA);
+        uint32_t b = srcB<BImm>(regs, lane, ins);
+        wr(regs, lane, ins.dst, b >= 32 ? 0 : a >> (b & 31));
     });
 }
 
@@ -242,40 +245,40 @@ template <bool BImm, LogicOp Op>
 void
 uLop(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         uint32_t r;
         if constexpr (Op == LogicOp::And)
-            r = rd(lr, ins.srcA) & srcB<BImm>(lr, ins);
+            r = rd(regs, lane, ins.srcA) & srcB<BImm>(regs, lane, ins);
         else if constexpr (Op == LogicOp::Or)
-            r = rd(lr, ins.srcA) | srcB<BImm>(lr, ins);
+            r = rd(regs, lane, ins.srcA) | srcB<BImm>(regs, lane, ins);
         else if constexpr (Op == LogicOp::Xor)
-            r = rd(lr, ins.srcA) ^ srcB<BImm>(lr, ins);
+            r = rd(regs, lane, ins.srcA) ^ srcB<BImm>(regs, lane, ins);
         else if constexpr (Op == LogicOp::PassB)
-            r = srcB<BImm>(lr, ins);
+            r = srcB<BImm>(regs, lane, ins);
         else
-            r = ~rd(lr, ins.srcA);
-        wr(lr, ins.dst, r);
+            r = ~rd(regs, lane, ins.srcA);
+        wr(regs, lane, ins.dst, r);
     });
 }
 
 void
 uPopc(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst,
-           static_cast<uint32_t>(popc(rd(lr, ins.srcA))));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst,
+           static_cast<uint32_t>(popc(rd(regs, lane, ins.srcA))));
     });
 }
 
 void
 uFlo(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        uint32_t a = rd(lr, ins.srcA);
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t a = rd(regs, lane, ins.srcA);
         uint32_t r = a == 0 ? 0xffffffffu
                             : static_cast<uint32_t>(
                                   31 - std::countl_zero(a));
-        wr(lr, ins.dst, r);
+        wr(regs, lane, ins.dst, r);
     });
 }
 
@@ -283,15 +286,15 @@ template <bool BImm, bool Signed>
 void
 uIsetp(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         bool result;
         if constexpr (Signed)
             result = cmpInt(
-                ins.cmp, static_cast<int32_t>(rd(lr, ins.srcA)),
-                static_cast<int32_t>(srcB<BImm>(lr, ins)));
+                ins.cmp, static_cast<int32_t>(rd(regs, lane, ins.srcA)),
+                static_cast<int32_t>(srcB<BImm>(regs, lane, ins)));
         else
-            result = cmpInt(ins.cmp, rd(lr, ins.srcA),
-                            srcB<BImm>(lr, ins));
+            result = cmpInt(ins.cmp, rd(regs, lane, ins.srcA),
+                            srcB<BImm>(regs, lane, ins));
         warp.setPred(lane, ins.pDst,
                      result &&
                          (warp.pred(lane, ins.pSrc) != ins.pSrcNeg));
@@ -314,11 +317,11 @@ void
 uP2r(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
     const uint32_t imm_u = static_cast<uint32_t>(ins.imm);
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
-        uint32_t bits = warp.preds[static_cast<size_t>(lane)];
-        if (warp.cc[static_cast<size_t>(lane)])
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t bits = warp.predByte(lane);
+        if (warp.cc(lane))
             bits |= 0x80;
-        wr(lr, ins.dst, bits & imm_u);
+        wr(regs, lane, ins.dst, bits & imm_u);
     });
 }
 
@@ -326,14 +329,14 @@ void
 uR2p(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
     const uint32_t imm_u = static_cast<uint32_t>(ins.imm);
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
-        uint32_t a = rd(lr, ins.srcA);
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        uint32_t a = rd(regs, lane, ins.srcA);
         for (PredId p = 0; p < NumPred; ++p) {
             if (imm_u & (1u << p))
                 warp.setPred(lane, p, a & (1u << p));
         }
         if (imm_u & 0x80)
-            warp.cc[static_cast<size_t>(lane)] = a & 0x80;
+            warp.setCC(lane, a & 0x80);
     });
 }
 
@@ -341,9 +344,9 @@ template <bool BImm>
 void
 uFadd(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst, asBits(asFloat(rd(lr, ins.srcA)) +
-                               asFloat(srcB<BImm>(lr, ins))));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, asBits(asFloat(rd(regs, lane, ins.srcA)) +
+                               asFloat(srcB<BImm>(regs, lane, ins))));
     });
 }
 
@@ -351,9 +354,9 @@ template <bool BImm>
 void
 uFmul(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst, asBits(asFloat(rd(lr, ins.srcA)) *
-                               asFloat(srcB<BImm>(lr, ins))));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, asBits(asFloat(rd(regs, lane, ins.srcA)) *
+                               asFloat(srcB<BImm>(regs, lane, ins))));
     });
 }
 
@@ -361,11 +364,11 @@ template <bool BImm>
 void
 uFfma(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst,
-           asBits(asFloat(rd(lr, ins.srcA)) *
-                      asFloat(srcB<BImm>(lr, ins)) +
-                  asFloat(rd(lr, ins.srcC))));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst,
+           asBits(asFloat(rd(regs, lane, ins.srcA)) *
+                      asFloat(srcB<BImm>(regs, lane, ins)) +
+                  asFloat(rd(regs, lane, ins.srcC))));
     });
 }
 
@@ -373,10 +376,10 @@ template <bool BImm, bool IsMin>
 void
 uFmnmx(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        float fa = asFloat(rd(lr, ins.srcA));
-        float fb = asFloat(srcB<BImm>(lr, ins));
-        wr(lr, ins.dst,
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        float fa = asFloat(rd(regs, lane, ins.srcA));
+        float fb = asFloat(srcB<BImm>(regs, lane, ins));
+        wr(regs, lane, ins.dst,
            asBits(IsMin ? std::fmin(fa, fb) : std::fmax(fa, fb)));
     });
 }
@@ -385,10 +388,10 @@ template <bool BImm>
 void
 uFsetp(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         warp.setPred(lane, ins.pDst,
-                     cmpFloat(ins.cmp, asFloat(rd(lr, ins.srcA)),
-                              asFloat(srcB<BImm>(lr, ins))) &&
+                     cmpFloat(ins.cmp, asFloat(rd(regs, lane, ins.srcA)),
+                              asFloat(srcB<BImm>(regs, lane, ins))) &&
                          (warp.pred(lane, ins.pSrc) != ins.pSrcNeg));
     });
 }
@@ -396,8 +399,8 @@ uFsetp(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 void
 uMufu(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        float fa = asFloat(rd(lr, ins.srcA));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        float fa = asFloat(rd(regs, lane, ins.srcA));
         float r = 0.f;
         switch (ins.mufu) {
           case MufuOp::Rcp: r = 1.0f / fa; break;
@@ -408,24 +411,24 @@ uMufu(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
           case MufuOp::Sin: r = std::sin(fa); break;
           case MufuOp::Cos: r = std::cos(fa); break;
         }
-        wr(lr, ins.dst, asBits(r));
+        wr(regs, lane, ins.dst, asBits(r));
     });
 }
 
 void
 uI2f(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        wr(lr, ins.dst, asBits(static_cast<float>(
-                            static_cast<int32_t>(rd(lr, ins.srcA)))));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, asBits(static_cast<float>(
+                            static_cast<int32_t>(rd(regs, lane, ins.srcA)))));
     });
 }
 
 void
 uF2i(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
 {
-    forLanes(warp, exec, [&](int, uint32_t *lr) {
-        float f = asFloat(rd(lr, ins.srcA));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        float f = asFloat(rd(regs, lane, ins.srcA));
         int32_t r;
         if (std::isnan(f))
             r = 0;
@@ -435,7 +438,7 @@ uF2i(const UopCtx &, Warp &warp, const Instruction &ins, uint32_t exec)
             r = -2147483647 - 1;
         else
             r = static_cast<int32_t>(f);
-        wr(lr, ins.dst, static_cast<uint32_t>(r));
+        wr(regs, lane, ins.dst, static_cast<uint32_t>(r));
     });
 }
 
@@ -444,7 +447,7 @@ uS2rTid(const UopCtx &ctx, Warp &warp, const Instruction &ins,
         uint32_t exec)
 {
     const SpecialReg sr = ins.sreg;
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         uint32_t linear = static_cast<uint32_t>(
             warp.rank * WarpSize + lane);
         uint32_t v;
@@ -454,7 +457,7 @@ uS2rTid(const UopCtx &ctx, Warp &warp, const Instruction &ins,
             v = (linear / ctx.block.x) % ctx.block.y;
         else
             v = linear / (ctx.block.x * ctx.block.y);
-        wr(lr, ins.dst, v);
+        wr(regs, lane, ins.dst, v);
     });
 }
 
@@ -462,8 +465,8 @@ void
 uS2rLane(const UopCtx &, Warp &warp, const Instruction &ins,
          uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
-        wr(lr, ins.dst, static_cast<uint32_t>(lane));
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
+        wr(regs, lane, ins.dst, static_cast<uint32_t>(lane));
     });
 }
 
@@ -488,21 +491,21 @@ uS2rUniform(const UopCtx &ctx, Warp &warp, const Instruction &ins,
       default: break;
     }
     forLanes(warp, exec,
-             [&](int, uint32_t *lr) { wr(lr, ins.dst, v); });
+             [&](int lane, uint32_t *regs) { wr(regs, lane, ins.dst, v); });
 }
 
 void
 uL2g(const UopCtx &ctx, Warp &warp, const Instruction &ins,
      uint32_t exec)
 {
-    forLanes(warp, exec, [&](int lane, uint32_t *lr) {
+    forLanes(warp, exec, [&](int lane, uint32_t *regs) {
         uint64_t thread =
             ctx.ctaLinear * ctx.block.count() +
             static_cast<uint64_t>(warp.rank * WarpSize + lane);
         uint64_t g = Device::LocalWindowBase +
-                     thread * ctx.localBytes + rd(lr, ins.srcA);
-        wr(lr, ins.dst, lo32(g));
-        wr(lr, static_cast<RegId>(ins.dst + 1), hi32(g));
+                     thread * ctx.localBytes + rd(regs, lane, ins.srcA);
+        wr(regs, lane, ins.dst, lo32(g));
+        wr(regs, lane, static_cast<RegId>(ins.dst + 1), hi32(g));
     });
 }
 
@@ -675,8 +678,11 @@ MicroProgram::MicroProgram(const ir::Kernel &kernel,
         u.countsAsMem = ins.isMem();
         // Spill/fill-tagged ops feed dedicated launch metrics the
         // batched run path does not update, so they stay generic.
-        if (u.cls == ExecClass::Alu && !ins.spillFill)
+        if (u.cls == ExecClass::Alu && !ins.spillFill) {
             u.alu = pickAluFn(kernel, ins);
+            if (u.alu != nullptr)
+                u.simd = simd::pickSimdFn(kernel, ins);
+        }
     }
 
     // A clock read observes mid-launch issue counts, and batching
@@ -741,6 +747,8 @@ MicroProgram::MicroProgram(const ir::Kernel &kernel,
                 const Instruction &ins = kernel.code[i];
                 if (ins.synthetic)
                     ++sb.syntheticInstrs;
+                if (uops_[i].simd != nullptr)
+                    ++sb.simdUops;
                 auto it = std::find_if(
                     sb.opcodeCounts.begin(), sb.opcodeCounts.end(),
                     [&](const auto &e) { return e.first == ins.op; });
@@ -924,6 +932,16 @@ UopCache::noteRuns(uint64_t runs, uint64_t instrs)
 }
 
 void
+UopCache::noteSimd(uint64_t vector_uops, uint64_t scalar_uops)
+{
+    if (!vector_uops && !scalar_uops)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.counter("uop/simd/vector_uops") += vector_uops;
+    metrics_.counter("uop/simd/scalar_uops") += scalar_uops;
+}
+
+void
 UopCache::noteHandlerCalls(uint64_t inline_calls, uint64_t fiber_calls,
                            uint64_t fallbacks,
                            uint64_t inline_spill_bytes)
@@ -970,6 +988,16 @@ resolveHandlerFastpath(int requested)
     if (requested >= 0)
         return requested != 0;
     if (const char *env = std::getenv("SASSI_SIM_HANDLER_FASTPATH"))
+        return std::atoi(env) != 0;
+    return true;
+}
+
+bool
+resolveSimd(int requested)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv("SASSI_SIM_SIMD"))
         return std::atoi(env) != 0;
     return true;
 }

@@ -126,6 +126,12 @@ struct MicroOp
     /** Direct exec function; null when the op has no fast path. */
     AluFn alu = nullptr;
 
+    /** Lane-vectorized exec function (simt/simd/), same semantics
+     *  as alu; null when the op stays on the scalar tier. Which of
+     *  the two a superblock run calls is a per-launch decision
+     *  (resolveSimd), so programs are shared across simd on/off. */
+    AluFn simd = nullptr;
+
     ExecClass cls = ExecClass::Alu;
     GuardKind guard = GuardKind::PerLane;
     bool countsAsMem = false; //!< Feeds LaunchStats::memWarpInstrs.
@@ -150,6 +156,11 @@ struct Superblock
 
     /** How many of the run's instructions are SASSI-injected. */
     uint32_t syntheticInstrs = 0;
+
+    /** How many of the run's uops have a vectorized exec function
+     *  (pre-counted so runs charge the uop/simd dispatch counters
+     *  without a per-instruction test). */
+    uint32_t simdUops = 0;
 
     /** Per-opcode issue counts of one pass over the run. */
     std::vector<std::pair<sass::Opcode, uint32_t>> opcodeCounts;
@@ -245,6 +256,11 @@ class UopCache
     /** Credit dynamic superblock executions from a finished launch. */
     void noteRuns(uint64_t runs, uint64_t instrs);
 
+    /** Credit uop dispatches from a finished launch that ran with
+     *  the SIMD tier enabled: uops executed lane-vectorized vs uops
+     *  that fell back to their scalar exec function. */
+    void noteSimd(uint64_t vector_uops, uint64_t scalar_uops);
+
     /** Credit handler dispatches from a finished launch: inline
      *  (fused) calls, fiber-path calls, sites that hit a fused head
      *  but fell back, and frame-template bytes written inline. */
@@ -295,6 +311,15 @@ bool resolveSuperblocks(int requested);
  * interpreter, fused sites included).
  */
 bool resolveHandlerFastpath(int requested);
+
+/**
+ * Resolve the SIMD-tier switch for one launch: a non-negative
+ * LaunchOptions::simd wins; otherwise the SASSI_SIM_SIMD
+ * environment variable ("0" disables); otherwise on. The caller
+ * additionally requires superblocks (the SIMD tier runs under the
+ * superblock executor) and simd::cpuHasAvx2().
+ */
+bool resolveSimd(int requested);
 
 } // namespace sassi::simt
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "simt/simd/simd_exec.h"
 #include "simt/thread_pool.h"
 #include "util/bitops.h"
 #include "util/logging.h"
@@ -140,6 +141,8 @@ Executor::run()
     superblocks_on_ = resolveSuperblocks(opts_.superblocks);
     handler_fastpath_on_ =
         superblocks_on_ && resolveHandlerFastpath(opts_.handlerFastpath);
+    simd_on_ = superblocks_on_ && resolveSimd(opts_.simd) &&
+               simd::cpuHasAvx2();
     if (!prog_) {
         UopConfig cfg;
         cfg.fuseSites = handler_fastpath_on_;
@@ -168,6 +171,7 @@ Executor::run()
         result.stats = chunk.stats;
         stats_ = result.stats;
         UopCache::global().noteRuns(sb_runs_, sb_instrs_);
+        UopCache::global().noteSimd(simd_vec_uops_, simd_scalar_uops_);
         UopCache::global().noteHandlerCalls(
             hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
         flushCounterShard();
@@ -191,6 +195,7 @@ Executor::run()
         shards.back()->prog_ = prog_;
         shards.back()->superblocks_on_ = superblocks_on_;
         shards.back()->handler_fastpath_on_ = handler_fastpath_on_;
+        shards.back()->simd_on_ = simd_on_;
         shards.back()->fault_bound_ = &fault_bound;
     }
     std::vector<ChunkOutcome> chunks_out(sched.chunkCount());
@@ -224,6 +229,8 @@ Executor::run()
         metrics_.merge(shards[i]->metrics_);
         counter_shard_.merge(shards[i]->counter_shard_);
         sb_runs_ += shards[i]->sb_runs_;
+        simd_vec_uops_ += shards[i]->simd_vec_uops_;
+        simd_scalar_uops_ += shards[i]->simd_scalar_uops_;
         sb_instrs_ += shards[i]->sb_instrs_;
         hs_inline_ += shards[i]->hs_inline_;
         hs_fiber_ += shards[i]->hs_fiber_;
@@ -232,6 +239,7 @@ Executor::run()
     }
     stats_ = merged.stats;
     UopCache::global().noteRuns(sb_runs_, sb_instrs_);
+    UopCache::global().noteSimd(simd_vec_uops_, simd_scalar_uops_);
     UopCache::global().noteHandlerCalls(
         hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
     flushCounterShard();
@@ -758,11 +766,10 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
         eachLane([&](int lane) {
             uint64_t sum = static_cast<uint64_t>(warp.reg(lane, ins.srcA))
                            + srcB(lane) +
-                           (use_cc && warp.cc[static_cast<size_t>(lane)]
-                                ? 1u : 0u);
+                           (use_cc && warp.cc(lane) ? 1u : 0u);
             warp.setReg(lane, ins.dst, static_cast<uint32_t>(sum));
             if (set_cc)
-                warp.cc[static_cast<size_t>(lane)] = (sum >> 32) != 0;
+                warp.setCC(lane, (sum >> 32) != 0);
         });
         break;
       }
@@ -892,8 +899,8 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
       }
       case Opcode::P2R:
         eachLane([&](int lane) {
-            uint32_t bits = warp.preds[static_cast<size_t>(lane)];
-            if (warp.cc[static_cast<size_t>(lane)])
+            uint32_t bits = warp.predByte(lane);
+            if (warp.cc(lane))
                 bits |= 0x80;
             warp.setReg(lane, ins.dst, bits & imm_u);
         });
@@ -906,7 +913,7 @@ Executor::execAlu(Warp &warp, const Instruction &ins, uint32_t exec)
                     warp.setPred(lane, p, a & (1u << p));
             }
             if (imm_u & 0x80)
-                warp.cc[static_cast<size_t>(lane)] = a & 0x80;
+                warp.setCC(lane, a & 0x80);
         });
         break;
       case Opcode::FADD:
@@ -1055,9 +1062,22 @@ Executor::execSuperblock(Warp &warp, const Superblock &sb)
     const uint32_t len = sb.len;
     const uint32_t start = sb.start;
     const Instruction *code = kernel_.code.data();
-    for (uint32_t i = 0; i < len; ++i) {
-        const MicroOp &u = prog_->at(start + i);
-        u.alu(uop_ctx_, warp, code[start + i], exec);
+    if (simd_on_) {
+        // Vectorized tier: each uop runs for all 32 lanes at once
+        // when it has a SIMD exec function, and falls back to its
+        // scalar function (same semantics) when it doesn't.
+        for (uint32_t i = 0; i < len; ++i) {
+            const MicroOp &u = prog_->at(start + i);
+            (u.simd != nullptr ? u.simd : u.alu)(
+                uop_ctx_, warp, code[start + i], exec);
+        }
+        simd_vec_uops_ += sb.simdUops;
+        simd_scalar_uops_ += len - sb.simdUops;
+    } else {
+        for (uint32_t i = 0; i < len; ++i) {
+            const MicroOp &u = prog_->at(start + i);
+            u.alu(uop_ctx_, warp, code[start + i], exec);
+        }
     }
     watchdog_count_ += len;
     stats_.warpInstrs += len;
@@ -1177,16 +1197,14 @@ Executor::enterSiteRun(Warp &warp, uint16_t id)
                     std::memcpy(dst(lane), &st.imm, 4);
             break;
           case SiteStore::Kind::Reg: {
-            const size_t r = st.reg < num_regs ? st.reg : 0;
+            const uint32_t *span =
+                st.reg < num_regs
+                    ? regs0 + static_cast<size_t>(st.reg) * WarpSize
+                    : nullptr;
             for (int lane = 0; lane < WarpSize; ++lane) {
                 if (!(active & (1u << lane)))
                     continue;
-                uint32_t v =
-                    st.reg < num_regs
-                        ? regs0[static_cast<size_t>(lane) *
-                                    static_cast<size_t>(num_regs) +
-                                r]
-                        : 0;
+                uint32_t v = span ? span[lane] : 0;
                 std::memcpy(dst(lane), &v, 4);
             }
             break;
@@ -1205,8 +1223,7 @@ Executor::enterSiteRun(Warp &warp, uint16_t id)
             for (int lane = 0; lane < WarpSize; ++lane) {
                 if (!(active & (1u << lane)))
                     continue;
-                uint32_t v =
-                    warp.preds[static_cast<size_t>(lane)] & st.imm;
+                uint32_t v = warp.predByte(lane) & st.imm;
                 std::memcpy(dst(lane), &v, 4);
             }
             break;
@@ -1214,8 +1231,7 @@ Executor::enterSiteRun(Warp &warp, uint16_t id)
             for (int lane = 0; lane < WarpSize; ++lane) {
                 if (!(active & (1u << lane)))
                     continue;
-                uint32_t v =
-                    warp.cc[static_cast<size_t>(lane)] ? 0x80u : 0u;
+                uint32_t v = warp.cc(lane) ? 0x80u : 0u;
                 std::memcpy(dst(lane), &v, 4);
             }
             break;
@@ -1346,8 +1362,8 @@ Executor::completeSiteRun(Warp &warp)
         // RZ (and anything out of budget) discards, like setReg().
         if (e.reg >= num_regs)
             continue;
-        uint32_t *const dst = regs0 + e.reg;
-        const size_t rstride = static_cast<size_t>(num_regs);
+        uint32_t *const dst =
+            regs0 + static_cast<size_t>(e.reg) * WarpSize;
         for (int lane = 0; lane < WarpSize; ++lane) {
             if (!(active & (1u << lane)))
                 continue;
@@ -1386,7 +1402,7 @@ Executor::completeSiteRun(Warp &warp)
                     4);
                 break;
             }
-            dst[static_cast<size_t>(lane) * rstride] = v;
+            dst[lane] = v;
         }
     }
     if (run.restorePred && (frame_dirty || !run.restorePredIdentity)) {
@@ -1403,8 +1419,8 @@ Executor::completeSiteRun(Warp &warp)
                         4);
             // Equivalent to setPred on each of P0..P6: the pred file
             // holds exactly those NumPred bits (PT is not stored).
-            warp.preds[static_cast<size_t>(lane)] =
-                static_cast<uint8_t>(v & ((1u << NumPred) - 1));
+            warp.setPredByte(lane, static_cast<uint8_t>(
+                v & ((1u << NumPred) - 1)));
         }
     }
     if (run.restoreCC && (frame_dirty || !run.restoreCCIdentity)) {
@@ -1419,7 +1435,7 @@ Executor::completeSiteRun(Warp &warp)
                                        run.restoreCCOff)
                                  : fb[lane] + run.restoreCCOff),
                         4);
-            warp.cc[static_cast<size_t>(lane)] = (v & 0x80) != 0;
+            warp.setCC(lane, (v & 0x80) != 0);
         }
     }
 

@@ -285,6 +285,11 @@ class Executor
     // micro-program variant).
     bool handler_fastpath_on_ = false;
 
+    // Whether superblock runs call the lane-vectorized exec
+    // functions (simt/simd/); requires superblocks, resolveSimd,
+    // and AVX2 on this machine.
+    bool simd_on_ = false;
+
     // Dynamic compiled-handler dispatch counts of this worker,
     // flushed to the UopCache once per launch alongside sb_runs_
     // (never into the launch registry, which must serialize
@@ -303,6 +308,13 @@ class Executor
     // must serialize identically with superblocks on and off).
     uint64_t sb_runs_ = 0;
     uint64_t sb_instrs_ = 0;
+
+    // Uop dispatch counts of this worker while the SIMD tier was
+    // on: executed vectorized vs fell back to the scalar exec
+    // function. Flushed with sb_runs_ (same launch-registry
+    // invariance rule).
+    uint64_t simd_vec_uops_ = 0;
+    uint64_t simd_scalar_uops_ = 0;
 
     // Lowest faulting CTA-linear id published so far (fetch-min),
     // pointing into run()'s frame. Workers skip CTAs above the

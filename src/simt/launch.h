@@ -176,6 +176,19 @@ struct LaunchOptions
      * defaulting to on. Only effective when superblocks are enabled.
      */
     int handlerFastpath = -1;
+
+    /**
+     * SIMD interpreter tier: execute superblock uops for all 32
+     * lanes at once with AVX2 (see simt/simd/simd_exec.h).
+     * Observationally equivalent to the scalar tier; 0 forces every
+     * uop through its scalar exec function (the
+     * differential-testing escape hatch), positive forces the tier
+     * on where supported, and negative (the default) defers to the
+     * SASSI_SIM_SIMD environment variable, defaulting to on. Only
+     * effective when superblocks are enabled and the machine has
+     * AVX2 — otherwise the scalar tier runs regardless.
+     */
+    int simd = -1;
 };
 
 /** The result of one kernel launch. */

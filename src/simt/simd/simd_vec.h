@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Thin typed wrapper over AVX2 256-bit vectors for the SIMD
+ * interpreter tier (simdjson's haswell/simd.h idiom: a value type
+ * around __m256i with the handful of operations the exec functions
+ * need, so the per-op code reads like the scalar lane loop it
+ * replaces).
+ *
+ * A warp is 32 lanes; one u32x8 covers 8 of them, so every warp
+ * operand is 4 chunks. The register file is register-major
+ * (simt/warp.h), so chunk c of register r is a plain unaligned load
+ * from laneSpan(r) + 8 * c. Predicates and the exec mask are 32-bit
+ * lane bitmasks; chunkMask() expands 8 of those bits into a lane
+ * mask vector for blends and masked stores, and u32x8::bitmask()
+ * compresses a compare result back into 8 bits.
+ *
+ * Only compiled into simd_exec.cc (the lone -mavx2 translation
+ * unit); everything here is header-only and inline.
+ */
+
+#ifndef SASSI_SIMT_SIMD_SIMD_VEC_H
+#define SASSI_SIMT_SIMD_SIMD_VEC_H
+
+#if defined(SASSI_SIMD_AVX2)
+
+#include <cstdint>
+#include <immintrin.h>
+
+namespace sassi::simt::simd {
+
+/** Eight 32-bit lanes of a warp operand. */
+struct u32x8
+{
+    __m256i raw;
+
+    static u32x8
+    load(const uint32_t *p)
+    {
+        return {_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p))};
+    }
+
+    static u32x8
+    splat(uint32_t v)
+    {
+        return {_mm256_set1_epi32(static_cast<int>(v))};
+    }
+
+    static u32x8 zero() { return {_mm256_setzero_si256()}; }
+
+    void
+    store(uint32_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), raw);
+    }
+
+    /** Store only the lanes whose mask element has its sign bit set. */
+    void
+    maskstore(uint32_t *p, u32x8 lane_mask) const
+    {
+        _mm256_maskstore_epi32(reinterpret_cast<int *>(p),
+                               lane_mask.raw, raw);
+    }
+
+    /** Sign bit of each lane, compressed to 8 bits (compare results). */
+    uint32_t
+    bitmask() const
+    {
+        return static_cast<uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(raw)));
+    }
+
+    friend u32x8
+    operator+(u32x8 a, u32x8 b)
+    {
+        return {_mm256_add_epi32(a.raw, b.raw)};
+    }
+
+    friend u32x8
+    operator&(u32x8 a, u32x8 b)
+    {
+        return {_mm256_and_si256(a.raw, b.raw)};
+    }
+
+    friend u32x8
+    operator|(u32x8 a, u32x8 b)
+    {
+        return {_mm256_or_si256(a.raw, b.raw)};
+    }
+
+    friend u32x8
+    operator^(u32x8 a, u32x8 b)
+    {
+        return {_mm256_xor_si256(a.raw, b.raw)};
+    }
+
+    u32x8
+    andnot(u32x8 b) const // this & ~b
+    {
+        return {_mm256_andnot_si256(b.raw, raw)};
+    }
+
+    /** Low 32 bits of the per-lane products (uint32 wrap multiply). */
+    u32x8
+    mullo(u32x8 b) const
+    {
+        return {_mm256_mullo_epi32(raw, b.raw)};
+    }
+
+    u32x8
+    minS(u32x8 b) const
+    {
+        return {_mm256_min_epi32(raw, b.raw)};
+    }
+
+    u32x8
+    maxS(u32x8 b) const
+    {
+        return {_mm256_max_epi32(raw, b.raw)};
+    }
+
+    /**
+     * Per-lane shifts with variable counts. The v*v intrinsics
+     * already implement the SASS-visible clamping the scalar path
+     * spells out: logical shifts with a count >= 32 produce 0, and
+     * the arithmetic shift sign-fills (== a >> 31) for any count
+     * over 31, exactly `a >> min(b, 31)`.
+     */
+    u32x8
+    shl(u32x8 counts) const
+    {
+        return {_mm256_sllv_epi32(raw, counts.raw)};
+    }
+
+    u32x8
+    shrU(u32x8 counts) const
+    {
+        return {_mm256_srlv_epi32(raw, counts.raw)};
+    }
+
+    u32x8
+    shrS(u32x8 counts) const
+    {
+        return {_mm256_srav_epi32(raw, counts.raw)};
+    }
+
+    u32x8
+    cmpeq(u32x8 b) const
+    {
+        return {_mm256_cmpeq_epi32(raw, b.raw)};
+    }
+
+    /** Signed greater-than (all-ones lanes where this > b). */
+    u32x8
+    cmpgtS(u32x8 b) const
+    {
+        return {_mm256_cmpgt_epi32(raw, b.raw)};
+    }
+
+    /** Lane-wise select: mask sign bit set -> a, clear -> b. */
+    static u32x8
+    blend(u32x8 lane_mask, u32x8 a, u32x8 b)
+    {
+        return {_mm256_blendv_epi8(b.raw, a.raw, lane_mask.raw)};
+    }
+};
+
+/** Eight lanes viewed as IEEE-754 single floats (FADD/FMUL/FFMA). */
+struct f32x8
+{
+    __m256 raw;
+
+    static f32x8
+    fromBits(u32x8 bits)
+    {
+        return {_mm256_castsi256_ps(bits.raw)};
+    }
+
+    u32x8
+    bits() const
+    {
+        return {_mm256_castps_si256(raw)};
+    }
+
+    /** int32 lanes -> float lanes, round-to-nearest-even (I2F). */
+    static f32x8
+    fromI32(u32x8 v)
+    {
+        return {_mm256_cvtepi32_ps(v.raw)};
+    }
+
+    friend f32x8
+    operator+(f32x8 a, f32x8 b)
+    {
+        return {_mm256_add_ps(a.raw, b.raw)};
+    }
+
+    friend f32x8
+    operator*(f32x8 a, f32x8 b)
+    {
+        return {_mm256_mul_ps(a.raw, b.raw)};
+    }
+};
+
+/**
+ * Expand bits [8c, 8c+8) of a 32-lane bitmask into a lane mask
+ * vector (all-ones where the bit is set) for blends / maskstore.
+ */
+inline u32x8
+chunkMask(uint32_t lane_bits, int c)
+{
+    const __m256i sel =
+        _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    __m256i byte = _mm256_set1_epi32(
+        static_cast<int>((lane_bits >> (8 * c)) & 0xff));
+    return {_mm256_cmpeq_epi32(_mm256_and_si256(byte, sel), sel)};
+}
+
+} // namespace sassi::simt::simd
+
+#endif // SASSI_SIMD_AVX2
+
+#endif // SASSI_SIMT_SIMD_SIMD_VEC_H

@@ -5,6 +5,15 @@
  * This is the state SASSI handlers can observe and (for the error-
  * injection study) mutate: general registers, predicate registers,
  * the carry flag, the divergence stack, and per-thread local memory.
+ *
+ * Layout is register-major (structure-of-arrays): the 32 lanes of
+ * one general register are a contiguous 128-byte span, each
+ * predicate register is a single 32-bit lane bitmask, and the carry
+ * flag is one lane bitmask too. This is what lets the SIMD
+ * interpreter layer (simt/simd/) execute an ALU micro-op for all 32
+ * lanes with four 256-bit loads per operand, and it is also kinder
+ * to the scalar lane loops, which walk consecutive words of each
+ * operand span instead of striding by the register budget.
  */
 
 #ifndef SASSI_SIMT_WARP_H
@@ -47,14 +56,14 @@ struct Warp
     /** Lanes that have not executed EXIT. */
     uint32_t liveMask = 0;
 
-    /** Register file: regs[lane * numRegs + r]. */
+    /** Register file, register-major: regs[r * WarpSize + lane]. */
     std::vector<uint32_t> regs;
 
-    /** Predicate files, one bitmask of P0..P6 per lane. */
-    std::array<uint8_t, sass::WarpSize> preds{};
+    /** Predicate files: one 32-lane bitmask per predicate P0..P6. */
+    std::array<uint32_t, sass::NumPred> predBits{};
 
-    /** Carry flag per lane. */
-    std::array<bool, sass::WarpSize> cc{};
+    /** Carry flag, one bit per lane. */
+    uint32_t ccMask = 0;
 
     /** The divergence stack. */
     std::vector<DivToken> divStack;
@@ -94,6 +103,22 @@ struct Warp
     /** @return whether any lane is still live. */
     bool done() const { return liveMask == 0; }
 
+    /** The contiguous 32-lane span of general register r (never RZ). */
+    uint32_t *
+    laneSpan(sass::RegId r)
+    {
+        return regs.data() +
+               static_cast<size_t>(r) * sass::WarpSize;
+    }
+
+    /** @copydoc laneSpan */
+    const uint32_t *
+    laneSpan(sass::RegId r) const
+    {
+        return regs.data() +
+               static_cast<size_t>(r) * sass::WarpSize;
+    }
+
     /** Read general register r of a lane (RZ reads 0). */
     uint32_t
     reg(int lane, sass::RegId r) const
@@ -102,8 +127,8 @@ struct Warp
             return 0;
         panic_if(r >= numRegs, "register R%d out of budget %d", r,
                  numRegs);
-        return regs[static_cast<size_t>(lane) *
-                    static_cast<size_t>(numRegs) + r];
+        return regs[static_cast<size_t>(r) * sass::WarpSize +
+                    static_cast<size_t>(lane)];
     }
 
     /** Write general register r of a lane (RZ discards). */
@@ -114,8 +139,8 @@ struct Warp
             return;
         panic_if(r >= numRegs, "register R%d out of budget %d", r,
                  numRegs);
-        regs[static_cast<size_t>(lane) * static_cast<size_t>(numRegs) +
-             r] = v;
+        regs[static_cast<size_t>(r) * sass::WarpSize +
+             static_cast<size_t>(lane)] = v;
     }
 
     /** Read predicate p of a lane (PT reads true). */
@@ -124,7 +149,7 @@ struct Warp
     {
         if (p == sass::PT)
             return true;
-        return preds[static_cast<size_t>(lane)] & (1u << p);
+        return predBits[static_cast<size_t>(p)] & (1u << lane);
     }
 
     /** Write predicate p of a lane (PT discards). */
@@ -133,11 +158,52 @@ struct Warp
     {
         if (p == sass::PT)
             return;
-        auto &bits = preds[static_cast<size_t>(lane)];
+        uint32_t &bits = predBits[static_cast<size_t>(p)];
         if (v)
-            bits = static_cast<uint8_t>(bits | (1u << p));
+            bits |= 1u << lane;
         else
-            bits = static_cast<uint8_t>(bits & ~(1u << p));
+            bits &= ~(1u << lane);
+    }
+
+    /** One lane's P0..P6 packed into bits 0..6 (P2R's source view). */
+    uint8_t
+    predByte(int lane) const
+    {
+        uint32_t bits = 0;
+        for (int p = 0; p < sass::NumPred; ++p)
+            bits |= ((predBits[static_cast<size_t>(p)] >> lane) & 1u)
+                    << p;
+        return static_cast<uint8_t>(bits);
+    }
+
+    /** Overwrite one lane's P0..P6 from bits 0..6 of a byte. */
+    void
+    setPredByte(int lane, uint8_t bits)
+    {
+        const uint32_t m = 1u << lane;
+        for (int p = 0; p < sass::NumPred; ++p) {
+            if (bits & (1u << p))
+                predBits[static_cast<size_t>(p)] |= m;
+            else
+                predBits[static_cast<size_t>(p)] &= ~m;
+        }
+    }
+
+    /** Read the carry flag of a lane. */
+    bool
+    cc(int lane) const
+    {
+        return ccMask & (1u << lane);
+    }
+
+    /** Write the carry flag of a lane. */
+    void
+    setCC(int lane, bool v)
+    {
+        if (v)
+            ccMask |= 1u << lane;
+        else
+            ccMask &= ~(1u << lane);
     }
 };
 

@@ -121,8 +121,9 @@ TEST(FuzzOracle, UninstrumentedSweepIsCheaperAndPasses)
     FuzzProgram p = generateProgram(2, 0);
     OracleReport r = runOracle(p, opt);
     EXPECT_EQ(r.status, OracleStatus::Pass) << r.message;
-    // {(sb,fp) = (0,0),(1,0),(1,1)} x {1,2,8 threads}, no tools.
-    EXPECT_EQ(r.configsRun, 9);
+    // {(sb,fp,simd) = (0,0,0),(1,0,0),(1,0,1),(1,1,0),(1,1,1)}
+    // x {1,2,8 threads}, no tools.
+    EXPECT_EQ(r.configsRun, 15);
 }
 
 /** A straight-line program with a marker instruction the broken-op
@@ -198,6 +199,31 @@ TEST(FuzzOracle, CatchesAFastpathOnlyBrokenOp)
     OracleReport r = runOracle(markedProgram(), opt);
     EXPECT_EQ(r.status, OracleStatus::Mismatch);
     EXPECT_NE(r.message.find("fastpath=1"), std::string::npos)
+        << r.message;
+}
+
+TEST(FuzzOracle, CatchesASimdOnlyBrokenOp)
+{
+    // Same marker corruption, keyed to the SIMD tier: only the
+    // simd=1 plane misbehaves, so a matrix without the simd
+    // dimension would miss it. The corruption edits program text
+    // before launch, so it reproduces even on hosts where simd=1
+    // runs the scalar tier (no AVX2) — the mismatch is against the
+    // simd=0 plane either way.
+    OracleOptions opt;
+    opt.moduleTweak = [](ir::Module &m, const OracleConfig &cfg) {
+        if (cfg.simd != 1)
+            return;
+        for (auto &k : m.kernels)
+            for (auto &ins : k.code)
+                if (ins.bIsImm && ins.imm == 0x777) {
+                    ins.imm = 0x778;
+                    return;
+                }
+    };
+    OracleReport r = runOracle(markedProgram(), opt);
+    EXPECT_EQ(r.status, OracleStatus::Mismatch);
+    EXPECT_NE(r.message.find("simd=1"), std::string::npos)
         << r.message;
 }
 

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Observational-equivalence tests for the SIMD interpreter tier:
+ * every workload in the suite and every instrumentation handler
+ * must produce bit-identical results with the lane-vectorized exec
+ * functions on vs off, across worker-thread counts and superblock
+ * modes. This is the contract that lets the SIMD tier stay on by
+ * default — any divergence in LaunchStats, the metrics registry,
+ * handler aggregates, trace records, or output hashes is a bug in
+ * a vector exec function.
+ *
+ * The SimdDiff workload sweep is fiber-free (uninstrumented
+ * launches only), so it also runs in the TSan preset; the handler
+ * sweep (SimdHandlerDiff) exercises fiber dispatch and runs in the
+ * default preset only.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sassi.h"
+#include "handlers/bb_counter.h"
+#include "handlers/branch_profiler.h"
+#include "handlers/instr_counter.h"
+#include "handlers/mem_tracer.h"
+#include "handlers/memdiv_profiler.h"
+#include "handlers/value_profiler.h"
+#include "sassir/builder.h"
+#include "simt/simd/simd_exec.h"
+#include "workloads/suite.h"
+
+using namespace sassi;
+using namespace sassi::sass;
+using namespace sassi::simt;
+using namespace sassi::workloads;
+using sassi::ir::KernelBuilder;
+using sassi::ir::Label;
+
+namespace {
+
+void
+expectStatsEqual(const LaunchStats &a, const LaunchStats &b)
+{
+    EXPECT_EQ(a.warpInstrs, b.warpInstrs);
+    EXPECT_EQ(a.threadInstrs, b.threadInstrs);
+    EXPECT_EQ(a.syntheticWarpInstrs, b.syntheticWarpInstrs);
+    EXPECT_EQ(a.handlerCalls, b.handlerCalls);
+    EXPECT_EQ(a.handlerCostInstrs, b.handlerCostInstrs);
+    EXPECT_EQ(a.memWarpInstrs, b.memWarpInstrs);
+    EXPECT_EQ(a.ctas, b.ctas);
+    for (size_t i = 0; i < a.opcodeCounts.size(); ++i)
+        EXPECT_EQ(a.opcodeCounts[i], b.opcodeCounts[i])
+            << "opcode index " << i;
+}
+
+/// @name Workload sweep
+/// @{
+
+class SimdDiff : public ::testing::TestWithParam<size_t>
+{
+};
+
+const std::vector<SuiteEntry> &
+suite()
+{
+    static const std::vector<SuiteEntry> s = fullSuite();
+    return s;
+}
+
+struct WorkloadRun
+{
+    LaunchResult result;
+    std::string metrics;
+    uint64_t hash = 0;
+    bool verified = false;
+};
+
+WorkloadRun
+runWorkload(const SuiteEntry &e, int threads, int superblocks,
+            int simd)
+{
+    auto w = e.make();
+    Device dev;
+    w->launchOptions.numThreads = threads;
+    w->launchOptions.superblocks = superblocks;
+    w->launchOptions.simd = simd;
+    w->setup(dev);
+    WorkloadRun run;
+    run.result = w->run(dev);
+    run.metrics = dev.metrics().serialize();
+    run.hash = w->outputHash(dev);
+    run.verified = w->verify(dev);
+    return run;
+}
+
+TEST_P(SimdDiff, WorkloadObservablesMatch)
+{
+    const SuiteEntry &e = suite()[GetParam()];
+
+    // Serial execution is fully deterministic, so the two uop tiers
+    // must agree on *every* observable, bit for bit — under
+    // superblocks (where the tiers actually diverge in code
+    // executed) and without them (where simd must be inert).
+    WorkloadRun ref = runWorkload(e, 1, 1, 0);
+    ASSERT_TRUE(ref.result.ok()) << e.name << ": "
+                                 << ref.result.message;
+    ASSERT_TRUE(ref.verified) << e.name;
+    for (int superblocks : {1, 0}) {
+        SCOPED_TRACE("threads=1 superblocks=" +
+                     std::to_string(superblocks) + " simd=1 vs 0");
+        WorkloadRun scalar =
+            superblocks == 1 ? ref : runWorkload(e, 1, 0, 0);
+        WorkloadRun vec = runWorkload(e, 1, superblocks, 1);
+        ASSERT_EQ(vec.result.outcome, scalar.result.outcome);
+        EXPECT_EQ(vec.result.message, scalar.result.message);
+        expectStatsEqual(vec.result.stats, scalar.result.stats);
+        EXPECT_EQ(vec.metrics, scalar.metrics)
+            << e.name << ": metrics registry differs";
+        EXPECT_EQ(vec.hash, scalar.hash)
+            << e.name << ": output hash differs";
+        EXPECT_TRUE(vec.verified) << e.name;
+    }
+
+    // At 8 workers CTA interleaving is timing-dependent and racy
+    // workloads (BFS worklists, saturating histogram bins)
+    // legitimately vary run to run, simd or not — so assert what
+    // interleaving leaves invariant: both tiers complete and
+    // verify. Multi-threaded byte-identity on a deterministic
+    // kernel is proven by the handler sweep.
+    for (int simd : {0, 1}) {
+        SCOPED_TRACE("threads=8 simd=" + std::to_string(simd));
+        WorkloadRun run = runWorkload(e, 8, 1, simd);
+        ASSERT_EQ(run.result.outcome, ref.result.outcome);
+        EXPECT_TRUE(run.verified) << e.name;
+    }
+}
+
+std::string
+nameOf(const ::testing::TestParamInfo<size_t> &info)
+{
+    std::string out;
+    for (char c : suite()[info.param].name)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SimdDiff,
+                         ::testing::Range<size_t>(0,
+                                                  fullSuite().size()),
+                         nameOf);
+
+/// @}
+/// @name Handler-tool sweep
+/// @{
+
+constexpr int kCtas = 8;
+constexpr int kBlock = 64;
+
+/**
+ * One kernel exercising every site class the handlers instrument
+ * plus the uop classes the SIMD tier vectorizes: a per-thread
+ * trip-count loop over an ALU run (IADD/SHL/SHR/LOP/IMAD), SEL and
+ * float ops (FADD/FMUL/FFMA/FSETP feeding a SEL), a divergent
+ * diamond, and strided global loads/stores. Takes one
+ * u32[kCtas*kBlock] buffer argument.
+ */
+ir::Kernel
+handlerKernel()
+{
+    KernelBuilder kb("sstress");
+    kb.s2r(4, SpecialReg::TidX);
+    kb.s2r(5, SpecialReg::CtaIdX);
+    kb.s2r(6, SpecialReg::NTidX);
+    kb.imad(7, 5, 6, 4); // gid
+
+    // &buf[gid]
+    kb.ldc(16, 0, 8);
+    kb.shl(10, 7, 2);
+    kb.iaddcc(16, 16, 10);
+    kb.iaddx(17, 17, RZ);
+    kb.ldg(12, 16);
+
+    // Loop (tid & 3) + 1 times over a vector-friendly ALU run.
+    kb.lopi(LogicOp::And, 8, 4, 3);
+    kb.iaddi(8, 8, 1);
+    kb.mov32i(9, 0);
+    Label top = kb.newLabel();
+    Label done = kb.newLabel();
+    Label out = kb.newLabel();
+    kb.ssy(out);
+    kb.bind(top);
+    kb.isetp(0, CmpOp::GE, 9, 8);
+    kb.onP(0).bra(done);
+    kb.iadd(12, 12, 7);
+    kb.shl(13, 12, 3);
+    kb.lop(LogicOp::Xor, 12, 12, 13);
+    kb.imad(12, 12, 9, 4);
+    kb.shr(13, 12, 7);
+    kb.lopi(LogicOp::And, 13, 13, 0xff);
+    kb.iadd(12, 12, 13);
+    // Float leg: mix the integer state through the FP pipe and
+    // fold it back via a predicated select.
+    kb.i2f(20, 12);
+    kb.mov32i(21, 0x3f000000); // 0.5f
+    kb.fmul(22, 20, 21);
+    kb.ffma(22, 22, 21, 20);
+    kb.fsetp(2, CmpOp::GT, 22, 20);
+    kb.sel(23, 12, 13, 2);
+    kb.iadd(12, 12, 23);
+    kb.iaddi(9, 9, 1);
+    kb.bra(top);
+    kb.bind(done);
+    kb.sync();
+    kb.bind(out);
+
+    // Divergent diamond on tid parity.
+    Label else_ = kb.newLabel();
+    Label join = kb.newLabel();
+    kb.lopi(LogicOp::And, 14, 4, 1);
+    kb.isetpi(1, CmpOp::EQ, 14, 0);
+    kb.ssy(join);
+    kb.onP(1).bra(else_);
+    kb.iaddi(12, 12, 1000);
+    kb.sync();
+    kb.bind(else_);
+    kb.lopi(LogicOp::Xor, 12, 12, 0x33);
+    kb.sync();
+    kb.bind(join);
+
+    kb.stg(16, 0, 12);
+    kb.exit();
+    return kb.finish();
+}
+
+struct ToolEnv
+{
+    std::unique_ptr<Device> dev;
+    std::unique_ptr<core::SassiRuntime> rt;
+    uint64_t buf = 0;
+};
+
+ToolEnv
+makeToolEnv(const core::InstrumentOptions &opts)
+{
+    ToolEnv env;
+    env.dev = std::make_unique<Device>();
+    ir::Module mod;
+    mod.kernels.push_back(handlerKernel());
+    env.dev->loadModule(std::move(mod));
+    env.rt = std::make_unique<core::SassiRuntime>(*env.dev);
+    env.rt->instrument(opts);
+
+    const size_t n = kCtas * kBlock;
+    env.buf = env.dev->malloc(n * 4);
+    std::vector<uint32_t> init(n);
+    for (size_t i = 0; i < n; ++i)
+        init[i] = static_cast<uint32_t>(i * 2654435761u);
+    env.dev->memcpyHtoD(env.buf, init.data(), n * 4);
+    return env;
+}
+
+LaunchResult
+launchTool(ToolEnv &env, int threads, int superblocks, int simd)
+{
+    KernelArgs args;
+    args.addU64(env.buf);
+    LaunchOptions opts;
+    opts.numThreads = threads;
+    opts.superblocks = superblocks;
+    opts.simd = simd;
+    return env.dev->launch("sstress", Dim3(kCtas), Dim3(kBlock), args,
+                           opts);
+}
+
+/**
+ * Run the handler kernel under a tool with the SIMD tier off vs on
+ * and compare each mode's published metrics and output buffer, at
+ * the given worker count and superblock mode. The tool factory runs
+ * after instrument() so handler registration sees final code.
+ */
+template <typename Tool>
+void
+expectToolInvariant(int threads, int superblocks)
+{
+    SCOPED_TRACE("threads=" + std::to_string(threads) +
+                 " superblocks=" + std::to_string(superblocks));
+    std::string serialized[2];
+    std::vector<uint32_t> out[2];
+    LaunchResult results[2];
+    for (int simd = 0; simd < 2; ++simd) {
+        ToolEnv env = makeToolEnv(Tool::options());
+        Tool tool(*env.dev, *env.rt);
+        results[simd] = launchTool(env, threads, superblocks, simd);
+        ASSERT_TRUE(results[simd].ok()) << results[simd].message;
+        Metrics m;
+        tool.publish(m);
+        serialized[simd] = m.serialize();
+        out[simd].resize(kCtas * kBlock);
+        env.dev->memcpyDtoH(out[simd].data(), env.buf,
+                            out[simd].size() * 4);
+    }
+    expectStatsEqual(results[0].stats, results[1].stats);
+    EXPECT_EQ(results[0].metrics.serialize(),
+              results[1].metrics.serialize());
+    EXPECT_EQ(serialized[0], serialized[1])
+        << "handler aggregates differ between simd modes";
+    EXPECT_EQ(out[0], out[1]) << "output buffer differs";
+}
+
+template <typename Tool>
+void
+sweepToolInvariant()
+{
+    for (int threads : {1, 8})
+        for (int superblocks : {1, 0})
+            expectToolInvariant<Tool>(threads, superblocks);
+}
+
+TEST(SimdHandlerDiff, InstrCounter)
+{
+    sweepToolInvariant<handlers::InstrCounter>();
+}
+
+TEST(SimdHandlerDiff, BlockCounter)
+{
+    sweepToolInvariant<handlers::BlockCounter>();
+}
+
+TEST(SimdHandlerDiff, BranchProfiler)
+{
+    sweepToolInvariant<handlers::BranchProfiler>();
+}
+
+TEST(SimdHandlerDiff, MemDivProfiler)
+{
+    sweepToolInvariant<handlers::MemDivProfiler>();
+}
+
+TEST(SimdHandlerDiff, ValueProfiler)
+{
+    // No publish(): compare the per-instruction profiles directly.
+    for (int threads : {1, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        std::vector<handlers::ValueStats> profiles[2];
+        for (int simd = 0; simd < 2; ++simd) {
+            ToolEnv env =
+                makeToolEnv(handlers::ValueProfiler::options());
+            handlers::ValueProfiler tool(*env.dev, *env.rt);
+            LaunchResult r = launchTool(env, threads, 1, simd);
+            ASSERT_TRUE(r.ok()) << r.message;
+            profiles[simd] = tool.results();
+        }
+        ASSERT_EQ(profiles[0].size(), profiles[1].size());
+        for (size_t i = 0; i < profiles[0].size(); ++i) {
+            const auto &a = profiles[0][i];
+            const auto &b = profiles[1][i];
+            EXPECT_EQ(a.insAddr, b.insAddr);
+            EXPECT_EQ(a.weight, b.weight);
+            EXPECT_EQ(a.numDsts, b.numDsts);
+            for (int d = 0; d < 4; ++d) {
+                EXPECT_EQ(a.regNum[d], b.regNum[d]);
+                EXPECT_EQ(a.constantOnes[d], b.constantOnes[d]);
+                EXPECT_EQ(a.constantZeros[d], b.constantZeros[d]);
+                EXPECT_EQ(a.isScalar[d], b.isScalar[d]);
+            }
+        }
+    }
+}
+
+TEST(SimdHandlerDiff, MemTracer)
+{
+    // Traces are order-sensitive, so they are only reproducible at
+    // one worker thread — which is also how trace consumers run.
+    std::vector<handlers::TraceRecord> traces[2];
+    for (int simd = 0; simd < 2; ++simd) {
+        ToolEnv env = makeToolEnv(handlers::MemTracer::options());
+        handlers::MemTracer tool(*env.dev, *env.rt);
+        LaunchResult r = launchTool(env, 1, 1, simd);
+        ASSERT_TRUE(r.ok()) << r.message;
+        traces[simd] = tool.trace();
+    }
+    ASSERT_EQ(traces[0].size(), traces[1].size());
+    for (size_t i = 0; i < traces[0].size(); ++i) {
+        EXPECT_EQ(traces[0][i].address, traces[1][i].address);
+        EXPECT_EQ(traces[0][i].width, traces[1][i].width);
+        EXPECT_EQ(traces[0][i].isStore, traces[1][i].isStore);
+        EXPECT_EQ(traces[0][i].insAddr, traces[1][i].insAddr);
+        EXPECT_EQ(traces[0][i].warpEvent, traces[1][i].warpEvent);
+    }
+}
+
+/// @}
+
+} // namespace

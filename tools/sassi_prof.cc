@@ -19,12 +19,17 @@
  *                    interpreter path (SASSI_SIM_SUPERBLOCKS=0)
  *     --no-handler-fastpath  keep fused instrumentation sites on the
  *                    generic fiber dispatch path
+ *     --no-simd      run every uop on its scalar exec function
+ *                    instead of the AVX2 lane-vectorized tier
+ *                    (SASSI_SIM_SIMD=0)
  *
  * The table includes the process-wide micro-op compiler counters
  * ("uop/...": compile/hit/entry counts, superblock statics and
- * dynamic run totals, and the compiled-handler dispatch counters —
- * inline vs fiber handler calls, inline fallbacks, per-site spill
- * bytes) alongside the launch-scoped registry. An instrumented run
+ * dynamic run totals, the SIMD-tier dispatch split — uops executed
+ * lane-vectorized vs on their scalar exec function — and the
+ * compiled-handler dispatch counters: inline vs fiber handler
+ * calls, inline fallbacks, per-site spill bytes) alongside the
+ * launch-scoped registry. An instrumented run
  * also prints a one-line handler-dispatch summary.
  */
 
@@ -79,6 +84,7 @@ main(int argc, char **argv)
     bool write_json = true;
     int superblocks = -1;
     int handler_fastpath = -1;
+    int simd = -1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -99,6 +105,8 @@ main(int argc, char **argv)
             superblocks = 0;
         } else if (arg == "--no-handler-fastpath") {
             handler_fastpath = 0;
+        } else if (arg == "--no-simd") {
+            simd = 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return 1;
@@ -123,6 +131,7 @@ main(int argc, char **argv)
     w->launchOptions.numThreads = threads;
     w->launchOptions.superblocks = superblocks;
     w->launchOptions.handlerFastpath = handler_fastpath;
+    w->launchOptions.simd = simd;
     w->setup(dev);
 
     std::unique_ptr<core::SassiRuntime> rt;
