@@ -292,16 +292,16 @@ runSmoke()
  * 8-worker instrumented alu_heavy wall-clock against the
  * uninstrumented kernel (superblocks and the compiled-handler fast
  * path both on, their default) and fails when the slowdown exceeds
- * the budget in SASSI_BENCH_MAX_SLOWDOWN (default 150x — the
- * measured ratio is ~110x at 8 workers now that the SIMD tier runs
- * the uninstrumented base ~3.5x faster while the instrumented run
- * stays handler-call-bound; the default trips on a ~1.3x
- * regression while tolerating CI noise).
+ * the budget in SASSI_BENCH_MAX_SLOWDOWN (default 75x — the
+ * measured ratio is ~51–57x at 8 workers now that the warp-batched
+ * dispatch tier materializes frames with transposed 256-bit stores
+ * and calls handlers through the devirtualized inline path; the
+ * default trips on a ~1.4x regression while tolerating CI noise).
  */
 int
 runSlowdownGate()
 {
-    double budget = 150.0;
+    double budget = 75.0;
     if (const char *env = std::getenv("SASSI_BENCH_MAX_SLOWDOWN")) {
         budget = std::atof(env);
         if (budget <= 0) {
@@ -313,13 +313,18 @@ runSlowdownGate()
 
     constexpr int kIters = 256;
     constexpr int kThreads = 8;
-    auto timeOne = [](const Bench &b) {
+    auto timeOne = [](const Bench &b, int launches) {
         Setup s = prepare(b, kIters);
-        return perLaunchSecs(s, kThreads, Ctas);
+        return perLaunchSecs(s, kThreads, Ctas, launches);
     };
 
-    double base = timeOne(kBenches[0]);  // alu_heavy
-    double instr = timeOne(kBenches[2]); // instrumented
+    // The instrumented side goes first: its ~1s of work spins the
+    // host out of any idle-frequency state before the base is timed.
+    // The uninstrumented launch is ~10ms, so its average needs many
+    // launches to keep the ratio's denominator out of the noise —
+    // the gate's spread comes almost entirely from there.
+    double instr = timeOne(kBenches[2], 3); // instrumented
+    double base = timeOne(kBenches[0], 30); // alu_heavy
     double slowdown = base > 0 ? instr / base : 0;
     bool ok = slowdown <= budget;
     std::printf("slowdown gate: alu_heavy %d workers  base "

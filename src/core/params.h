@@ -66,6 +66,21 @@ class ParamsBase
           site_(site), host_(host)
     {}
 
+    /**
+     * Repoint the view at a new parameter frame, keeping the
+     * (exec, warp, lane, site) binding. The inline dispatch path's
+     * per-worker env arena uses this: everything except the frame
+     * location is invariant across dispatches of one (site, warp,
+     * CTA), so refreshing a view is two stores instead of a full
+     * reconstruction.
+     */
+    void
+    rebindFrame(uint64_t frame, uint8_t *host)
+    {
+        frame_ = frame;
+        host_ = host;
+    }
+
   protected:
     int32_t
     read32(int64_t off) const

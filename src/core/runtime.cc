@@ -1,5 +1,8 @@
 #include "core/runtime.h"
 
+#include <array>
+#include <memory>
+
 #include "util/bitops.h"
 #include "util/logging.h"
 #include "util/trace.h"
@@ -69,6 +72,63 @@ noteDispatch(simt::Executor &exec, SiteMetricsCache &cache,
     ++*sc;
     cache.lanes->observe(static_cast<uint64_t>(popc(active_mask)));
 }
+
+/**
+ * Per-worker environment arena for the inline dispatch path. The
+ * expensive parts of a HandlerEnv — four param-view constructors and
+ * four Dim3 copies per lane — are invariant across every dispatch of
+ * one (site, executor, warp, CTA); only the frame location moves.
+ * So the arena keeps 32 fully-bound environments keyed by that
+ * tuple: a key hit refreshes just the frame pointers (two stores per
+ * view), a miss rebinds lazily, lane by lane, as lanes first appear
+ * in an active mask.
+ */
+struct EnvArena
+{
+    std::array<HandlerEnv, sass::WarpSize> envs;
+    const SiteInfo *site = nullptr;
+    simt::Executor *exec = nullptr;
+    simt::Warp *warp = nullptr;
+    uint64_t seq = 0; //!< exec->launchSeq(): no cross-launch alias.
+    uint64_t cta = ~0ull;
+    uint32_t boundMask = 0; //!< Lanes fully bound under this key.
+    /**
+     * Frame address each bound lane's views point at. Within one
+     * arena key the host pointer is a pure function of the generic
+     * address (same executor, warp, and local window), so a matching
+     * address means the lane's views are already current and even
+     * the two-store-per-view refresh can be skipped — the common
+     * case for a site re-dispatched in a loop with a stable R1.
+     */
+    std::array<uint64_t, sass::WarpSize> frames;
+};
+
+/**
+ * The per-worker arena pool: one EnvArena per (site key, warp rank),
+ * allocated lazily as dispatches touch each combination. A single
+ * arena would thrash — a kernel's sites dispatch round-robin across
+ * the CTA's warps, so consecutive inline dispatches almost never
+ * share a (site, warp) pair. With the pool, each site's per-warp
+ * invariants survive the whole launch and a dispatch is a key check
+ * plus frame-address compares.
+ */
+struct ArenaPool
+{
+    std::vector<std::vector<std::unique_ptr<EnvArena>>> bySite;
+
+    EnvArena &
+    at(size_t site_key, size_t rank)
+    {
+        if (bySite.size() <= site_key)
+            bySite.resize(site_key + 1);
+        auto &ranks = bySite[site_key];
+        if (ranks.size() <= rank)
+            ranks.resize(rank + 1);
+        if (!ranks[rank])
+            ranks[rank] = std::make_unique<EnvArena>();
+        return *ranks[rank];
+    }
+};
 } // namespace
 
 DispatchState *
@@ -100,7 +160,60 @@ SassiRuntime::addSite(SiteInfo site)
     site.metricFlavor =
         std::string("core/dispatch/flavor/") + flavorName(site.flavor);
     sites_.push_back(std::move(site));
+    records_dirty_ = true; // sites_ may have reallocated.
     return static_cast<int32_t>(sites_.size()) - 1;
+}
+
+void
+SassiRuntime::prepareLaunch()
+{
+    if (!records_dirty_ && records_.size() == sites_.size())
+        return;
+    records_.clear();
+    records_.reserve(sites_.size());
+    for (const SiteInfo &site : sites_) {
+        SiteDispatchRecord r;
+        r.site = &site;
+        bool is_after = site.flavor == SiteFlavor::After;
+        const Handler &handler = is_after ? after_ : before_;
+        const HandlerTraits &traits =
+            is_after ? after_traits_ : before_traits_;
+        r.handler = handler ? &handler : nullptr;
+        r.traits = &traits;
+        r.hasFilter = static_cast<bool>(traits.warpFilter);
+        r.warpSynchronous = traits.warpSynchronous;
+        if (traits.warpFn) {
+            r.warpFn = traits.warpFn;
+            r.warpCtx = traits.warpCtx;
+        } else if (traits.warpHandler) {
+            // Trampoline over the std::function form: the context is
+            // the function object itself, which outlives the records
+            // (it lives in the traits the runtime owns).
+            r.warpFn = [](const void *ctx, const WarpHandlerEnv &we) {
+                (*static_cast<const WarpHandler *>(ctx))(we);
+            };
+            r.warpCtx = &traits.warpHandler;
+        }
+        // A null handler (metrics-only dispatch) always qualifies;
+        // otherwise the handler must be reentrant-safe and, when
+        // warp-synchronous, supply a warp-level body (there are no
+        // fibers to rendezvous through inline).
+        r.inlineOk = !r.handler ||
+                     (traits.reentrantSafe &&
+                      (!traits.warpSynchronous || r.warpFn != nullptr));
+        records_.push_back(r);
+    }
+    records_dirty_ = false;
+}
+
+const SiteDispatchRecord &
+SassiRuntime::record(int32_t site_key)
+{
+    // Dirty only between registration and the next launch; launches
+    // are serialized, so a rebuild here never races a worker.
+    if (records_dirty_ || records_.size() != sites_.size())
+        prepareLaunch();
+    return records_.at(static_cast<size_t>(site_key));
 }
 
 void
@@ -129,7 +242,8 @@ void
 SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
                        int32_t site_key)
 {
-    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
+    const SiteDispatchRecord &rec = record(site_key);
+    const SiteInfo &site = *rec.site;
     exec.chargeHandlerCost(opts_.handlerCostInstrs);
 
     // Dynamic per-site counts go into the worker's launch-registry
@@ -137,13 +251,11 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
     noteDispatch(exec, metricsCache(exec, sites_.size()), site,
                  site_key, warp.activeMask);
 
-    bool is_after = site.flavor == SiteFlavor::After;
-    const Handler &handler = is_after ? after_ : before_;
-    const HandlerTraits &traits =
-        is_after ? after_traits_ : before_traits_;
-    if (!handler)
+    if (!rec.handler)
         return;
-    if (traits.warpFilter && !traits.warpFilter(exec, warp, site))
+    const Handler &handler = *rec.handler;
+    const HandlerTraits &traits = *rec.traits;
+    if (rec.hasFilter && !traits.warpFilter(exec, warp, site))
         return;
 
     // One fiber group per OS thread: parallel CTA workers dispatch
@@ -163,7 +275,8 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
     ds.activeMask = warp.activeMask;
     ds.fibers = &fibers;
     ds.faulted = false;
-    ds.envs.resize(sass::WarpSize);
+    if (ds.envs.size() != static_cast<size_t>(sass::WarpSize))
+        ds.envs.resize(sass::WarpSize); // Sized once per thread.
 
     std::vector<int> &lanes = lanes_storage;
     lanes.clear();
@@ -179,17 +292,8 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
             makeU64(warp.reg(lane, sass::abi::Arg0Lo),
                     warp.reg(lane, sass::abi::Arg0Lo + 1));
 
-        HandlerEnv &env = ds.envs[static_cast<size_t>(lane)];
-        env.bp = SASSIBeforeParams(&exec, &warp, lane, frame, &site);
-        env.mp = SASSIMemoryParams(&exec, &warp, lane, frame, &site);
-        env.brp = SASSICondBranchParams(&exec, &warp, lane, frame, &site);
-        env.rp = SASSIRegisterParams(&exec, &warp, lane, frame, &site);
-        env.site = &site;
-        env.lane = lane;
-        env.threadIdx = exec.threadIdx(warp, lane);
-        env.blockIdx = exec.ctaId();
-        env.blockDim = exec.blockDim();
-        env.gridDim = exec.gridDim();
+        ds.envs[static_cast<size_t>(lane)].bind(exec, warp, lane, site,
+                                                frame, nullptr);
     }
 
     // Handler wall-clock goes to the timeline only — never into the
@@ -241,20 +345,7 @@ SassiRuntime::dispatch(simt::Executor &exec, simt::Warp &warp,
 bool
 SassiRuntime::inlineDispatchable(int32_t site_key)
 {
-    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
-    bool is_after = site.flavor == SiteFlavor::After;
-    const Handler &handler = is_after ? after_ : before_;
-    const HandlerTraits &traits =
-        is_after ? after_traits_ : before_traits_;
-    if (!handler)
-        return true; // Metrics-only dispatch: nothing can suspend.
-    if (!traits.reentrantSafe)
-        return false;
-    // Lane-iterating handlers run inline as-is; warp-synchronous
-    // ones need the explicit warp-level body (no fibers to
-    // rendezvous through).
-    return !traits.warpSynchronous ||
-           static_cast<bool>(traits.warpHandler);
+    return record(site_key).inlineOk;
 }
 
 bool
@@ -268,23 +359,26 @@ SassiRuntime::dispatchInline(simt::Executor &exec, simt::Warp &warp,
     // handler effects and fault surfacing — minus the fiber group,
     // which is the entire point. The executor's fused-site path only
     // calls this after inlineDispatchable() said yes.
-    const SiteInfo &site = sites_.at(static_cast<size_t>(site_key));
+    const SiteDispatchRecord &rec = record(site_key);
+    const SiteInfo &site = *rec.site;
     exec.chargeHandlerCost(opts_.handlerCostInstrs);
 
     noteDispatch(exec, metricsCache(exec, sites_.size()), site,
                  site_key, warp.activeMask);
 
-    bool is_after = site.flavor == SiteFlavor::After;
-    const Handler &handler = is_after ? after_ : before_;
-    const HandlerTraits &traits =
-        is_after ? after_traits_ : before_traits_;
-    if (!handler)
+    if (!rec.handler)
         return false;
-    if (traits.warpFilter && !traits.warpFilter(exec, warp, site))
+    const Handler &handler = *rec.handler;
+    if (rec.hasFilter &&
+        !rec.traits->warpFilter(exec, warp, site))
         return false;
 
     static thread_local DispatchState ds_storage;
+    static thread_local ArenaPool arena_pool;
     DispatchState &ds = ds_storage;
+    EnvArena &arena =
+        arena_pool.at(static_cast<size_t>(site_key),
+                      static_cast<size_t>(warp.rank));
     ds.exec = &exec;
     ds.warp = &warp;
     ds.site = &site;
@@ -292,32 +386,40 @@ SassiRuntime::dispatchInline(simt::Executor &exec, simt::Warp &warp,
     ds.fibers = nullptr; // Inline: warp intrinsics must not be used.
     ds.frameWritten = false;
     ds.faulted = false;
-    ds.envs.resize(sass::WarpSize);
 
+    if (arena.site != &site || arena.exec != &exec ||
+        arena.warp != &warp || arena.seq != exec.launchSeq() ||
+        arena.cta != exec.ctaLinear()) {
+        arena.site = &site;
+        arena.exec = &exec;
+        arena.warp = &warp;
+        arena.seq = exec.launchSeq();
+        arena.cta = exec.ctaLinear();
+        arena.boundMask = 0;
+    }
     for (int lane = 0; lane < sass::WarpSize; ++lane) {
-        if (!(warp.activeMask & (1u << lane)))
+        uint32_t bit = 1u << lane;
+        if (!(warp.activeMask & bit))
             continue;
         // The fused path hands the frame's generic address and host
         // pointer directly — the ABI argument registers have not
         // been written (their L2G is replayed with the rest of the
         // epilogue effects after the handler returns).
-        uint64_t frame = frame_addr[lane];
-        uint8_t *host = frame_host[lane];
-        HandlerEnv &env = ds.envs[static_cast<size_t>(lane)];
-        env.bp = SASSIBeforeParams(&exec, &warp, lane, frame, &site,
-                                   host);
-        env.mp = SASSIMemoryParams(&exec, &warp, lane, frame, &site,
-                                   host);
-        env.brp = SASSICondBranchParams(&exec, &warp, lane, frame,
-                                        &site, host);
-        env.rp = SASSIRegisterParams(&exec, &warp, lane, frame, &site,
-                                     host);
-        env.site = &site;
-        env.lane = lane;
-        env.threadIdx = exec.threadIdx(warp, lane);
-        env.blockIdx = exec.ctaId();
-        env.blockDim = exec.blockDim();
-        env.gridDim = exec.gridDim();
+        HandlerEnv &env = arena.envs[static_cast<size_t>(lane)];
+        if (arena.boundMask & bit) {
+            if (arena.frames[static_cast<size_t>(lane)] !=
+                frame_addr[lane]) {
+                env.rebindFrame(frame_addr[lane], frame_host[lane]);
+                arena.frames[static_cast<size_t>(lane)] =
+                    frame_addr[lane];
+            }
+        } else {
+            env.bind(exec, warp, lane, site, frame_addr[lane],
+                     frame_host[lane]);
+            arena.frames[static_cast<size_t>(lane)] =
+                frame_addr[lane];
+            arena.boundMask |= bit;
+        }
     }
 
     Trace &trace = Trace::global();
@@ -329,15 +431,15 @@ SassiRuntime::dispatchInline(simt::Executor &exec, simt::Warp &warp,
         // Prefer the warp-level body whenever one is provided (even
         // for lane-iterating handlers): its contract is observational
         // identity, and one call per warp beats 32.
-        if (traits.warpHandler) {
+        if (rec.warpFn) {
             WarpHandlerEnv we;
-            we.envs = ds.envs.data();
+            we.envs = arena.envs.data();
             we.activeMask = ds.activeMask;
-            traits.warpHandler(we);
+            rec.warpFn(rec.warpCtx, we);
         } else {
             for (int lane = 0; lane < sass::WarpSize; ++lane) {
                 if (warp.activeMask & (1u << lane))
-                    handler(ds.envs[static_cast<size_t>(lane)]);
+                    handler(arena.envs[static_cast<size_t>(lane)]);
             }
         }
     } catch (const simt::SimFault &f) {

@@ -51,6 +51,37 @@ struct HandlerEnv
     simt::Dim3 blockIdx;
     simt::Dim3 blockDim;
     simt::Dim3 gridDim;
+
+    /** Bind every field for one lane at one site (full rebuild). */
+    void
+    bind(simt::Executor &exec, simt::Warp &warp, int lane_id,
+         const SiteInfo &site_info, uint64_t frame, uint8_t *host)
+    {
+        bp = SASSIBeforeParams(&exec, &warp, lane_id, frame,
+                               &site_info, host);
+        mp = SASSIMemoryParams(&exec, &warp, lane_id, frame,
+                               &site_info, host);
+        brp = SASSICondBranchParams(&exec, &warp, lane_id, frame,
+                                    &site_info, host);
+        rp = SASSIRegisterParams(&exec, &warp, lane_id, frame,
+                                 &site_info, host);
+        site = &site_info;
+        lane = lane_id;
+        threadIdx = exec.threadIdx(warp, lane_id);
+        blockIdx = exec.ctaId();
+        blockDim = exec.blockDim();
+        gridDim = exec.gridDim();
+    }
+
+    /** Repoint all four views at a new frame (invariants kept). */
+    void
+    rebindFrame(uint64_t frame, uint8_t *host)
+    {
+        bp.rebindFrame(frame, host);
+        mp.rebindFrame(frame, host);
+        brp.rebindFrame(frame, host);
+        rp.rebindFrame(frame, host);
+    }
 };
 
 /** User handler: one invocation per active lane per site. */
@@ -71,6 +102,17 @@ struct WarpHandlerEnv
 
 /** Warp-level handler: one invocation per active warp per site. */
 using WarpHandler = std::function<void(const WarpHandlerEnv &)>;
+
+/**
+ * Devirtualized warp-level handler: a plain function pointer plus an
+ * opaque context, so the fused-site fast path's per-dispatch cost is
+ * one predictable indirect call (no std::function dispatch). The
+ * bundled tools register this form directly; a std::function
+ * WarpHandler still works through a trampoline whose context is the
+ * function object itself.
+ */
+using WarpHandlerFn = void (*)(const void *ctx,
+                               const WarpHandlerEnv &we);
 
 /** Static properties of a registered handler. */
 struct HandlerTraits
@@ -113,6 +155,15 @@ struct HandlerTraits
     WarpHandler warpHandler;
 
     /**
+     * Devirtualized form of warpHandler: when warpFn is set it is
+     * preferred over the std::function (warpCtx is passed through
+     * verbatim). The two must be behaviorally identical when both
+     * are present.
+     */
+    WarpHandlerFn warpFn = nullptr;
+    const void *warpCtx = nullptr;
+
+    /**
      * Optional warp-level predicate evaluated before any lane's
      * handler body runs; returning false skips the warp entirely.
      * This models a handler whose leading exit test is warp-uniform
@@ -147,6 +198,29 @@ struct DispatchState
 DispatchState *currentDispatch();
 
 /**
+ * Per-site dispatch plan, resolved once per launch (prepareLaunch)
+ * instead of per dispatch: the flavor-selected handler and traits,
+ * the devirtualized warp-handler target, and the pre-computed
+ * inline-dispatchability answer. Everything the hot path previously
+ * re-derived from sites_.at() + trait checks + std::function probes
+ * is a flat indexed load here.
+ */
+struct SiteDispatchRecord
+{
+    const SiteInfo *site = nullptr;
+    const Handler *handler = nullptr; //!< Null when no handler set.
+    const HandlerTraits *traits = nullptr;
+    /** Resolved warp-level entry: direct warpFn, or a trampoline
+     *  over the std::function warpHandler (ctx = the function
+     *  object). Null when the site has no warp-level body. */
+    WarpHandlerFn warpFn = nullptr;
+    const void *warpCtx = nullptr;
+    bool inlineOk = false;     //!< inlineDispatchable() answer.
+    bool hasFilter = false;    //!< traits->warpFilter set.
+    bool warpSynchronous = true;
+};
+
+/**
  * One SASSI instrumentation session over one device's module.
  * Construction installs the runtime as the device's handler
  * dispatcher; destruction removes it.
@@ -172,6 +246,7 @@ class SassiRuntime : public simt::HandlerDispatcher
     {
         before_ = std::move(h);
         before_traits_ = std::move(traits);
+        records_dirty_ = true;
     }
 
     /** Install the handler for after sites. */
@@ -180,6 +255,7 @@ class SassiRuntime : public simt::HandlerDispatcher
     {
         after_ = std::move(h);
         after_traits_ = std::move(traits);
+        records_dirty_ = true;
     }
 
     /** Register a site (used by the pass). @return its key. */
@@ -214,6 +290,15 @@ class SassiRuntime : public simt::HandlerDispatcher
                   int32_t site_key) override;
 
     /**
+     * Rebuild the per-site dispatch records. Launches are serialized
+     * by the device, so this runs with no worker threads alive; the
+     * records stay valid (and lock-free to read) for the whole
+     * launch because handler registration mid-launch is not
+     * supported.
+     */
+    void prepareLaunch() override;
+
+    /**
      * A site is inline-dispatchable when its handler is marked
      * reentrantSafe and either iterates lanes directly
      * (!warpSynchronous) or supplies a warpHandler; a null handler
@@ -235,6 +320,13 @@ class SassiRuntime : public simt::HandlerDispatcher
     InstrumentOptions opts_;
     Metrics static_metrics_;
     bool instrumented_ = false;
+
+    /** @return the dispatch record for site_key, building the table
+     *  first if registration changed since the last launch. */
+    const SiteDispatchRecord &record(int32_t site_key);
+
+    std::vector<SiteDispatchRecord> records_;
+    bool records_dirty_ = true;
 };
 
 /**

@@ -4,8 +4,59 @@
 
 namespace sassi::handlers {
 
+void
+MemTracer::warpBody(const void *ctx, const core::WarpHandlerEnv &we)
+{
+    auto *self = static_cast<MemTracer *>(const_cast<void *>(ctx));
+
+    // Participating lanes: the set that reaches the ballot in the
+    // fiber form. Skips must match it exactly or the event-id
+    // sequence diverges between the paths.
+    uint32_t parts = 0;
+    int64_t addr[32];
+    for (int lane = 0; lane < 32; ++lane) {
+        if (!(we.activeMask & (1u << lane)))
+            continue;
+        const core::HandlerEnv &env =
+            we.envs[static_cast<size_t>(lane)];
+        if (!env.bp.GetInstrWillExecute() || env.bp.IsSpillOrFill())
+            continue;
+        addr[lane] = env.mp.GetAddress();
+        if (!cuda::isGlobal(addr[lane]))
+            continue;
+        parts |= 1u << lane;
+    }
+    if (!parts)
+        return;
+
+    uint32_t event =
+        self->warp_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    // One lock covers the whole warp; records land in ascending lane
+    // order, exactly the fiber scheduler's order.
+    std::lock_guard<std::mutex> lock(self->mutex_);
+    for (int lane = 0; lane < 32; ++lane) {
+        if (!(parts & (1u << lane)))
+            continue;
+        const core::HandlerEnv &env =
+            we.envs[static_cast<size_t>(lane)];
+        TraceRecord rec;
+        rec.address = static_cast<uint64_t>(addr[lane]);
+        rec.width = static_cast<uint8_t>(env.mp.GetWidth());
+        rec.isStore = env.mp.IsStore();
+        rec.insAddr = env.bp.GetInsAddr();
+        rec.warpEvent = event;
+        self->trace_.push_back(rec);
+    }
+}
+
 MemTracer::MemTracer(simt::Device &, core::SassiRuntime &rt)
 {
+    core::HandlerTraits traits;
+    traits.warpSynchronous = true; // Fiber form elects by ballot.
+    traits.reentrantSafe = true;   // Reads only frame mem params.
+    traits.warpFn = &MemTracer::warpBody;
+    traits.warpCtx = this;
     rt.setBeforeHandler([this](const core::HandlerEnv &env) {
         if (!env.bp.GetInstrWillExecute() || env.bp.IsSpillOrFill())
             return;
@@ -32,7 +83,7 @@ MemTracer::MemTracer(simt::Device &, core::SassiRuntime &rt)
         rec.warpEvent = tl_event;
         std::lock_guard<std::mutex> lock(mutex_);
         trace_.push_back(rec);
-    });
+    }, traits);
 }
 
 } // namespace sassi::handlers

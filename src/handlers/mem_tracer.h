@@ -59,6 +59,11 @@ class MemTracer
     }
 
   private:
+    /** Warp-level body for the fused-site inline path (ctx = the
+     *  MemTracer): one event draw and one lock per warp access. */
+    static void warpBody(const void *ctx,
+                         const core::WarpHandlerEnv &we);
+
     std::mutex mutex_;
     std::vector<TraceRecord> trace_;
     std::atomic<uint32_t> warp_events_{0};

@@ -17,6 +17,82 @@ enum : uint32_t {
     PayloadWords = 18,
 };
 
+/**
+ * Warp-level form of the Figure 9 handler for the fused-site inline
+ * path (ctx = the DevHashTable). The fiber form's leader election,
+ * shfl broadcast and all() vote become direct whole-warp loops; the
+ * device writes stay bit-identical because every payload update is
+ * commutative — the per-lane weight adds sum to one add of
+ * popc(parts), the per-lane seen1/seen0 ORs fold into one OR each,
+ * and the CAS-from-zero / store-of-one writes are idempotent.
+ */
+void
+valueProfilerWarpBody(const void *ctx, const core::WarpHandlerEnv &we)
+{
+    auto *table =
+        static_cast<DevHashTable *>(const_cast<void *>(ctx));
+
+    // Participating lanes: exactly the set that reaches the ballot
+    // in the fiber form (predicated-off lanes, spill traffic and
+    // dst-less instructions drop out first).
+    uint32_t parts = 0;
+    for (int lane = 0; lane < 32; ++lane) {
+        if (!(we.activeMask & (1u << lane)))
+            continue;
+        const core::HandlerEnv &env =
+            we.envs[static_cast<size_t>(lane)];
+        if (!env.bp.GetInstrWillExecute() || env.bp.IsSpillOrFill())
+            continue;
+        if (env.rp.GetNumGPRDsts() == 0)
+            continue;
+        parts |= 1u << lane;
+    }
+    if (!parts)
+        return;
+
+    const core::HandlerEnv &lead =
+        we.envs[static_cast<size_t>(cuda::ffs(parts) - 1)];
+    int num_dsts = lead.rp.GetNumGPRDsts();
+    uint64_t stats = table->findOrInsert(lead.bp.GetInsAddr());
+
+    cuda::atomicAdd64(stats + PWeight * 8,
+                      static_cast<uint64_t>(cuda::popc(parts)));
+    cuda::atomicCAS64(stats + PNumDsts * 8, 0,
+                      static_cast<uint64_t>(num_dsts));
+    for (int d = 0; d < num_dsts && d < 4; ++d) {
+        auto ud = static_cast<uint32_t>(d);
+        core::SASSIGPRRegInfo reg_info = lead.rp.GetGPRDst(d);
+        cuda::atomicCAS64(
+            stats + (PRegNum + ud) * 8, 0,
+            static_cast<uint64_t>(lead.rp.GetRegNum(reg_info) + 1));
+
+        uint32_t leader_value = 0;
+        uint32_t seen1 = 0;
+        uint32_t seen0 = 0;
+        bool all_same = true;
+        bool first = true;
+        for (int lane = 0; lane < 32; ++lane) {
+            if (!(parts & (1u << lane)))
+                continue;
+            const core::HandlerEnv &env =
+                we.envs[static_cast<size_t>(lane)];
+            uint32_t v = env.rp.GetRegValue(env.rp.GetGPRDst(d));
+            seen1 |= v;
+            seen0 |= ~v;
+            if (first) {
+                leader_value = v;
+                first = false;
+            } else if (v != leader_value) {
+                all_same = false;
+            }
+        }
+        cuda::atomicOr64(stats + (PSeen1 + ud) * 8, seen1);
+        cuda::atomicOr64(stats + (PSeen0 + ud) * 8, seen0);
+        if (!all_same)
+            cuda::devStore64(stats + (PNonScalar + ud) * 8, 1);
+    }
+}
+
 } // namespace
 
 ValueProfiler::ValueProfiler(simt::Device &dev, core::SassiRuntime &rt,
@@ -24,6 +100,11 @@ ValueProfiler::ValueProfiler(simt::Device &dev, core::SassiRuntime &rt,
     : table_(dev, table_capacity, PayloadWords)
 {
     DevHashTable *table = &table_;
+    core::HandlerTraits traits;
+    traits.warpSynchronous = true; // ballot/shfl/all in fiber form.
+    traits.reentrantSafe = true;   // Reads only spilled dst regs.
+    traits.warpFn = valueProfilerWarpBody;
+    traits.warpCtx = table;
     rt.setAfterHandler([table](const core::HandlerEnv &env) {
         // Figure 9: the value-profiling handler. Skip lanes whose
         // instruction was predicated off (their registers are
@@ -81,7 +162,7 @@ ValueProfiler::ValueProfiler(simt::Device &dev, core::SassiRuntime &rt,
                     1);
             }
         }
-    });
+    }, traits);
 }
 
 std::vector<ValueStats>

@@ -35,6 +35,15 @@ class HandlerDispatcher
     virtual void dispatch(Executor &exec, Warp &warp, int32_t site_key) = 0;
 
     /**
+     * Called once at the start of every launch, before any worker
+     * thread exists. Dispatchers that cache per-site dispatch plans
+     * (resolved handler targets, traits) rebuild them here, so the
+     * per-dispatch hot path never has to take a lock or re-derive
+     * anything that only changes when handlers are (re)registered.
+     */
+    virtual void prepareLaunch() {}
+
+    /**
      * @return true when the handler behind site_key may be called
      * inline from the executor's fused-site path — i.e.\ without a
      * fiber group (so it must never suspend or use warp-rendezvous

@@ -1,10 +1,12 @@
 #include "simt/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
 #include "simt/simd/simd_exec.h"
+#include "simt/simd/site_frame.h"
 #include "simt/thread_pool.h"
 #include "util/bitops.h"
 #include "util/logging.h"
@@ -119,6 +121,8 @@ Executor::Executor(Device &dev, const ir::Kernel &kernel, Dim3 grid,
     : dev_(dev), kernel_(kernel), grid_(grid), block_(block),
       params_(std::move(params)), opts_(opts)
 {
+    static std::atomic<uint64_t> next_seq{1};
+    launch_seq_ = next_seq.fetch_add(1, std::memory_order_relaxed);
     // Register the interpreter's own metrics up front: the returned
     // references are stable map nodes, so every shard bumps through
     // these pointers and merge still finds identical key sets.
@@ -400,6 +404,25 @@ Executor::runCta()
     }
 
     for (;;) {
+        // Round-debt batching: when every runnable warp would only
+        // decrement skipRounds this round, collapse min(skipRounds)
+        // such rounds into one bulk subtraction. The rounds removed
+        // have no architectural effect (their work was executed and
+        // charged when the run was entered), and subtracting the
+        // same amount from every runnable warp preserves the exact
+        // interleave of real instruction execution.
+        uint32_t min_skip = UINT32_MAX;
+        for (const Warp &warp : warps_) {
+            if (warp.done() || warp.atBarrier)
+                continue;
+            if (warp.skipRounds < min_skip)
+                min_skip = warp.skipRounds;
+        }
+        if (min_skip != UINT32_MAX && min_skip > 0) {
+            for (Warp &warp : warps_)
+                if (!warp.done() && !warp.atBarrier)
+                    warp.skipRounds -= min_skip;
+        }
         bool progressed = false;
         bool any_alive = false;
         for (Warp &warp : warps_) {
@@ -1117,20 +1140,54 @@ Executor::enterSiteRun(Warp &warp, uint16_t id)
     // frame outside local memory; fall back so it reports the exact
     // fault. base may legitimately differ per lane only through R1,
     // which the ABI keeps warp-uniform, but check every lane anyway.
+    // One pass also captures the per-lane frame pointer and the
+    // recomputed memory address — every write lands in locals, so an
+    // out-of-bounds fallback discards them harmlessly.
     const int64_t frame_bytes = run.frameBytes();
-    int64_t base[WarpSize];
+    const int num_regs = warp.numRegs;
+    const uint32_t *const regs0 = warp.regs.data();
+    uint8_t *const lmem0 = warp.localMem.data();
+    const size_t lstride = kernel_.localBytes;
+    const auto regSpan = [&](uint8_t r) -> const uint32_t * {
+        return r < num_regs
+                   ? regs0 + static_cast<size_t>(r) * WarpSize
+                   : nullptr;
+    };
+    const uint32_t *const r1s = regSpan(abi::StackPtr);
+    const uint32_t *const als =
+        run.hasAddr ? regSpan(run.addrLoReg) : nullptr;
+    const uint32_t *const ahs =
+        run.addrPair ? regSpan(run.addrHiReg) : nullptr;
+    uint8_t *fptr[WarpSize]; // Frame base, per lane.
+    // Zero-filled so the SIMD tier's whole-chunk loads stay defined
+    // at inactive lanes (their values are never stored).
+    uint32_t addr_lo[WarpSize] = {};
+    uint32_t addr_hi[WarpSize] = {};
+    uint32_t carry[WarpSize] = {};
     for (int lane = 0; lane < WarpSize; ++lane) {
         if (!(active & (1u << lane)))
             continue;
-        int64_t b =
-            static_cast<int64_t>(warp.reg(lane, abi::StackPtr)) +
-            run.frameRel;
+        const int64_t b =
+            static_cast<int64_t>(r1s ? r1s[lane] : 0) + run.frameRel;
         if (b < 0 ||
             b + frame_bytes > static_cast<int64_t>(kernel_.localBytes)) {
             ++hs_fallback_;
             return false;
         }
-        base[lane] = b;
+        fptr[lane] = lmem0 + static_cast<size_t>(lane) * lstride +
+                     static_cast<uint64_t>(b);
+        if (run.hasAddr) {
+            uint64_t sum =
+                static_cast<uint64_t>(als ? als[lane] : 0) +
+                run.addrImmLo;
+            addr_lo[lane] = static_cast<uint32_t>(sum);
+            carry[lane] = (sum >> 32) != 0 ? 1u : 0u;
+            if (run.addrPair) {
+                addr_hi[lane] =
+                    (ahs ? ahs[lane] : 0) + run.addrImmHi +
+                    carry[lane];
+            }
+        }
     }
 
     // Charge the prologue half (through the JCAL) exactly as
@@ -1151,37 +1208,36 @@ Executor::enterSiteRun(Warp &warp, uint16_t id)
     // Materialize the frame template: every spill and parameter
     // store of the prologue, as direct 32-bit stores. Store-major
     // order: the per-lane ingredients (frame pointer, recomputed
-    // memory address) are captured once, then each template store's
-    // kind is decoded once and applied to every active lane in a
-    // tight strided loop. Register reads index the lane's register
-    // file slice directly, bounds-checked (out-of-budget and RZ
-    // read 0, like Warp::reg).
-    const int num_regs = warp.numRegs;
-    const uint32_t *const regs0 = warp.regs.data();
-    uint8_t *const lmem0 = warp.localMem.data();
-    const size_t lstride = kernel_.localBytes;
-    uint8_t *fptr[WarpSize];   // Frame base, per lane.
-    uint32_t addr_lo[WarpSize];
-    uint32_t addr_hi[WarpSize];
-    uint32_t carry[WarpSize];
-    for (int lane = 0; lane < WarpSize; ++lane) {
-        if (!(active & (1u << lane)))
-            continue;
-        fptr[lane] = lmem0 + static_cast<size_t>(lane) * lstride +
-                     static_cast<uint64_t>(base[lane]);
-        if (run.hasAddr) {
-            uint64_t sum =
-                static_cast<uint64_t>(warp.reg(lane, run.addrLoReg)) +
-                run.addrImmLo;
-            addr_lo[lane] = static_cast<uint32_t>(sum);
-            carry[lane] = (sum >> 32) != 0 ? 1u : 0u;
-            if (run.addrPair) {
-                addr_hi[lane] = warp.reg(lane, run.addrHiReg) +
-                                run.addrImmHi + carry[lane];
-            }
-        }
+    // memory address) were captured above, then each template
+    // store's kind is decoded once and applied to every active lane
+    // in a tight strided loop. Register reads index the lane's
+    // register file slice directly, bounds-checked (out-of-budget
+    // and RZ read 0, like Warp::reg).
+    // SIMD tier first: compute each template store 8 lanes at a
+    // time, then one transposed (masked) 256-bit store per lane per
+    // 8-slot frame window (simt/simd/site_frame.cc). Returns false
+    // when compiled out; the scalar store-major loop below is the
+    // fallback and the simd=0 reference the differential suites
+    // compare against.
+    bool frames_vectored = false;
+    if (simd_on_) {
+        simd::SiteFrameCtx fctx;
+        fctx.run = &run;
+        fctx.warp = &warp;
+        fctx.active = active;
+        fctx.fptr = fptr;
+        fctx.addrLo = addr_lo;
+        fctx.addrHi = addr_hi;
+        fctx.carry = carry;
+        fctx.lmem0 = lmem0;
+        fctx.lstride = lstride;
+        fctx.regs0 = regs0;
+        fctx.numRegs = num_regs;
+        frames_vectored = simd::storeSiteFrames(fctx);
     }
     for (const SiteStore &st : run.stores) {
+        if (frames_vectored)
+            break;
         // Destination of the store for one lane (frame-relative or
         // absolute within the lane's local memory).
         const auto dst = [&](int lane) -> uint8_t * {
@@ -1282,24 +1338,35 @@ Executor::completeSiteRun(Warp &warp)
     ++stats_.handlerCalls;
     // Per-warp bases, hoisted: lane addresses differ only by a
     // localBytes stride (and R1, which the ABI keeps warp-uniform
-    // but is read per lane anyway).
+    // but is read per lane anyway). The same pass captures the entry
+    // R1 and frame offset for the epilogue replay — the handler
+    // cannot modify the register file (SetRegValue writes frame
+    // slots), so the values stay valid across the dispatch.
     const uint64_t warp_window = localWindowAddr(warp, 0);
+    const int num_regs = warp.numRegs;
+    uint32_t *const regs0 = warp.regs.data();
+    const uint8_t *const lmem0 = warp.localMem.data();
+    const size_t lstride = kernel_.localBytes;
+    const uint32_t *const r1s =
+        abi::StackPtr < num_regs
+            ? regs0 + static_cast<size_t>(abi::StackPtr) * WarpSize
+            : nullptr;
     uint64_t frame_addr[WarpSize] = {};
     uint8_t *frame_host[WarpSize] = {};
+    uint32_t r1v[WarpSize];
+    uint64_t fb[WarpSize]; // Frame byte offset within lane lmem.
     for (int lane = 0; lane < WarpSize; ++lane) {
         if (!(active & (1u << lane)))
             continue;
-        uint64_t b = static_cast<uint64_t>(
-            static_cast<int64_t>(warp.reg(lane, abi::StackPtr)) +
-            run.frameRel);
+        const uint32_t r1 = r1s ? r1s[lane] : 0;
+        r1v[lane] = r1;
+        const uint64_t b = static_cast<uint64_t>(
+            static_cast<int64_t>(r1) + run.frameRel);
+        fb[lane] = b;
         frame_host[lane] = warp.localMem.data() +
-                           static_cast<size_t>(lane) *
-                               kernel_.localBytes +
-                           b;
-        frame_addr[lane] = warp_window +
-                           static_cast<uint64_t>(lane) *
-                               kernel_.localBytes +
-                           b;
+                           static_cast<size_t>(lane) * lstride + b;
+        frame_addr[lane] =
+            warp_window + static_cast<uint64_t>(lane) * lstride + b;
     }
     // When the handler left frame memory untouched, identity fills
     // (reloads of exactly what the prologue spilled) are no-ops: the
@@ -1323,40 +1390,47 @@ Executor::completeSiteRun(Warp &warp)
 
     // Apply the epilogue's effects, effect-major. Every effect value
     // derives from entry register values (R1 and the memory-address
-    // base registers, captured below before any write — they may
+    // base registers, captured above before any write — they may
     // themselves be fill destinations) or from frame memory, which
     // register writes never touch — so each effect can be written
-    // for all lanes as soon as it is decoded.
-    const size_t num_effects = run.effects.size();
-    const int num_regs = warp.numRegs;
-    uint32_t *const regs0 = warp.regs.data();
-    const uint8_t *const lmem0 = warp.localMem.data();
-    const size_t lstride = kernel_.localBytes;
-    uint32_t r1v[WarpSize];
-    uint64_t fb[WarpSize]; // Frame byte offset within lane lmem.
+    // for all lanes as soon as it is decoded. When the handler left
+    // frame memory clean and the whole epilogue is identity rewrites
+    // (the common tool case), the replay — address recompute
+    // included — is skipped wholesale.
+    if (!frame_dirty && run.effectsAllIdentity) {
+        warp.pc = run.start + run.len;
+        warp.skipRounds = run.len - 1 - run.jcalIdx;
+        return;
+    }
     uint32_t addr_lo[WarpSize];
     uint32_t addr_hi[WarpSize];
-    for (int lane = 0; lane < WarpSize; ++lane) {
-        if (!(active & (1u << lane)))
-            continue;
-        const uint32_t r1 = warp.reg(lane, abi::StackPtr);
-        r1v[lane] = r1;
-        fb[lane] = static_cast<uint64_t>(static_cast<int64_t>(r1) +
-                                         run.frameRel);
-        if (run.hasAddr) {
+    if (run.hasAddr && run.effectsNeedAddr) {
+        const uint32_t *const als =
+            run.addrLoReg < num_regs
+                ? regs0 +
+                      static_cast<size_t>(run.addrLoReg) * WarpSize
+                : nullptr;
+        const uint32_t *const ahs =
+            run.addrPair && run.addrHiReg < num_regs
+                ? regs0 +
+                      static_cast<size_t>(run.addrHiReg) * WarpSize
+                : nullptr;
+        for (int lane = 0; lane < WarpSize; ++lane) {
+            if (!(active & (1u << lane)))
+                continue;
             uint64_t sum =
-                static_cast<uint64_t>(warp.reg(lane, run.addrLoReg)) +
+                static_cast<uint64_t>(als ? als[lane] : 0) +
                 run.addrImmLo;
             addr_lo[lane] = static_cast<uint32_t>(sum);
             if (run.addrPair) {
-                addr_hi[lane] = warp.reg(lane, run.addrHiReg) +
+                addr_hi[lane] = (ahs ? ahs[lane] : 0) +
                                 run.addrImmHi +
                                 ((sum >> 32) != 0 ? 1u : 0u);
             }
         }
     }
-    for (size_t i = 0; i < num_effects; ++i) {
-        const SiteRegEffect &e = run.effects[i];
+    const bool full_mask = active == ~0u;
+    for (const SiteRegEffect &e : run.effects) {
         if (e.identity && !frame_dirty)
             continue;
         // RZ (and anything out of budget) discards, like setReg().
@@ -1364,45 +1438,88 @@ Executor::completeSiteRun(Warp &warp)
             continue;
         uint32_t *const dst =
             regs0 + static_cast<size_t>(e.reg) * WarpSize;
-        for (int lane = 0; lane < WarpSize; ++lane) {
-            if (!(active & (1u << lane)))
-                continue;
-            uint32_t v = 0;
-            switch (e.kind) {
-              case SiteRegEffect::Kind::Const:
-                v = e.imm;
-                break;
-              case SiteRegEffect::Kind::FrameRel:
-                v = static_cast<uint32_t>(
-                    static_cast<int64_t>(r1v[lane]) + e.rel);
-                break;
-              case SiteRegEffect::Kind::AddrLo:
-                v = addr_lo[lane];
-                break;
-              case SiteRegEffect::Kind::AddrHi:
-                v = addr_hi[lane];
-                break;
-              case SiteRegEffect::Kind::GenLo:
-              case SiteRegEffect::Kind::GenHi: {
+        // Kind decoded once, then a tight per-lane loop (mirrors the
+        // phase-A store loop's store-major structure). The common
+        // full-mask case gets branchless countable loops the
+        // compiler can vectorize; register addition is mod 2^32, so
+        // the 64-bit rel terms fold to 32-bit addends.
+        switch (e.kind) {
+          case SiteRegEffect::Kind::Const:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (full_mask || (active & (1u << lane)))
+                    dst[lane] = e.imm;
+            break;
+          case SiteRegEffect::Kind::FrameRel: {
+            const uint32_t rel = static_cast<uint32_t>(e.rel);
+            if (full_mask) {
+                for (int lane = 0; lane < WarpSize; ++lane)
+                    dst[lane] = r1v[lane] + rel;
+            } else {
+                for (int lane = 0; lane < WarpSize; ++lane)
+                    if (active & (1u << lane))
+                        dst[lane] = r1v[lane] + rel;
+            }
+            break;
+          }
+          case SiteRegEffect::Kind::AddrLo:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (full_mask || (active & (1u << lane)))
+                    dst[lane] = addr_lo[lane];
+            break;
+          case SiteRegEffect::Kind::AddrHi:
+            for (int lane = 0; lane < WarpSize; ++lane)
+                if (full_mask || (active & (1u << lane)))
+                    dst[lane] = addr_hi[lane];
+            break;
+          case SiteRegEffect::Kind::GenLo: {
+            // lo32 of the generic address is linear mod 2^32 in the
+            // lane index, so no 64-bit math per lane.
+            const uint32_t base = lo32(warp_window) +
+                                  static_cast<uint32_t>(e.rel);
+            const uint32_t stride32 =
+                static_cast<uint32_t>(lstride);
+            if (full_mask) {
+                for (int lane = 0; lane < WarpSize; ++lane)
+                    dst[lane] =
+                        base +
+                        static_cast<uint32_t>(lane) * stride32 +
+                        r1v[lane];
+            } else {
+                for (int lane = 0; lane < WarpSize; ++lane)
+                    if (active & (1u << lane))
+                        dst[lane] =
+                            base +
+                            static_cast<uint32_t>(lane) * stride32 +
+                            r1v[lane];
+            }
+            break;
+          }
+          case SiteRegEffect::Kind::GenHi:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!full_mask && !(active & (1u << lane)))
+                    continue;
                 uint64_t g = warp_window +
                              static_cast<uint64_t>(lane) * lstride +
                              static_cast<uint32_t>(
                                  static_cast<int64_t>(r1v[lane]) +
                                  e.rel);
-                v = e.kind == SiteRegEffect::Kind::GenLo ? lo32(g)
-                                                         : hi32(g);
-                break;
-              }
-              case SiteRegEffect::Kind::Load:
+                dst[lane] = hi32(g);
+            }
+            break;
+          case SiteRegEffect::Kind::Load:
+            for (int lane = 0; lane < WarpSize; ++lane) {
+                if (!full_mask && !(active & (1u << lane)))
+                    continue;
+                uint32_t v;
                 std::memcpy(
                     &v,
                     lmem0 + static_cast<size_t>(lane) * lstride +
                         (e.abs ? static_cast<uint64_t>(e.off)
                                : fb[lane] + e.off),
                     4);
-                break;
+                dst[lane] = v;
             }
-            dst[lane] = v;
+            break;
         }
     }
     if (run.restorePred && (frame_dirty || !run.restorePredIdentity)) {

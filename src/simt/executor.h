@@ -94,6 +94,14 @@ class Executor
     /** Linear id of the CTA currently executing. */
     uint64_t ctaLinear() const { return cta_linear_; }
 
+    /**
+     * Process-unique id of this executor instance. Caches keyed by
+     * executor pointer alone could alias across launches (a later
+     * Executor at the same address); keying by (pointer, launchSeq)
+     * cannot.
+     */
+    uint64_t launchSeq() const { return launch_seq_; }
+
     /** Thread index (x,y,z) of a lane in the current CTA. Inline —
      *  handler dispatch builds a threadIdx per lane per site. */
     Dim3
@@ -269,6 +277,7 @@ class Executor
     MetricHistogram *m_div_depth_ = nullptr;
     MetricHistogram *m_cta_warp_instrs_ = nullptr;
     int trace_tid_ = 0;
+    uint64_t launch_seq_ = 0;
     std::shared_ptr<void> dispatcher_scratch_;
 
     // The kernel's compiled micro-program: fetched from the

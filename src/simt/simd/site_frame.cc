@@ -1,0 +1,234 @@
+/**
+ * @file
+ * AVX2 implementation of fused-site frame materialization (see
+ * site_frame.h). This is the second -mavx2 translation unit next to
+ * simd_exec.cc; CMake compiles it with SASSI_SIMD_AVX2 only when the
+ * toolchain check passes, and the #else stub keeps non-AVX2 builds
+ * on the scalar loop.
+ */
+
+#include "simt/simd/site_frame.h"
+
+#if defined(SASSI_SIMD_AVX2)
+
+#include <bit>
+#include <cstring>
+#include <immintrin.h>
+
+#include "sass/reg.h"
+#include "simt/simd/simd_vec.h"
+#include "simt/site_fuse.h"
+#include "simt/warp.h"
+
+namespace sassi::simt::simd {
+
+namespace {
+
+/**
+ * In-place 8x8 transpose of 32-bit elements: on entry r[j] holds
+ * store j's values for 8 consecutive lanes; on exit r[k] holds lane
+ * k's values for the 8 stores (the lane's adjacent frame slots).
+ */
+inline void
+transpose8(__m256i r[8])
+{
+    __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+    __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+    __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+    __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+    __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+    __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+    __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+    __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+    __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+    r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+    r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+    r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+    r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+    r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+    r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+    r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+    r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+/** Values of one template store for lanes [8c, 8c+8). Mirrors the
+ *  per-kind cases of the scalar loop exactly. */
+inline u32x8
+storeValues(const SiteStore &st, const SiteFrameCtx &ctx, int c)
+{
+    const Warp &warp = *ctx.warp;
+    switch (st.kind) {
+      case SiteStore::Kind::Const:
+        return u32x8::splat(st.imm);
+      case SiteStore::Kind::Reg:
+        // Out-of-budget (and RZ) sources read 0, like Warp::reg.
+        return st.reg < ctx.numRegs
+                   ? u32x8::load(ctx.regs0 +
+                                 static_cast<size_t>(st.reg) *
+                                     sass::WarpSize +
+                                 8 * static_cast<size_t>(c))
+                   : u32x8::zero();
+      case SiteStore::Kind::AddrLo:
+        return u32x8::load(ctx.addrLo + 8 * c);
+      case SiteStore::Kind::AddrHi:
+        return u32x8::load(ctx.addrHi + 8 * c);
+      case SiteStore::Kind::PredBits: {
+        // predByte's per-lane gather over the predicate file becomes
+        // one masked merge per predicate, whole chunk at a time.
+        u32x8 v = u32x8::zero();
+        for (int p = 0; p < sass::NumPred; ++p) {
+            if (!(st.imm & (1u << p)))
+                continue;
+            v = v | (chunkMask(warp.predBits[static_cast<size_t>(p)],
+                               c) &
+                     u32x8::splat(1u << p));
+        }
+        return v;
+      }
+      case SiteStore::Kind::CCOrig:
+        return chunkMask(warp.ccMask, c) & u32x8::splat(0x80u);
+      case SiteStore::Kind::CCCarry:
+        // carry is 0/1 per lane; the spilled byte is carry << 7.
+        return {_mm256_slli_epi32(
+            u32x8::load(ctx.carry + 8 * c).raw, 7)};
+      case SiteStore::Kind::GuardFlag: {
+        uint32_t bits = st.reg == sass::PT
+                            ? 0xffffffffu
+                            : warp.predBits[st.reg];
+        if (st.neg)
+            bits = ~bits;
+        return chunkMask(bits, c) & u32x8::splat(1u);
+      }
+    }
+    return u32x8::zero();
+}
+
+} // namespace
+
+bool
+storeSiteFrames(const SiteFrameCtx &ctx)
+{
+    const SiteRun &run = *ctx.run;
+    // The fuse pass leaves the plan empty when the template is not
+    // vectorizable.
+    if (run.groups.empty())
+        return false;
+
+    // Lane-invariant windows first: every written slot is a Const
+    // store, so the compile-time-baked row is the value for *all*
+    // lanes — one (masked) 256-bit store per active lane, no gather
+    // or transpose. The group mask keeps gap slots' previous bytes,
+    // like the scalar loop; masked-off elements of a maskstore never
+    // touch (or fault on) memory, so a window may overhang the frame.
+    for (const SiteSlotGroup &g : run.groups) {
+        if (!g.constOnly)
+            continue;
+        const __m256i row = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(g.constVal));
+        const bool full = g.mask == 0xff;
+        const __m256i mv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(g.maskVec));
+        for (uint32_t rest = ctx.active; rest;) {
+            const int lane = std::countr_zero(rest);
+            rest &= rest - 1;
+            uint8_t *dst =
+                (g.abs ? ctx.lmem0 +
+                             static_cast<size_t>(lane) * ctx.lstride
+                       : ctx.fptr[lane]) +
+                g.base;
+            if (full)
+                _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst),
+                                    row);
+            else
+                _mm256_maskstore_epi32(reinterpret_cast<int *>(dst),
+                                       mv, row);
+        }
+    }
+
+    for (int c = 0; c < 4; ++c) {
+        const uint32_t cbits = (ctx.active >> (8 * c)) & 0xffu;
+        if (!cbits)
+            continue;
+        // Per lane-varying 8-slot window: evaluate the surviving
+        // (last-wins) store of each slot for the chunk's 8 lanes
+        // straight off the SoA register file — shadowed stores are
+        // dead and never computed — then transpose once and write
+        // each lane's 32-byte span with one store.
+        for (const SiteSlotGroup &g : run.groups) {
+            if (g.constOnly)
+                continue;
+            __m256i rows[8];
+            if (g.regConst) {
+                // Reg/Const-only window: load-or-splat per slot, no
+                // per-kind dispatch (the dominant window shape).
+                for (int j = 0; j < 8; ++j)
+                    rows[j] =
+                        g.regIdx[j] != 0xff
+                            ? _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i *>(
+                                      ctx.regs0 +
+                                      static_cast<size_t>(
+                                          g.regIdx[j]) *
+                                          sass::WarpSize +
+                                      8 * static_cast<size_t>(c)))
+                            : _mm256_set1_epi32(static_cast<int32_t>(
+                                  g.constVal[j]));
+            } else {
+                for (int j = 0; j < 8; ++j)
+                    rows[j] =
+                        g.rowSrc[j] == 0xff
+                            ? _mm256_setzero_si256()
+                            : storeValues(run.stores[g.rowSrc[j]],
+                                          ctx, c)
+                                  .raw;
+            }
+            transpose8(rows);
+
+            const bool full = g.mask == 0xff;
+            const __m256i mv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(g.maskVec));
+            uint8_t *const base_abs =
+                ctx.lmem0 + static_cast<size_t>(8 * c) * ctx.lstride;
+            for (int k = 0; k < 8; ++k) {
+                if (!(cbits & (1u << k)))
+                    continue;
+                const int lane = 8 * c + k;
+                uint8_t *dst =
+                    (g.abs ? base_abs +
+                                 static_cast<size_t>(k) * ctx.lstride
+                           : ctx.fptr[lane]) +
+                    g.base;
+                if (full)
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(dst), rows[k]);
+                else
+                    _mm256_maskstore_epi32(
+                        reinterpret_cast<int *>(dst), mv, rows[k]);
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace sassi::simt::simd
+
+#else // !SASSI_SIMD_AVX2
+
+namespace sassi::simt::simd {
+
+bool
+storeSiteFrames(const SiteFrameCtx &)
+{
+    return false; // Scalar fallback: caller runs the store loop.
+}
+
+} // namespace sassi::simt::simd
+
+#endif // SASSI_SIMD_AVX2

@@ -593,6 +593,97 @@ markIdentity(SiteRun &run)
     }
 }
 
+/**
+ * Bucket the template stores into SiteSlotGroups: aligned 8-slot
+ * windows per row, each slot recording the last store that writes
+ * it. Groups make the SIMD tier's store count proportional to frame
+ * *span*, not store count — small interleaved segments share one
+ * transpose + one masked 256-bit store per lane. An empty plan means
+ * the template is not vectorizable (misaligned or oversized); the
+ * scalar loop handles it.
+ */
+void
+buildSlotGroups(SiteRun &run)
+{
+    run.groups.clear();
+    // rowSrc is a uint8_t store index; templates anywhere near the
+    // limit are degenerate, so just leave them to the scalar loop.
+    if (run.stores.size() >= 0xff)
+        return;
+    for (size_t i = 0; i < run.stores.size(); ++i) {
+        const SiteStore &st = run.stores[i];
+        if (st.off % 4 != 0) {
+            run.groups.clear();
+            return;
+        }
+        const uint32_t base = st.off & ~31u;
+        const uint32_t slot = (st.off & 31u) / 4;
+        SiteSlotGroup *g = nullptr;
+        for (SiteSlotGroup &cand : run.groups) {
+            if (cand.base == base && cand.abs == st.abs) {
+                g = &cand;
+                break;
+            }
+        }
+        if (!g) {
+            run.groups.emplace_back();
+            g = &run.groups.back();
+            g->base = base;
+            g->abs = st.abs;
+        }
+        g->mask |= static_cast<uint8_t>(1u << slot);
+        g->rowSrc[slot] = static_cast<uint8_t>(i);
+    }
+    // Finalize after bucketing so last-wins aliasing has settled:
+    // bake the maskstore operand, the lane-invariant row of Const
+    // slots, and the load-or-splat plan for Reg/Const-only windows
+    // (the SIMD tier then skips the per-kind dispatch entirely —
+    // the scanner guarantees Reg sources are within the register
+    // budget, so regIdx always names a live SoA span).
+    for (SiteSlotGroup &g : run.groups) {
+        g.constOnly = true;
+        g.regConst = true;
+        for (int j = 0; j < 8; ++j) {
+            if (!(g.mask & (1u << j)))
+                continue;
+            g.maskVec[j] = -1;
+            const SiteStore &st = run.stores[g.rowSrc[j]];
+            if (st.kind == SiteStore::Kind::Const) {
+                g.constVal[j] = st.imm;
+            } else {
+                g.constOnly = false;
+                if (st.kind == SiteStore::Kind::Reg)
+                    g.regIdx[j] = st.reg;
+                else
+                    g.regConst = false;
+            }
+        }
+    }
+}
+
+/**
+ * Summarize the phase-B effect list so the executor can skip the
+ * whole epilogue replay (setup loops included) when the handler left
+ * frame memory clean and everything is an identity rewrite.
+ */
+void
+summarizeEffects(SiteRun &run)
+{
+    bool all = true;
+    bool addr = false;
+    for (const SiteRegEffect &e : run.effects) {
+        all = all && e.identity;
+        addr = addr || e.kind == SiteRegEffect::Kind::AddrLo ||
+               e.kind == SiteRegEffect::Kind::AddrHi;
+    }
+    if (run.restorePred)
+        all = all && run.restorePredIdentity;
+    if (run.restoreCC)
+        all = all && run.restoreCCIdentity;
+    run.effectsAllIdentity = all;
+    run.effectsNeedAddr = addr;
+}
+
 } // namespace
 
 std::vector<SiteRun>
@@ -613,6 +704,8 @@ compileSiteRuns(const ir::Kernel &kernel,
             SiteRun run;
             if (scanner.scan(i, run)) {
                 markIdentity(run);
+                buildSlotGroups(run);
+                summarizeEffects(run);
                 i += run.len;
                 runs.push_back(std::move(run));
                 continue;

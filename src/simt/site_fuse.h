@@ -127,6 +127,43 @@ struct SiteRunStats
     std::vector<std::pair<sass::Opcode, uint32_t>> opcodeCounts;
 };
 
+/**
+ * SIMD store plan: one aligned group of 8 consecutive 4-byte slots
+ * of one row (frame-relative or absolute), covering every template
+ * store whose offset falls in [base, base + 32). The SIMD frame tier
+ * (simt/simd/site_frame.cc) computes each store's 32 lane values
+ * vertically, then per group transposes 8 lanes at a time and writes
+ * each lane's 32-byte span with a single 256-bit store — masked by
+ * `mask` so slots no store writes keep their previous bytes, exactly
+ * like the scalar loop. rowSrc holds the index of the *last* store
+ * writing each slot, so aliasing stores land with scalar semantics
+ * (stores shadowed by a later one to the same slot are dead and the
+ * SIMD tier never evaluates them). Groups whose written slots are
+ * all Const stores produce the identical 32-byte row for every lane;
+ * constOnly/constVal bake that row at compile time so the runtime
+ * skips the gather and transpose for them wholesale.
+ */
+struct SiteSlotGroup
+{
+    uint32_t base = 0;     //!< Byte offset of slot 0 (32-byte units).
+    bool abs = false;      //!< Absolute local-window row.
+    bool constOnly = false; //!< All written slots are Const stores.
+    bool regConst = false; //!< All written slots are Reg or Const
+                           //!< stores: the runtime evaluates slots
+                           //!< via regIdx/constVal (load-or-splat)
+                           //!< instead of the per-kind dispatch.
+    uint8_t mask = 0;      //!< Bit j set: slot j is written.
+    uint8_t rowSrc[8] = {0xff, 0xff, 0xff, 0xff,
+                         0xff, 0xff, 0xff, 0xff}; //!< 0xff = gap.
+    uint8_t regIdx[8] = {0xff, 0xff, 0xff, 0xff,
+                         0xff, 0xff, 0xff, 0xff}; //!< Reg slot: the
+                           //!< source GPR; 0xff: use constVal[j].
+    int32_t maskVec[8] = {0}; //!< -1 where written, 0 where gap
+                              //!< (ready-made maskstore operand).
+    uint32_t constVal[8] = {0}; //!< Baked values of Const slots (and
+                                //!< the zero rows of gap slots).
+};
+
 /** One recognized instrumentation-site bundle. */
 struct SiteRun
 {
@@ -169,7 +206,22 @@ struct SiteRun
     uint32_t restoreCCOff = 0;
 
     std::vector<SiteStore> stores;      //!< Phase A frame template.
+    std::vector<SiteSlotGroup> groups;  //!< SIMD store plan (empty
+                                        //!< when the template is not
+                                        //!< vectorizable; the scalar
+                                        //!< loop is always correct).
     std::vector<SiteRegEffect> effects; //!< Phase B register effects.
+
+    /**
+     * Every phase-B effect (including the pred/CC restores) is an
+     * identity rewrite: when the handler leaves frame memory clean
+     * the executor can skip the whole epilogue-replay block — the
+     * per-lane setup loops included — not just individual effects.
+     */
+    bool effectsAllIdentity = false;
+
+    /** Some phase-B effect reads the recomputed memory address. */
+    bool effectsNeedAddr = false;
 
     SiteRunStats pre;  //!< Instructions start .. start+jcalIdx.
     SiteRunStats post; //!< Instructions start+jcalIdx+1 .. start+len-1.

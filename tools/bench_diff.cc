@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Benchmark regression checker.
+ *
+ * Compares two BENCH_simt.json snapshots (see bench/bench_json.h):
+ * a committed baseline and a freshly measured candidate. Records are
+ * matched by (section, name); a candidate record whose wall_seconds
+ * exceeds the baseline's by more than the regression budget (default
+ * 10%) fails the check, as does a baseline record the candidate no
+ * longer measures — a silently dropped configuration is how perf
+ * coverage rots. Candidate-only records are reported but pass (new
+ * configurations appear before their baseline lands).
+ *
+ * Usage:
+ *   bench_diff <baseline.json> <candidate.json> [--max-regress 0.10]
+ *   bench_diff --selftest
+ *
+ * Wall-clock gating is inherently noisy; the intended use is the
+ * bench-labeled ctest wiring (a parse/match self-check against the
+ * committed snapshot) plus explicit CI invocations on quiet hosts.
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/**
+ * The subset of JSON the bench snapshot uses: objects, arrays,
+ * strings, numbers, and the literals. Values the checker does not
+ * care about are parsed and discarded; only ["records"] arrays of
+ * objects with "name" and "wall_seconds" members are kept.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    /** @return false (with a message on stderr) on malformed input. */
+    bool
+    parse(std::map<std::string, std::map<std::string, double>> &out)
+    {
+        skipWs();
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (peek() == '}')
+            return next(), true;
+        for (;;) {
+            std::string section;
+            if (!parseString(section) || !expectColon())
+                return false;
+            if (!parseSection(out[section]))
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                next();
+                skipWs();
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+  private:
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    char next() { return pos_ < s_.size() ? s_[pos_++] : '\0'; }
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (peek() != c) {
+            std::fprintf(stderr,
+                         "bench_diff: expected '%c' at offset %zu\n",
+                         c, pos_);
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+    bool expectColon() { return expect(':'); }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (!expect('"'))
+            return false;
+        out.clear();
+        for (;;) {
+            char c = next();
+            if (c == '\0') {
+                std::fprintf(stderr,
+                             "bench_diff: unterminated string\n");
+                return false;
+            }
+            if (c == '"')
+                return true;
+            if (c == '\\')
+                c = next(); // Good enough for \" and \\ in names.
+            out.push_back(c);
+        }
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipWs();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                std::strchr("+-.eE", s_[pos_])))
+            ++pos_;
+        if (pos_ == start) {
+            std::fprintf(stderr,
+                         "bench_diff: expected number at offset "
+                         "%zu\n",
+                         pos_);
+            return false;
+        }
+        out = std::atof(s_.substr(start, pos_ - start).c_str());
+        return true;
+    }
+
+    /** Parse and discard any value. */
+    bool
+    skipValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '"') {
+            std::string ignored;
+            return parseString(ignored);
+        }
+        if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            next();
+            skipWs();
+            if (peek() == close)
+                return next(), true;
+            for (;;) {
+                if (c == '{') {
+                    std::string key;
+                    if (!parseString(key) || !expectColon())
+                        return false;
+                }
+                if (!skipValue())
+                    return false;
+                skipWs();
+                if (peek() == ',') {
+                    next();
+                    continue;
+                }
+                return expect(close);
+            }
+        }
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+            while (std::isalpha(
+                static_cast<unsigned char>(peek())))
+                next();
+            return true; // true/false/null.
+        }
+        double ignored;
+        return parseNumber(ignored);
+    }
+
+    /** One section: {"records": [{...}, ...], ...} -> name -> wall. */
+    bool
+    parseSection(std::map<std::string, double> &out)
+    {
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (peek() == '}')
+            return next(), true;
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !expectColon())
+                return false;
+            if (key == "records") {
+                if (!parseRecords(out))
+                    return false;
+            } else if (!skipValue()) {
+                return false;
+            }
+            skipWs();
+            if (peek() == ',') {
+                next();
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseRecords(std::map<std::string, double> &out)
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (peek() == ']')
+            return next(), true;
+        for (;;) {
+            if (!expect('{'))
+                return false;
+            std::string name;
+            double wall = NAN;
+            skipWs();
+            if (peek() != '}') {
+                for (;;) {
+                    std::string key;
+                    if (!parseString(key) || !expectColon())
+                        return false;
+                    if (key == "name") {
+                        if (!parseString(name))
+                            return false;
+                    } else if (key == "wall_seconds") {
+                        if (!parseNumber(wall))
+                            return false;
+                    } else if (!skipValue()) {
+                        return false;
+                    }
+                    skipWs();
+                    if (peek() == ',') {
+                        next();
+                        continue;
+                    }
+                    break;
+                }
+            }
+            if (!expect('}'))
+                return false;
+            if (!name.empty() && !std::isnan(wall))
+                out[name] = wall;
+            skipWs();
+            if (peek() == ',') {
+                next();
+                skipWs();
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+using Snapshot = std::map<std::string, std::map<std::string, double>>;
+
+bool
+loadSnapshot(const char *path, Snapshot &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    Parser p(text);
+    if (!p.parse(out)) {
+        std::fprintf(stderr, "bench_diff: malformed JSON in %s\n",
+                     path);
+        return false;
+    }
+    return true;
+}
+
+/** @return number of failures (regressions + dropped records). */
+int
+compare(const Snapshot &base, const Snapshot &cand, double budget)
+{
+    int failures = 0;
+    int compared = 0;
+    for (const auto &[section, recs] : base) {
+        const auto cit = cand.find(section);
+        for (const auto &[name, wall] : recs) {
+            const double *cw = nullptr;
+            if (cit != cand.end()) {
+                const auto rit = cit->second.find(name);
+                if (rit != cit->second.end())
+                    cw = &rit->second;
+            }
+            if (!cw) {
+                std::printf("MISSING  %s/%s (baseline %.3fs, not "
+                            "measured by candidate)\n",
+                            section.c_str(), name.c_str(), wall);
+                ++failures;
+                continue;
+            }
+            ++compared;
+            const double ratio = wall > 0 ? *cw / wall : 1.0;
+            if (ratio > 1.0 + budget) {
+                std::printf("REGRESS  %s/%s  %.3fs -> %.3fs "
+                            "(%+.1f%%, budget %.0f%%)\n",
+                            section.c_str(), name.c_str(), wall, *cw,
+                            (ratio - 1.0) * 100, budget * 100);
+                ++failures;
+            }
+        }
+    }
+    for (const auto &[section, recs] : cand) {
+        const auto bit = base.find(section);
+        for (const auto &[name, wall] : recs) {
+            if (bit == base.end() ||
+                bit->second.find(name) == bit->second.end())
+                std::printf("NEW      %s/%s  %.3fs (no baseline)\n",
+                            section.c_str(), name.c_str(), wall);
+        }
+    }
+    std::printf("bench_diff: %d records compared, %d failures "
+                "(budget %.0f%%)\n",
+                compared, failures, budget * 100);
+    return failures;
+}
+
+/** Exercise the parser and gate logic on embedded snapshots. */
+int
+selftest()
+{
+    const std::string base_json = R"({
+      "interp": {"records": [
+        {"name": "a/x=1", "wall_seconds": 1.0, "threads": 1},
+        {"name": "b/x=1", "wall_seconds": 2.0, "extra_field": 3.5}
+      ]},
+      "other": {"records": [
+        {"name": "c", "wall_seconds": 0.5, "nested": {"k": [1, 2]}}
+      ]}
+    })";
+    const std::string cand_json = R"({
+      "interp": {"records": [
+        {"name": "a/x=1", "wall_seconds": 1.05},
+        {"name": "b/x=1", "wall_seconds": 2.5},
+        {"name": "d", "wall_seconds": 9.0}
+      ]},
+      "other": {"records": []}
+    })";
+    Snapshot base, cand;
+    Parser bp(base_json), cp(cand_json);
+    if (!bp.parse(base) || !cp.parse(cand)) {
+        std::fprintf(stderr, "selftest: parse failed\n");
+        return 1;
+    }
+    // Expect exactly two failures: b/x=1 regresses 25%, c dropped.
+    // a/x=1 is within budget and d is candidate-only (pass).
+    const int failures = compare(base, cand, 0.10);
+    if (failures != 2) {
+        std::fprintf(stderr,
+                     "selftest: expected 2 failures, got %d\n",
+                     failures);
+        return 1;
+    }
+    if (compare(base, base, 0.10) != 0) {
+        std::fprintf(stderr, "selftest: baseline vs itself failed\n");
+        return 1;
+    }
+    std::printf("selftest ok\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0)
+        return selftest();
+
+    double budget = 0.10;
+    const char *base_path = nullptr;
+    const char *cand_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-regress") == 0 &&
+            i + 1 < argc) {
+            budget = std::atof(argv[++i]);
+        } else if (!base_path) {
+            base_path = argv[i];
+        } else if (!cand_path) {
+            cand_path = argv[i];
+        } else {
+            base_path = nullptr;
+            break;
+        }
+    }
+    if (!base_path || !cand_path || budget <= 0) {
+        std::fprintf(stderr,
+                     "usage: bench_diff <baseline.json> "
+                     "<candidate.json> [--max-regress 0.10]\n"
+                     "       bench_diff --selftest\n");
+        return 2;
+    }
+
+    Snapshot base, cand;
+    if (!loadSnapshot(base_path, base) ||
+        !loadSnapshot(cand_path, cand))
+        return 2;
+    return compare(base, cand, budget) == 0 ? 0 : 1;
+}
