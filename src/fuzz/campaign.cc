@@ -1,0 +1,241 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/mutate.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sassi::fuzz {
+
+int
+resolveFuzzJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    if (const char *env = std::getenv("SASSI_FUZZ_JOBS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 1;
+}
+
+double
+CampaignResult::execsPerSec() const
+{
+    return wallSeconds > 0 ? static_cast<double>(executed) / wallSeconds
+                           : 0.0;
+}
+
+uint64_t
+CampaignResult::corpusHash() const
+{
+    // std::map iterates in key order, so the fold is independent of
+    // insertion order (and therefore of jobs and round scheduling).
+    uint64_t h = kFnvBasis;
+    for (const auto &[hash, entry] : corpus)
+        h = fnv1aU64(hash, h);
+    return h;
+}
+
+std::string
+CampaignResult::bucketsKey() const
+{
+    std::ostringstream out;
+    for (const auto &[bucket, fb] : buckets)
+        out << bucket << '=' << fb.count << ';';
+    return out.str();
+}
+
+double
+CampaignResult::dedupRate() const
+{
+    return itersPlanned
+               ? static_cast<double>(dedupSkipped) /
+                     static_cast<double>(itersPlanned)
+               : 0.0;
+}
+
+namespace {
+
+/** One planned evaluation of the current round. */
+struct PlannedTask
+{
+    uint64_t index = 0;
+    FuzzProgram program;
+    uint64_t contentHash = 0;
+    bool fromMutation = false;
+    bool dedupSkip = false;
+    OracleReport report; //!< Filled by the execute phase.
+};
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignOptions &opt)
+{
+    CampaignResult res;
+    const int jobs = resolveFuzzJobs(opt.jobs);
+    const uint64_t roundSize =
+        opt.roundSize > 0 ? static_cast<uint64_t>(opt.roundSize) : 1;
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Content hashes of every program ever planned (not just the
+    // admitted corpus): a program equal to anything already
+    // evaluated — pass, fail, or boring — is never evaluated again.
+    std::set<uint64_t> seen;
+
+    for (uint64_t start = 0; start < opt.iters; start += roundSize) {
+        const uint64_t end = std::min(opt.iters, start + roundSize);
+
+        // --- Plan (serial): everything below depends only on the
+        // master seed, the index, and round-start snapshots.
+        std::vector<PlannedTask> tasks;
+        tasks.reserve(end - start);
+
+        // Round-start corpus snapshot, in content-hash order (the
+        // map's key order), so parent selection is scheduling-blind.
+        std::vector<const CorpusEntry *> pool;
+        pool.reserve(res.corpus.size());
+        for (const auto &[hash, entry] : res.corpus)
+            pool.push_back(&entry);
+
+        for (uint64_t i = start; i < end; ++i) {
+            Rng rng = Rng(opt.seed).split(i);
+            PlannedTask task;
+            task.index = i;
+            task.fromMutation = opt.mutate && !pool.empty() &&
+                                rng.chance(opt.mutatePercent);
+            if (task.fromMutation) {
+                const CorpusEntry *parent =
+                    pool[rng.nextBelow(pool.size())];
+                task.program = mutateProgram(parent->program, rng,
+                                             &res.coverage);
+                task.program.seed = opt.seed;
+                task.program.index = i;
+                ++res.mutated;
+            } else {
+                task.program =
+                    generateProgram(opt.seed, i, opt.generator);
+                ++res.generated;
+            }
+            task.contentHash = programContentHash(task.program);
+            // Dedup against every earlier plan — previous rounds via
+            // `seen`, this round via the serial insert right here.
+            task.dedupSkip = !seen.insert(task.contentHash).second;
+            if (task.dedupSkip)
+                ++res.dedupSkipped;
+            ++res.itersPlanned;
+            tasks.push_back(std::move(task));
+        }
+
+        // --- Execute (parallel): shards claim tasks off an atomic
+        // cursor; each report lands in its own slot.
+        std::atomic<size_t> cursor{0};
+        auto work = [&]() {
+            for (;;) {
+                size_t t =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (t >= tasks.size())
+                    return;
+                if (tasks[t].dedupSkip)
+                    continue;
+                tasks[t].report =
+                    runOracle(tasks[t].program, opt.oracle);
+            }
+        };
+        int shards = static_cast<int>(
+            std::min<uint64_t>(jobs, tasks.size()));
+        if (shards <= 1) {
+            work();
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(static_cast<size_t>(shards));
+            for (int s = 0; s < shards; ++s)
+                threads.emplace_back(work);
+            for (std::thread &th : threads)
+                th.join();
+        }
+
+        // --- Merge (serial, index order).
+        for (PlannedTask &task : tasks) {
+            if (task.dedupSkip)
+                continue;
+            const OracleReport &rep = task.report;
+            ++res.executed;
+            res.configsRun += static_cast<uint64_t>(rep.configsRun);
+
+            size_t added =
+                res.coverage.add(task.program, rep.coverage);
+            (task.fromMutation ? res.featuresFromMutation
+                               : res.featuresFromGeneration) += added;
+
+            switch (rep.status) {
+              case OracleStatus::Pass:
+                ++res.passes;
+                // Coverage guidance: a passing program that reached
+                // anything new becomes mutation fodder.
+                if (added && opt.mutate) {
+                    CorpusEntry entry;
+                    entry.program = task.program;
+                    entry.contentHash = task.contentHash;
+                    entry.signature = rep.coverage;
+                    entry.newFeatures = added;
+                    res.corpus.emplace(task.contentHash,
+                                       std::move(entry));
+                }
+                break;
+              case OracleStatus::InvalidProgram:
+                ++res.invalid;
+                break;
+              case OracleStatus::Mismatch: {
+                ++res.mismatches;
+                FailureBucket &fb = res.buckets[rep.bucket()];
+                if (fb.count++ == 0) {
+                    fb.firstIndex = task.index;
+                    fb.message = rep.message;
+                    if (!opt.reproDir.empty()) {
+                        FuzzProgram repro = task.program;
+                        if (opt.minimize)
+                            repro = minimizeProgram(task.program,
+                                                    opt.oracle,
+                                                    opt.minimizeProbes)
+                                        .program;
+                        fb.reproPath =
+                            saveReproducer(repro, opt.reproDir);
+                    }
+                }
+                break;
+              }
+            }
+        }
+
+        if (opt.progress) {
+            std::ostringstream msg;
+            msg << "round " << (start / roundSize) << ": " << end
+                << '/' << opt.iters << " planned, coverage "
+                << res.coverage.size() << ", corpus "
+                << res.corpus.size() << ", mismatches "
+                << res.mismatches << ", dedup " << res.dedupSkipped;
+            opt.progress(msg.str());
+        }
+    }
+
+    res.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return res;
+}
+
+} // namespace sassi::fuzz

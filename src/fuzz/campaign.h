@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Coverage-guided, worker-sharded fuzz campaigns.
+ *
+ * A campaign evaluates `iters` programs through the differential
+ * oracle (oracle.h), accumulating a coverage map (coverage.h), a
+ * dedup'd corpus of interesting programs, and triage buckets of
+ * every mismatch. Two properties drive the design:
+ *
+ * **Determinism across worker counts.** Campaign results — corpus,
+ * coverage, buckets — must be bit-identical for a given seed no
+ * matter how many shards ran (the campaign-determinism regression
+ * pins this). Work proceeds in fixed-size rounds of three phases:
+ *
+ *  - *plan* (serial): each index derives its private stream with
+ *    Rng(seed).split(index) and decides — against the round-start
+ *    corpus and dedup snapshots only — whether to generate fresh or
+ *    mutate a corpus entry, and whether its content hash makes the
+ *    run redundant. Nothing here depends on execution order.
+ *  - *execute* (parallel): shards pull planned programs off an
+ *    atomic cursor and run the oracle; each result lands in its
+ *    index's slot. Oracle evaluation is itself deterministic, so
+ *    slots are order-independent.
+ *  - *merge* (serial, index order): coverage insertion, corpus
+ *    admission, bucket counting, and reproducer writes replay in
+ *    index order — the same discipline the parallel executor uses
+ *    for CTA-shard statistics (merge in worker order), lifted to
+ *    whole programs.
+ *
+ * The round size is a constant independent of the shard count; it
+ * bounds how stale the planning snapshot may be, trading a little
+ * mutation freshness for exact reproducibility.
+ *
+ * **Coverage guidance.** A program whose evaluation contributes any
+ * new coverage feature is admitted to the corpus (keyed by content
+ * hash, so equal programs admit once); later indices mutate corpus
+ * entries instead of always generating fresh, steering the campaign
+ * toward behaviors the generator grammar alone does not reach.
+ */
+
+#ifndef SASSI_FUZZ_CAMPAIGN_H
+#define SASSI_FUZZ_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "fuzz/coverage.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace sassi::fuzz {
+
+/** Knobs of one campaign. */
+struct CampaignOptions
+{
+    /** Master seed; program index i draws from Rng(seed).split(i). */
+    uint64_t seed = 1;
+
+    /** Programs to evaluate. */
+    uint64_t iters = 100;
+
+    /**
+     * Worker shards executing planned programs. 0 means auto: the
+     * SASSI_FUZZ_JOBS environment variable when set, otherwise 1.
+     * Results are identical for every value by construction.
+     */
+    int jobs = 0;
+
+    /**
+     * Indices planned per plan/execute/merge round. Part of the
+     * campaign's deterministic identity — changing it changes which
+     * corpus snapshot each index mutates from — so it is NOT derived
+     * from the job count.
+     */
+    int roundSize = 32;
+
+    /** Mutate corpus entries (vs always generating fresh). */
+    bool mutate = true;
+
+    /** Probability (percent) that an index mutates once the corpus
+     *  is non-empty. */
+    uint32_t mutatePercent = 40;
+
+    /** Minimize each bucket's first failure before writing it. */
+    bool minimize = true;
+
+    /** ddmin probe budget per minimized failure. */
+    int minimizeProbes = 4000;
+
+    /** Directory for reproducer files; empty = don't write any. */
+    std::string reproDir;
+
+    /** Oracle sweep configuration shared by every evaluation. */
+    OracleOptions oracle;
+
+    /** Generator shape knobs. */
+    GeneratorConfig generator;
+
+    /** Progress sink (e.g.\ stderr); null = silent. */
+    std::function<void(const std::string &)> progress;
+};
+
+/** @return jobs, or the SASSI_FUZZ_JOBS / 1 fallback when <= 0. */
+int resolveFuzzJobs(int jobs);
+
+/** One interesting program retained for mutation. */
+struct CorpusEntry
+{
+    FuzzProgram program;
+    uint64_t contentHash = 0;
+    CoverageSignature signature;
+    size_t newFeatures = 0; //!< Features it added on admission.
+};
+
+/** One triage bucket of oracle mismatches (see OracleReport::bucket). */
+struct FailureBucket
+{
+    uint64_t count = 0;      //!< Mismatches that hit this bucket.
+    uint64_t firstIndex = 0; //!< Lowest program index that hit it.
+    std::string message;     //!< First mismatch's description.
+    std::string reproPath;   //!< Written reproducer ("" = none).
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    uint64_t itersPlanned = 0;
+    uint64_t executed = 0;     //!< Oracle evaluations actually run.
+    uint64_t generated = 0;    //!< Fresh-generated programs planned.
+    uint64_t mutated = 0;      //!< Mutation-derived programs planned.
+    uint64_t dedupSkipped = 0; //!< Planned but content-duplicate.
+    uint64_t passes = 0;
+    uint64_t mismatches = 0;
+    uint64_t invalid = 0;      //!< Uniformly-faulting programs.
+    uint64_t configsRun = 0;   //!< Oracle configurations executed.
+
+    /** Coverage features first reached by a mutated program. */
+    uint64_t featuresFromMutation = 0;
+
+    /** Coverage features first reached by a fresh-generated one. */
+    uint64_t featuresFromGeneration = 0;
+
+    /** Interesting programs, keyed (and dedup'd) by content hash. */
+    std::map<uint64_t, CorpusEntry> corpus;
+
+    /** The campaign's coverage feature set. */
+    CoverageSet coverage;
+
+    /** Mismatch triage buckets, keyed by OracleReport::bucket(). */
+    std::map<std::string, FailureBucket> buckets;
+
+    /** Wall-clock of the whole campaign (not determinism-relevant). */
+    double wallSeconds = 0;
+
+    /** @return executed / wallSeconds (0 when instantaneous). */
+    double execsPerSec() const;
+
+    /** Order-independent hash over corpus content hashes. */
+    uint64_t corpusHash() const;
+
+    /** Canonical "bucket=count;..." rendering of the buckets. */
+    std::string bucketsKey() const;
+
+    /** @return executed / itersPlanned dedup savings in [0, 1]. */
+    double dedupRate() const;
+};
+
+/** Run one campaign. */
+CampaignResult runCampaign(const CampaignOptions &opt);
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_CAMPAIGN_H

@@ -1,11 +1,14 @@
 #include "fuzz/corpus.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "sassir/parser.h"
+#include "simt/decode.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace sassi::fuzz {
@@ -15,6 +18,40 @@ namespace {
 constexpr int kFormatVersion = 1;
 
 } // namespace
+
+uint64_t
+programContentHash(const FuzzProgram &p)
+{
+    const ir::Kernel *k = p.kernel();
+    uint64_t h = k ? simt::UopCache::fingerprint(*k) : kFnvBasis;
+    h = fnv1aU64(p.gridX, h);
+    h = fnv1aU64(p.blockX, h);
+    h = fnv1aU64(p.inWords, h);
+    h = fnv1aU64(p.outWordsPerThread, h);
+    h = fnv1aU64(p.accWords, h);
+    h = fnv1aU64(p.inputSeed, h);
+    return h;
+}
+
+std::string
+reproducerPath(const std::string &dir, const FuzzProgram &p)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "crash-%016llx.sass",
+                  static_cast<unsigned long long>(
+                      programContentHash(p)));
+    return (std::filesystem::path(dir) / name).string();
+}
+
+std::string
+saveReproducer(const FuzzProgram &p, const std::string &dir)
+{
+    std::string path = reproducerPath(dir, p);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        saveProgram(p, path);
+    return path;
+}
 
 std::string
 formatProgram(const FuzzProgram &p)

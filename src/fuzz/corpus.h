@@ -28,6 +28,7 @@
 #ifndef SASSI_FUZZ_CORPUS_H
 #define SASSI_FUZZ_CORPUS_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,37 @@ namespace sassi::fuzz {
 
 /** Render a program as a self-describing corpus file. */
 std::string formatProgram(const FuzzProgram &p);
+
+/**
+ * Content identity of a program: a hash of the kernel (via the
+ * UopCache instruction fingerprint), the launch geometry, the
+ * buffer layout, and the input seed — everything that determines
+ * behavior, and nothing that doesn't. The provenance directives
+ * (";! seed S I") are deliberately excluded, so two campaign indices
+ * arriving at byte-identical behavior (e.g.\ the same mutation of
+ * the same parent) hash equal and dedup; hashing the formatted text
+ * would keep them apart.
+ */
+uint64_t programContentHash(const FuzzProgram &p);
+
+/**
+ * The canonical reproducer filename for a program inside dir:
+ * "<dir>/crash-<16 hex digits of programContentHash>.sass".
+ * Content-keyed names fix the historical collision where two
+ * distinct failures minimizing to the same program raced on one
+ * seed/index-derived filename — equal content now converges on one
+ * file by design, and distinct content cannot collide.
+ */
+std::string reproducerPath(const std::string &dir,
+                           const FuzzProgram &p);
+
+/**
+ * Write a program to its content-keyed reproducer path, creating
+ * dir as needed. Idempotent: an existing file with this content
+ * hash is left untouched. @return the path written (or found).
+ */
+std::string saveReproducer(const FuzzProgram &p,
+                           const std::string &dir);
 
 /**
  * Parse a corpus file back into a FuzzProgram.

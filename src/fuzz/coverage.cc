@@ -1,0 +1,205 @@
+#include "fuzz/coverage.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sass/opcode.h"
+#include "sassir/cfg.h"
+#include "util/hash.h"
+
+namespace sassi::fuzz {
+
+std::string
+planeNames(uint32_t planes)
+{
+    static const struct {
+        Plane bit;
+        const char *name;
+    } kNames[] = {
+        {PlaneGeneric, "generic"},
+        {PlaneSuperblock, "superblock"},
+        {PlaneSimd, "simd"},
+        {PlaneInlineHandler, "inline"},
+        {PlaneFiberHandler, "fiber"},
+    };
+    std::string out;
+    for (const auto &n : kNames) {
+        if (!(planes & n.bit))
+            continue;
+        if (!out.empty())
+            out += '+';
+        out += n.name;
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::string
+pairFeature(sass::Opcode a, sass::Opcode b)
+{
+    std::string f = "pair:";
+    f += sass::opName(a);
+    f += '>';
+    f += sass::opName(b);
+    return f;
+}
+
+uint32_t
+planesOf(const simt::LaunchResult &r)
+{
+    uint32_t planes = 0;
+    const simt::DispatchUsage &d = r.dispatch;
+    // Superblocks never cover the whole kernel (control flow bounds
+    // them), so any launch also exercises the generic interpreter;
+    // flagging it unconditionally keeps the bit meaningful on runs
+    // where superblocks are disabled outright.
+    planes |= PlaneGeneric;
+    if (d.superblockRuns)
+        planes |= PlaneSuperblock;
+    if (d.vectorUops)
+        planes |= PlaneSimd;
+    if (d.inlineHandlerCalls)
+        planes |= PlaneInlineHandler;
+    if (d.fiberHandlerCalls)
+        planes |= PlaneFiberHandler;
+    return planes;
+}
+
+uint64_t
+CoverageSignature::key() const
+{
+    uint64_t h = fnv1aU64(cfgShape);
+    h = fnv1aU64(opcodePairs, h);
+    h = fnv1aU64(maxDivDepth, h);
+    h = fnv1aU64(planes, h);
+    return h;
+}
+
+std::string
+CoverageSignature::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "cfg=%016llx pairs=%016llx depth=%u",
+                  static_cast<unsigned long long>(cfgShape),
+                  static_cast<unsigned long long>(opcodePairs),
+                  maxDivDepth);
+    return std::string(buf) + " planes=" + planeNames(planes);
+}
+
+namespace {
+
+/** Collect the static opcode bigrams within basic blocks, sorted. */
+std::vector<std::pair<sass::Opcode, sass::Opcode>>
+opcodeBigrams(const ir::Kernel &kernel)
+{
+    std::vector<uint8_t> leaders = ir::blockLeaders(kernel);
+    std::vector<std::pair<sass::Opcode, sass::Opcode>> pairs;
+    for (size_t pc = 0; pc + 1 < kernel.code.size(); ++pc) {
+        if (leaders[pc + 1])
+            continue;
+        pairs.emplace_back(kernel.code[pc].op, kernel.code[pc + 1].op);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    return pairs;
+}
+
+} // namespace
+
+CoverageSignature
+staticSignature(const FuzzProgram &p)
+{
+    CoverageSignature sig;
+    const ir::Kernel *kernel = p.kernel();
+    if (!kernel)
+        return sig;
+
+    // CFG shape: adjacency structure only. Hashing (block id,
+    // successor ids) keeps programs with the same control skeleton
+    // — however their straight-line bodies differ — in one bucket.
+    ir::Cfg cfg = ir::buildCfg(*kernel);
+    uint64_t h = fnv1aU64(cfg.blocks.size());
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        h = fnv1aU64(b, h);
+        for (int s : cfg.blocks[b].succs)
+            h = fnv1aU64(static_cast<uint64_t>(s), h);
+    }
+    sig.cfgShape = h;
+
+    uint64_t ph = kFnvBasis;
+    for (const auto &pr : opcodeBigrams(*kernel)) {
+        ph = fnv1aU64(static_cast<uint64_t>(pr.first), ph);
+        ph = fnv1aU64(static_cast<uint64_t>(pr.second), ph);
+    }
+    sig.opcodePairs = ph;
+    return sig;
+}
+
+void
+appendFeatures(const FuzzProgram &p, const CoverageSignature &sig,
+               std::vector<std::string> &out)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "shape:%016llx",
+                  static_cast<unsigned long long>(sig.cfgShape));
+    out.push_back(buf);
+
+    if (const ir::Kernel *kernel = p.kernel()) {
+        for (const auto &pr : opcodeBigrams(*kernel))
+            out.push_back(pairFeature(pr.first, pr.second));
+    }
+
+    std::snprintf(buf, sizeof(buf), "depth:%u", sig.maxDivDepth);
+    out.push_back(buf);
+
+    for (uint32_t bit = 1; bit <= sig.planes; bit <<= 1)
+        if (sig.planes & bit)
+            out.push_back("plane:" + planeNames(bit));
+}
+
+size_t
+CoverageSet::add(const FuzzProgram &p, const CoverageSignature &sig)
+{
+    std::vector<std::string> features;
+    appendFeatures(p, sig, features);
+    size_t added = 0;
+    for (std::string &f : features)
+        if (addFeature(f))
+            ++added;
+    return added;
+}
+
+bool
+CoverageSet::addFeature(const std::string &feature)
+{
+    return features_.insert(feature).second;
+}
+
+uint64_t
+CoverageSet::hash() const
+{
+    // std::set iterates sorted, so folding in order is already
+    // insertion-order-independent.
+    uint64_t h = kFnvBasis;
+    for (const std::string &f : features_)
+        h = fnv1a(f, h);
+    return h;
+}
+
+std::string
+CoverageSet::serialize() const
+{
+    std::string out;
+    for (const std::string &f : features_) {
+        out += f;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+CoverageSet::merge(const CoverageSet &o)
+{
+    features_.insert(o.features_.begin(), o.features_.end());
+}
+
+} // namespace sassi::fuzz

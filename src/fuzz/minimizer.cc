@@ -189,11 +189,22 @@ MinimizeResult
 minimizeProgram(const FuzzProgram &p, const OracleOptions &oracle,
                 int maxProbes)
 {
+    // Capture the original failure's triage bucket and accept only
+    // candidates that reproduce the SAME bucket: ddmin on a program
+    // with several latent bugs must not wander from, say, a digest
+    // mismatch under superblocks into an unrelated tool-aggregate
+    // divergence — the reproducer would then document a different
+    // bug than the campaign counted.
+    OracleReport original = runOracle(p, oracle);
+    fatal_if(original.status != OracleStatus::Mismatch,
+             "minimizeProgram: program does not mismatch");
+    const std::string bucket = original.bucket();
     return minimizeProgram(
         p,
         [&](const FuzzProgram &c) {
-            return runOracle(c, oracle).status ==
-                   OracleStatus::Mismatch;
+            OracleReport r = runOracle(c, oracle);
+            return r.status == OracleStatus::Mismatch &&
+                   r.bucket() == bucket;
         },
         maxProbes);
 }

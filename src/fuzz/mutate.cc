@@ -1,0 +1,287 @@
+#include "fuzz/mutate.h"
+
+#include <cstddef>
+#include <vector>
+
+#include "sass/instr.h"
+#include "sassir/cfg.h"
+#include "simt/dispatcher.h"
+
+namespace sassi::fuzz {
+
+using sass::Instruction;
+using sass::Opcode;
+
+namespace {
+
+/** Generated-code register map (see generator.h). */
+constexpr sass::RegId kDataLo = 16;
+constexpr sass::RegId kDataHi = 23;
+constexpr sass::RegId kTidLo = 4;  //!< R4..R7: tid/cta/ntid/gid.
+constexpr sass::PredId kPLoop = 0;
+
+/** The interchangeable pure integer-ALU opcodes. Every member is
+ *  total (shifts clamp out-of-range counts) and carry-free, so any
+ *  member can replace any other with unchanged operand fields. */
+constexpr Opcode kAluSet[] = {
+    Opcode::IADD, Opcode::IMUL, Opcode::IMNMX, Opcode::SHL,
+    Opcode::SHR,  Opcode::LOP,  Opcode::POPC,  Opcode::FLO,
+};
+constexpr int kAluSetSize = static_cast<int>(std::size(kAluSet));
+
+bool
+inAluSet(Opcode op)
+{
+    for (Opcode o : kAluSet)
+        if (o == op)
+            return true;
+    return false;
+}
+
+/** A data-pool ALU write the mutator may edit freely. */
+bool
+editableAlu(const Instruction &ins)
+{
+    return inAluSet(ins.op) && !ins.synthetic && !ins.setCC &&
+           !ins.useCC && ins.dst >= kDataLo && ins.dst <= kDataHi;
+}
+
+/** An ISETP whose result the mutator may flip (never P0: loop exit). */
+bool
+editableSetp(const Instruction &ins)
+{
+    return ins.op == Opcode::ISETP && !ins.synthetic &&
+           ins.pDst != kPLoop && ins.pDst != sass::PT;
+}
+
+/** @return a random always-initialized source register. */
+sass::RegId
+randomSource(Rng &rng)
+{
+    // 3:1 in favor of the data pool over the tid/ctaid/ntid/gid bank.
+    if (rng.chance(75))
+        return static_cast<sass::RegId>(kDataLo + rng.nextBelow(8));
+    return static_cast<sass::RegId>(kTidLo + rng.nextBelow(4));
+}
+
+/**
+ * Pick an ALU opcode for a site between prev and next (either may be
+ * null at a block edge). With a coverage set, prefer — in rotated
+ * order, so ties spread — a member whose static bigram with a
+ * neighbor is still uncovered; otherwise roll blind.
+ */
+/**
+ * Find, starting at rotation rot, an ALU opcode whose static bigram
+ * with prev or next (either may be null) is uncovered. @return true
+ * and the opcode via out when one exists.
+ */
+bool
+freshOpBetween(const Instruction *prev, const Instruction *next,
+               const CoverageSet &coverage, uint64_t rot,
+               Opcode &out)
+{
+    for (int c = 0; c < kAluSetSize; ++c) {
+        Opcode cand =
+            kAluSet[(rot + static_cast<uint64_t>(c)) % kAluSetSize];
+        bool fresh = false;
+        if (prev)
+            fresh |= !coverage.covers(pairFeature(prev->op, cand));
+        if (next)
+            fresh |= !coverage.covers(pairFeature(cand, next->op));
+        if (fresh) {
+            out = cand;
+            return true;
+        }
+    }
+    return false;
+}
+
+Opcode
+pickAluOpcode(const Instruction *prev, const Instruction *next,
+              Rng &rng, const CoverageSet *coverage)
+{
+    uint64_t rot = rng.nextBelow(kAluSetSize);
+    Opcode fresh;
+    if (coverage && freshOpBetween(prev, next, *coverage, rot, fresh))
+        return fresh;
+    return kAluSet[rot];
+}
+
+/** Apply one random edit to the editable ALU instruction at i. */
+void
+editAlu(ir::Kernel &kernel, const std::vector<uint8_t> &leaders,
+        size_t i, Rng &rng, const CoverageSet *coverage)
+{
+    Instruction &ins = kernel.code[i];
+    switch (rng.nextBelow(4)) {
+      case 0: { // Opcode swap within the interchangeable set.
+        const Instruction *prev =
+            (i > 0 && !leaders[i]) ? &kernel.code[i - 1] : nullptr;
+        const Instruction *next =
+            (i + 1 < kernel.code.size() && !leaders[i + 1])
+                ? &kernel.code[i + 1]
+                : nullptr;
+        ins.op = pickAluOpcode(prev, next, rng, coverage);
+        break;
+      }
+      case 1: // Immediate perturbation (or create one).
+        ins.bIsImm = true;
+        if (ins.op == Opcode::SHL || ins.op == Opcode::SHR)
+            ins.imm = static_cast<int64_t>(rng.nextBelow(32));
+        else
+            ins.imm = static_cast<int32_t>(rng.next());
+        break;
+      case 2: // Redirect a source register.
+        if (ins.bIsImm || rng.chance(50))
+            ins.srcA = randomSource(rng);
+        else
+            ins.srcB = randomSource(rng);
+        break;
+      default: // Guard toggle: PT <-> @[!]P{1,2,3}.
+        if (ins.guard == sass::PT) {
+            ins.guard =
+                static_cast<sass::PredId>(1 + rng.nextBelow(3));
+            ins.guardNeg = rng.chance(50);
+        } else {
+            ins.guard = sass::PT;
+            ins.guardNeg = false;
+        }
+        break;
+    }
+}
+
+/**
+ * Insert a fresh data-pool ALU instruction at an in-block position,
+ * shifting branch targets up — the exact mirror of the minimizer's
+ * removeRange. Insertion is the strongest coverage move: unlike a
+ * swap, whose reachable bigrams are pinned by the site's fixed
+ * neighbors, an inserted opcode is chosen freely against BOTH of its
+ * new neighbors, so a guided insertion almost always mints an
+ * uncovered "pair:" feature until that space saturates.
+ * @return true when a position was found and the insert happened.
+ */
+bool
+insertAlu(ir::Kernel &kernel, const std::vector<uint8_t> &leaders,
+          Rng &rng, const CoverageSet *coverage)
+{
+    const size_t n = kernel.code.size();
+    if (n < 2)
+        return false;
+    // An in-block position p (no leader at p) keeps prev, the new
+    // instruction, and next in one basic block, so both new bigrams
+    // are real features; a boundary insert would orphan the new
+    // instruction in its own block. Rotate from a random start, and
+    // with coverage guidance keep scanning for a position where some
+    // opcode still mints an uncovered bigram — a random position's
+    // neighborhood is usually saturated long before the program's
+    // whole bigram space is.
+    size_t start = 1 + rng.nextBelow(n - 1);
+    uint64_t rot = rng.nextBelow(kAluSetSize);
+    size_t p = 0;
+    Opcode guided = Opcode::NOP;
+    bool haveGuided = false;
+    for (size_t c = 0; c < n - 1; ++c) {
+        size_t cand = 1 + (start - 1 + c) % (n - 1);
+        if (leaders[cand])
+            continue;
+        if (!p)
+            p = cand; // Fallback: first in-block position.
+        if (coverage &&
+            freshOpBetween(&kernel.code[cand - 1], &kernel.code[cand],
+                           *coverage, rot, guided)) {
+            p = cand;
+            haveGuided = true;
+            break;
+        }
+        if (!coverage)
+            break;
+    }
+    if (!p)
+        return false;
+
+    Instruction ins;
+    ins.op = haveGuided
+                 ? guided
+                 : pickAluOpcode(&kernel.code[p - 1], &kernel.code[p],
+                                 rng, coverage);
+    ins.dst = static_cast<sass::RegId>(kDataLo + rng.nextBelow(8));
+    ins.srcA = randomSource(rng);
+    if (rng.chance(40)) {
+        ins.bIsImm = true;
+        if (ins.op == Opcode::SHL || ins.op == Opcode::SHR)
+            ins.imm = static_cast<int64_t>(rng.nextBelow(32));
+        else
+            ins.imm = static_cast<int32_t>(rng.next());
+    } else {
+        ins.srcB = randomSource(rng);
+    }
+
+    kernel.code.insert(kernel.code.begin() +
+                           static_cast<ptrdiff_t>(p),
+                       ins);
+    for (size_t i = 0; i < kernel.code.size(); ++i) {
+        if (i == p)
+            continue;
+        Instruction &other = kernel.code[i];
+        // JCAL targets at or above HandlerBase are handler ids, not
+        // code indices (same exclusion as the minimizer).
+        if (other.target < 0 ||
+            (other.op == Opcode::JCAL &&
+             other.target >= simt::HandlerBase))
+            continue;
+        if (other.target >= static_cast<int32_t>(p))
+            ++other.target;
+    }
+    // Reproducers print with numeric branch targets; the stale label
+    // table would lie, so drop it (removeRange does the same).
+    kernel.labels.clear();
+    return true;
+}
+
+} // namespace
+
+FuzzProgram
+mutateProgram(const FuzzProgram &parent, Rng &rng,
+              const CoverageSet *coverage)
+{
+    FuzzProgram child = parent;
+    ir::Kernel *kernel = child.kernel();
+
+    int edits = 1 + static_cast<int>(rng.nextBelow(3));
+    bool edited = false;
+    for (int e = 0; e < edits && kernel; ++e) {
+        // Recompute sites each round: an insertion shifts indices.
+        std::vector<uint8_t> leaders = ir::blockLeaders(*kernel);
+        std::vector<size_t> alu, setp;
+        for (size_t i = 0; i < kernel->code.size(); ++i) {
+            if (editableAlu(kernel->code[i]))
+                alu.push_back(i);
+            else if (editableSetp(kernel->code[i]))
+                setp.push_back(i);
+        }
+
+        // Weight: insertion > in-place ALU edit > predicate flip >
+        // input reseed. Insertion leads because it is the only move
+        // that reliably reaches uncovered bigram space.
+        uint64_t roll = rng.nextBelow(10);
+        if (roll < 4) {
+            edited |= insertAlu(*kernel, leaders, rng, coverage);
+        } else if (roll < 7 && !alu.empty()) {
+            editAlu(*kernel, leaders, alu[rng.nextBelow(alu.size())],
+                    rng, coverage);
+            edited = true;
+        } else if (roll < 9 && !setp.empty()) {
+            Instruction &ins =
+                kernel->code[setp[rng.nextBelow(setp.size())]];
+            ins.cmp = static_cast<sass::CmpOp>(rng.nextBelow(6));
+            edited = true;
+        } else {
+            child.inputSeed = rng.next() | 1;
+        }
+    }
+    if (!edited && child.inputSeed == parent.inputSeed)
+        child.inputSeed = rng.next() | 1;
+    return child;
+}
+
+} // namespace sassi::fuzz

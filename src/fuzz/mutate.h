@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Purity-preserving corpus mutation.
+ *
+ * Coverage-guided campaigns (campaign.h) evolve interesting corpus
+ * entries instead of only rolling fresh programs. The catch is the
+ * oracle's contract: a program is only testable when its
+ * architectural output is a pure function of its text (generator.h),
+ * so mutations must stay inside that invariant. Rather than mutate
+ * arbitrary instructions and re-prove purity, the mutator edits only
+ * sites that cannot break it:
+ *
+ *  - pure integer-ALU instructions whose destination lies in the
+ *    data pool (R16..R23) and that neither produce nor consume the
+ *    carry flag — their value flows only into other data registers,
+ *    masked addresses, and predicates, all of which tolerate any
+ *    value;
+ *  - ISETP comparisons writing the divergence or data predicates
+ *    (P1..P3) — never P0, the loop-exit predicate, whose inversion
+ *    could unbound a loop into the watchdog;
+ *  - the host input-fill seed, which by construction reaches the
+ *    kernel only through the read-only input region.
+ *
+ * Within those sites it swaps opcodes across the integer-ALU set,
+ * perturbs immediates (shift amounts stay masked to [0, 31]),
+ * redirects sources to other always-initialized registers, toggles
+ * guards between PT and the data predicates, and flips comparison
+ * operators. Opcode swaps are the point: they synthesize static
+ * opcode bigrams the structured generator never emits, which the
+ * coverage map (coverage.h) rewards as new "pair:" features.
+ */
+
+#ifndef SASSI_FUZZ_MUTATE_H
+#define SASSI_FUZZ_MUTATE_H
+
+#include "fuzz/coverage.h"
+#include "fuzz/program.h"
+#include "util/rng.h"
+
+namespace sassi::fuzz {
+
+/**
+ * Mutate a copy of parent with 1..3 random edits drawn from rng.
+ * Deterministic in (parent, rng state, *coverage). When the program
+ * offers no safe instruction edit, falls back to reseeding the input
+ * fill, so the result always differs behaviorally from the parent.
+ * Provenance fields (seed/index) are copied from the parent; the
+ * campaign overwrites them with the child's own.
+ *
+ * When `coverage` is non-null, opcode swaps are coverage-guided:
+ * among the interchangeable replacements at a site, one whose
+ * "pair:" feature with an in-block neighbor is still uncovered is
+ * preferred over a blind roll. This is what makes mutation earn its
+ * corpus slots — a blind mutant mostly re-rolls bigrams the
+ * generator already produced, while a guided one steers straight at
+ * the gap. The campaign passes its round-start coverage snapshot,
+ * which keeps the choice identical across worker counts.
+ */
+FuzzProgram mutateProgram(const FuzzProgram &parent, Rng &rng,
+                          const CoverageSet *coverage = nullptr);
+
+} // namespace sassi::fuzz
+
+#endif // SASSI_FUZZ_MUTATE_H

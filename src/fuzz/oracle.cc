@@ -1,5 +1,6 @@
 #include "fuzz/oracle.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "handlers/mem_tracer.h"
 #include "handlers/memdiv_profiler.h"
 #include "handlers/value_profiler.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -19,23 +21,11 @@ using namespace sassi::simt;
 
 namespace {
 
-uint64_t
-fnv1a(const uint8_t *data, size_t n, uint64_t h)
-{
-    for (size_t i = 0; i < n; ++i) {
-        h ^= data[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
 std::string
 statsKeyOf(const LaunchStats &s)
 {
-    uint64_t opcodes = 0xcbf29ce484222325ull;
-    opcodes = fnv1a(reinterpret_cast<const uint8_t *>(
-                        s.opcodeCounts.data()),
-                    s.opcodeCounts.size() * sizeof(uint64_t), opcodes);
+    uint64_t opcodes = fnv1a(s.opcodeCounts.data(),
+                             s.opcodeCounts.size() * sizeof(uint64_t));
     std::ostringstream out;
     out << "warp=" << s.warpInstrs << " thread=" << s.threadInstrs
         << " synthetic=" << s.syntheticWarpInstrs
@@ -189,6 +179,33 @@ oracleStatusName(OracleStatus s)
     return "?";
 }
 
+const char *
+mismatchKindName(MismatchKind k)
+{
+    switch (k) {
+      case MismatchKind::None: return "none";
+      case MismatchKind::Outcome: return "outcome";
+      case MismatchKind::Digest: return "digest";
+      case MismatchKind::Stats: return "stats";
+      case MismatchKind::Metrics: return "metrics";
+      case MismatchKind::ToolAggregate: return "tool_aggregate";
+    }
+    return "?";
+}
+
+std::string
+OracleReport::bucket() const
+{
+    if (status != OracleStatus::Mismatch)
+        return {};
+    std::ostringstream out;
+    out << mismatchKindName(kind) << ':' << toolName(badConfig.tool)
+        << ":sb=" << badConfig.superblocks
+        << ":fp=" << badConfig.handlerFastpath
+        << ":sd=" << badConfig.simd;
+    return out.str();
+}
+
 RunObservation
 runConfig(const FuzzProgram &p, const OracleConfig &cfg,
           const OracleOptions &opt)
@@ -245,12 +262,16 @@ runConfig(const FuzzProgram &p, const OracleConfig &cfg,
     RunObservation obs;
     obs.outcome = r.outcome;
     obs.message = r.message;
+    obs.planes = planesOf(r);
+    if (const MetricHistogram *h =
+            r.metrics.findHistogram("simt/divergence/stack_depth"))
+        if (h->count)
+            obs.maxDivDepth = static_cast<uint32_t>(h->max);
     if (r.ok()) {
         std::vector<uint8_t> bytes(outBytes + accBytes);
         dev.memcpyDtoH(bytes.data(), out, outBytes);
         dev.memcpyDtoH(bytes.data() + outBytes, acc, accBytes);
-        obs.digest =
-            fnv1a(bytes.data(), bytes.size(), 0xcbf29ce484222325ull);
+        obs.digest = fnv1a(bytes.data(), bytes.size());
         obs.statsKey = statsKeyOf(r.stats);
         obs.metricsKey = r.metrics.serialize();
         if (tool)
@@ -281,14 +302,25 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
         {0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1}};
     constexpr int kNumModes = 5;
 
+    report.coverage = staticSignature(p);
+    auto observe = [&](const RunObservation &obs) {
+        report.coverage.planes |= obs.planes;
+        report.coverage.maxDivDepth =
+            std::max(report.coverage.maxDivDepth, obs.maxDivDepth);
+    };
+
     OracleConfig base{ToolKind::None, opt.threadCounts.front(), 0, 0,
                       0};
     RunObservation ref = runConfig(p, base, opt);
     ++report.configsRun;
+    observe(ref);
 
-    auto mismatch = [&](const OracleConfig &cfg, const std::string &what,
-                        const std::string &a, const std::string &b) {
+    auto mismatch = [&](MismatchKind kind, const OracleConfig &cfg,
+                        const std::string &what, const std::string &a,
+                        const std::string &b) {
         report.status = OracleStatus::Mismatch;
+        report.kind = kind;
+        report.badConfig = cfg;
         report.message = cfg.describe() + ": " + what +
                          " differs from baseline\n  baseline: " + a +
                          "\n  this run: " + b;
@@ -318,10 +350,11 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
                 } else {
                     obs = runConfig(p, cfg, opt);
                     ++report.configsRun;
+                    observe(obs);
                 }
 
                 if (obs.outcome != ref.outcome) {
-                    mismatch(cfg, "outcome",
+                    mismatch(MismatchKind::Outcome, cfg, "outcome",
                              outcomeName(ref.outcome),
                              outcomeName(obs.outcome) + (": " +
                              obs.message));
@@ -352,7 +385,8 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
                             return report;
                         }
                     }
-                    mismatch(cfg, "memory digest",
+                    mismatch(MismatchKind::Digest, cfg,
+                             "memory digest",
                              std::to_string(ref.digest),
                              std::to_string(obs.digest));
                     return report;
@@ -362,12 +396,14 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
                     toolRef = &toolRefStore;
                 } else {
                     if (obs.statsKey != toolRef->statsKey) {
-                        mismatch(cfg, "launch stats",
+                        mismatch(MismatchKind::Stats, cfg,
+                                 "launch stats",
                                  toolRef->statsKey, obs.statsKey);
                         return report;
                     }
                     if (obs.metricsKey != toolRef->metricsKey) {
-                        mismatch(cfg, "metrics registry",
+                        mismatch(MismatchKind::Metrics, cfg,
+                                 "metrics registry",
                                  toolRef->metricsKey, obs.metricsKey);
                         return report;
                     }
@@ -383,7 +419,7 @@ runOracle(const FuzzProgram &p, const OracleOptions &opt)
                 serialToolKey[0] != serialToolKey[mode]) {
                 OracleConfig cfg{t, 1, kModes[mode].sb,
                                  kModes[mode].fp, kModes[mode].sd};
-                mismatch(cfg,
+                mismatch(MismatchKind::ToolAggregate, cfg,
                          "tool aggregate (vs superblocks=0 "
                          "fastpath=0 simd=0)",
                          serialToolKey[0], serialToolKey[mode]);

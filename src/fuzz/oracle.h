@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "fuzz/coverage.h"
 #include "fuzz/program.h"
 #include "simt/launch.h"
 
@@ -98,6 +99,12 @@ struct RunObservation
 
     /** The tool's aggregate output, rendered (empty for None). */
     std::string toolKey;
+
+    /** Dispatch planes the run exercised (coverage.h Plane bits). */
+    uint32_t planes = 0;
+
+    /** Max divergence-stack depth the run observed. */
+    uint32_t maxDivDepth = 0;
 };
 
 /** The oracle's verdict on one program. */
@@ -109,6 +116,19 @@ enum class OracleStatus {
 
 /** @return a printable name for a status. */
 const char *oracleStatusName(OracleStatus s);
+
+/** Which invariant a mismatch violated (triage axis). */
+enum class MismatchKind {
+    None,          //!< No mismatch (status != Mismatch).
+    Outcome,       //!< Launch outcome differed from baseline.
+    Digest,        //!< Output/accumulator memory digest differed.
+    Stats,         //!< LaunchStats differed within one tool.
+    Metrics,       //!< Metrics registry differed within one tool.
+    ToolAggregate, //!< Tool output differed across dispatch modes.
+};
+
+/** @return a printable name for a mismatch kind. */
+const char *mismatchKindName(MismatchKind k);
 
 /** Knobs of one oracle evaluation. */
 struct OracleOptions
@@ -143,6 +163,29 @@ struct OracleReport
 
     /** Configurations executed. */
     int configsRun = 0;
+
+    /** Which invariant broke (None unless status == Mismatch). */
+    MismatchKind kind = MismatchKind::None;
+
+    /** The configuration that first violated an invariant. */
+    OracleConfig badConfig;
+
+    /**
+     * The program's coverage signature: static shape/pairs plus the
+     * planes and divergence depth observed across the whole sweep.
+     * Filled for every status, so even failing programs feed the
+     * campaign's coverage map.
+     */
+    CoverageSignature coverage;
+
+    /**
+     * Triage key of a mismatch: kind + tool + dispatch mode of the
+     * offending configuration. Thread count is deliberately left
+     * out — the same bug found at 2 and at 8 workers is one bucket —
+     * so buckets are stable across thread-count sweeps. Empty when
+     * the oracle passed.
+     */
+    std::string bucket() const;
 
     bool passed() const { return status == OracleStatus::Pass; }
 };

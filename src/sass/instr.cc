@@ -334,12 +334,14 @@ Instruction::disasm() const
       default:
         break;
     }
-    if (isMem() && op != Opcode::LDC) {
+    if (isMem()) {
         if (op == Opcode::LD || op == Opcode::ST)
             ss << ".E";
+        // LDC included: dropping its width made wide constant loads
+        // replay narrow from a saved reproducer.
         if (width != 4)
             ss << '.' << static_cast<int>(width) * 8;
-        if (sExt && (opFlags(op) & OF_MemRead))
+        if (sExt && (opFlags(op) & OF_MemRead) && op != Opcode::LDC)
             ss << ".S";
     }
     if (setCC)

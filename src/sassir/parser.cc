@@ -492,6 +492,7 @@ parseAssembly(const std::string &text)
     std::map<std::string, int> labels;
     std::vector<std::pair<size_t, std::string>> fixups;
     int max_reg = -1;
+    int decl_regs = -1;
 
     auto finishKernel = [&]() {
         if (!cur)
@@ -503,10 +504,17 @@ parseAssembly(const std::string &text)
             cur->code[idx].target = it->second;
         }
         cur->labels = labels;
-        cur->numRegs = std::max(max_reg + 1, 18);
+        // A .regs declaration wins; otherwise derive from usage. The
+        // declaration exists so a printed kernel round-trips exactly
+        // (a minimizer-shrunk kernel can use fewer registers than
+        // its budget, and the budget is part of the uop-cache
+        // fingerprint and so of reproducer content identity).
+        cur->numRegs = decl_regs >= 0 ? decl_regs
+                                      : std::max(max_reg + 1, 18);
         labels.clear();
         fixups.clear();
         max_reg = -1;
+        decl_regs = -1;
         cur = nullptr;
     };
 
@@ -531,6 +539,10 @@ parseAssembly(const std::string &text)
                 cur->fnAddr = 0x1000;
             } else if (dir == ".endkernel") {
                 finishKernel();
+            } else if (dir == ".regs") {
+                fatal_if(!cur, "line %d: .regs outside kernel", lineno);
+                decl_regs =
+                    static_cast<int>(parseInt(arg, lineno));
             } else if (dir == ".local") {
                 fatal_if(!cur, "line %d: .local outside kernel", lineno);
                 cur->localBytes =
@@ -589,6 +601,7 @@ printKernel(const Kernel &kernel)
 
     std::ostringstream out;
     out << ".kernel " << kernel.name << '\n';
+    out << ".regs " << kernel.numRegs << '\n';
     out << ".local " << kernel.localBytes << '\n';
     if (kernel.sharedBytes)
         out << ".shared " << kernel.sharedBytes << '\n';

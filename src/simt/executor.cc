@@ -178,6 +178,7 @@ Executor::run()
         UopCache::global().noteSimd(simd_vec_uops_, simd_scalar_uops_);
         UopCache::global().noteHandlerCalls(
             hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
+        exportDispatchUsage(result);
         flushCounterShard();
         finalizeMetrics(result);
         return result;
@@ -246,9 +247,21 @@ Executor::run()
     UopCache::global().noteSimd(simd_vec_uops_, simd_scalar_uops_);
     UopCache::global().noteHandlerCalls(
         hs_inline_, hs_fiber_, hs_fallback_, hs_inline_spill_bytes_);
+    exportDispatchUsage(merged);
     flushCounterShard();
     finalizeMetrics(merged);
     return merged;
+}
+
+void
+Executor::exportDispatchUsage(LaunchResult &result) const
+{
+    result.dispatch.superblockRuns = sb_runs_;
+    result.dispatch.superblockInstrs = sb_instrs_;
+    result.dispatch.vectorUops = simd_vec_uops_;
+    result.dispatch.scalarUops = simd_scalar_uops_;
+    result.dispatch.inlineHandlerCalls = hs_inline_;
+    result.dispatch.fiberHandlerCalls = hs_fiber_;
 }
 
 void

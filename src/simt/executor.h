@@ -220,6 +220,8 @@ class Executor
     void flushCounterShard();
     /** Republish final stats into metrics_ and attach the registry. */
     void finalizeMetrics(LaunchResult &result);
+    /** Export this launch's dispatch-plane totals (post-merge). */
+    void exportDispatchUsage(LaunchResult &result) const;
     void runCta();
     void step(Warp &warp);
     void unwindStack(Warp &warp);

@@ -191,12 +191,37 @@ struct LaunchOptions
     int simd = -1;
 };
 
+/**
+ * Which dispatch planes one launch actually ran through, as raw
+ * dynamic counts. These are the same totals the executor credits to
+ * the process-wide UopCache metrics ("uop/dynamic/...",
+ * "uop/simd/...", "uop/handler/..."), exported per launch so
+ * observers with concurrent launches in flight — the fuzz campaign's
+ * coverage tracker foremost — can attribute them to a single run
+ * without racing on the global registry. Deliberately NOT part of
+ * LaunchResult::metrics: the per-launch registry is documented to be
+ * identical across dispatch modes, which is exactly what these
+ * counts are not.
+ */
+struct DispatchUsage
+{
+    uint64_t superblockRuns = 0;  //!< Batched superblock executions.
+    uint64_t superblockInstrs = 0;//!< Warp instructions inside them.
+    uint64_t vectorUops = 0;      //!< Uops executed lane-vectorized.
+    uint64_t scalarUops = 0;      //!< SIMD-tier scalar fallbacks.
+    uint64_t inlineHandlerCalls = 0; //!< Fused-site inline dispatches.
+    uint64_t fiberHandlerCalls = 0;  //!< Fiber-path dispatches.
+};
+
 /** The result of one kernel launch. */
 struct LaunchResult
 {
     Outcome outcome = Outcome::Ok;
     std::string message;
     LaunchStats stats;
+
+    /** Dynamic dispatch-plane usage of this launch (see above). */
+    DispatchUsage dispatch;
 
     /**
      * The launch's metrics registry: LaunchStats republished under

@@ -108,6 +108,11 @@ ThreadPool::parallelFor(int jobs, const std::function<void(int)> &fn)
             fn(i);
         return;
     }
+    // One batch at a time: concurrent callers (fuzz-campaign shards
+    // each launching a multi-worker kernel) queue here instead of
+    // overwriting each other's batch state. Never held by pool
+    // workers, so the serialized batch always drains.
+    std::lock_guard<std::mutex> batch_lock(batch_mutex_);
     uint32_t generation;
     {
         std::lock_guard<std::mutex> lock(mutex_);

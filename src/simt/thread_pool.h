@@ -59,8 +59,10 @@ class ThreadPool
      * — that is what lets TSan and the determinism tests exercise
      * genuine cross-thread interleavings anywhere. fn must not throw
      * (launch workers convert SimFaults into chunk outcomes before
-     * returning). Reentrant calls are not supported; launches are
-     * serialized by the device, which is the only caller.
+     * returning). Reentrant calls (parallelFor from inside a job)
+     * are not supported, but concurrent calls from distinct threads
+     * are: batches serialize on an internal mutex, so fuzz-campaign
+     * shards can each drive multi-worker launches at once.
      */
     void parallelFor(int jobs, const std::function<void(int)> &fn);
 
@@ -89,6 +91,9 @@ class ThreadPool
                     const std::function<void(int)> *fn, int jobs);
 
     std::mutex mutex_;
+    /** Serializes whole parallelFor batches across calling threads
+     *  (held for a batch's full duration; never taken by workers). */
+    std::mutex batch_mutex_;
     std::condition_variable work_cv_; //!< Signals a new batch.
     std::condition_variable done_cv_; //!< Signals batch completion.
     // Batch setup, written under mutex_ by parallelFor and read

@@ -64,6 +64,13 @@ class Rng
         return static_cast<float>(nextDouble());
     }
 
+    /** @return true with probability percent/100. */
+    bool
+    chance(uint32_t percent)
+    {
+        return nextBelow(100) < percent;
+    }
+
     /**
      * Derive an independent child generator for the given stream id
      * without advancing this generator. The (state, stream) pair is

@@ -4,17 +4,26 @@
  * tests/fuzz/corpus/ is re-run through the full differential oracle.
  * Each file is a past failure (minimized) or a pinned generator
  * output; once the underlying bug is fixed the file must pass
- * forever. SASSI_FUZZ_CORPUS_DIR is injected by the build so the
- * test finds the source-tree corpus from any build directory.
+ * forever. Each file's coverage signature is additionally pinned
+ * against the committed coverage.expected baseline, so signature
+ * computation cannot silently drift — a drifted signature would
+ * quietly re-shape every campaign's corpus. SASSI_FUZZ_CORPUS_DIR is
+ * injected by the build so the test finds the source-tree corpus
+ * from any build directory.
  */
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fuzz/corpus.h"
 #include "fuzz/oracle.h"
+#include "simt/simd/simd_exec.h"
 
 using namespace sassi::fuzz;
 
@@ -41,6 +50,76 @@ TEST(CorpusReplay, CorpusFilesAreAFormatFixpoint)
         FuzzProgram p = loadProgram(f);
         FuzzProgram q = parseProgram(formatProgram(p));
         EXPECT_EQ(formatProgram(q), formatProgram(p)) << f;
+    }
+}
+
+/** Drop the "simd" token from a describe() line's planes list, so
+ *  baselines recorded on an AVX2 host compare on a scalar host (and
+ *  vice versa) — the simd plane is the only host-dependent bit. */
+std::string
+withoutSimdPlane(const std::string &line)
+{
+    size_t at = line.find("planes=");
+    if (at == std::string::npos)
+        return line;
+    std::string head = line.substr(0, at + 7);
+    std::istringstream in(line.substr(at + 7));
+    std::string tok, planes;
+    while (std::getline(in, tok, '+')) {
+        if (tok == "simd")
+            continue;
+        if (!planes.empty())
+            planes += '+';
+        planes += tok;
+    }
+    return head + (planes.empty() ? "none" : planes);
+}
+
+TEST(CorpusReplay, CoverageSignaturesMatchCommittedBaseline)
+{
+    // coverage.expected is regenerated with:
+    //   sassi_fuzz --replay tests/fuzz/corpus/*.sass \
+    //              --coverage-out tests/fuzz/corpus/coverage.expected
+    std::string path =
+        std::string(SASSI_FUZZ_CORPUS_DIR) + "/coverage.expected";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing baseline " << path;
+
+    std::string header;
+    int recordedAvx2 = 0;
+    in >> header >> recordedAvx2;
+    ASSERT_EQ(header, "avx2") << path;
+    bool normalize =
+        recordedAvx2 != (sassi::simt::simd::cpuHasAvx2() ? 1 : 0);
+
+    std::map<std::string, std::string> expected;
+    std::string line;
+    std::getline(in, line); // Finish the header line.
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        size_t sp = line.find(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        expected[line.substr(0, sp)] = line.substr(sp + 1);
+    }
+
+    std::vector<std::string> files = listCorpus(SASSI_FUZZ_CORPUS_DIR);
+    ASSERT_FALSE(files.empty());
+    EXPECT_EQ(files.size(), expected.size())
+        << "corpus and coverage.expected disagree; regenerate";
+    for (const auto &f : files) {
+        std::string base = std::filesystem::path(f).filename().string();
+        auto it = expected.find(base);
+        ASSERT_NE(it, expected.end())
+            << "no recorded signature for " << base << "; regenerate";
+        OracleReport r = runOracle(loadProgram(f));
+        std::string got = r.coverage.describe();
+        std::string want = it->second;
+        if (normalize) {
+            got = withoutSimdPlane(got);
+            want = withoutSimdPlane(want);
+        }
+        EXPECT_EQ(got, want) << f;
     }
 }
 

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests of the coverage layer (fuzz/coverage.h): signature
+ * determinism, feature generation, plane naming, and the
+ * order-independence of the CoverageSet hash — the property the
+ * campaign-determinism regression ultimately rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+using namespace sassi;
+using namespace sassi::fuzz;
+using sassi::sass::Opcode;
+
+namespace {
+
+TEST(FuzzCoverage, PlaneNamesRenderInCanonicalOrder)
+{
+    EXPECT_EQ(planeNames(0), "none");
+    EXPECT_EQ(planeNames(PlaneGeneric), "generic");
+    EXPECT_EQ(planeNames(PlaneGeneric | PlaneSimd), "generic+simd");
+    EXPECT_EQ(planeNames(PlaneGeneric | PlaneSuperblock | PlaneSimd |
+                         PlaneInlineHandler | PlaneFiberHandler),
+              "generic+superblock+simd+inline+fiber");
+    // Order is the table's, not the argument's bit order.
+    EXPECT_EQ(planeNames(PlaneFiberHandler | PlaneGeneric),
+              "generic+fiber");
+}
+
+TEST(FuzzCoverage, PairFeatureIsDirectional)
+{
+    EXPECT_EQ(pairFeature(Opcode::IADD, Opcode::IMUL),
+              "pair:IADD>IMUL");
+    EXPECT_NE(pairFeature(Opcode::IADD, Opcode::IMUL),
+              pairFeature(Opcode::IMUL, Opcode::IADD));
+}
+
+TEST(FuzzCoverage, StaticSignatureIsDeterministic)
+{
+    for (uint64_t idx : {0u, 3u, 9u}) {
+        CoverageSignature a = staticSignature(generateProgram(5, idx));
+        CoverageSignature b = staticSignature(generateProgram(5, idx));
+        EXPECT_EQ(a, b) << "index " << idx;
+        EXPECT_EQ(a.key(), b.key());
+        EXPECT_EQ(a.describe(), b.describe());
+        // The static half leaves the dynamic fields to the oracle.
+        EXPECT_EQ(a.maxDivDepth, 0u);
+        EXPECT_EQ(a.planes, 0u);
+    }
+}
+
+TEST(FuzzCoverage, DistinctProgramsReachDistinctSignatures)
+{
+    // Not every pair need differ (coverage is deliberately coarse),
+    // but across a handful of generated programs the signature must
+    // not be constant.
+    std::vector<uint64_t> keys;
+    for (uint64_t idx = 0; idx < 8; ++idx)
+        keys.push_back(staticSignature(generateProgram(5, idx)).key());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    EXPECT_GT(keys.size(), 1u);
+}
+
+TEST(FuzzCoverage, AppendFeaturesCoversEveryAxis)
+{
+    FuzzProgram p = generateProgram(5, 0);
+    CoverageSignature sig = staticSignature(p);
+    sig.maxDivDepth = 2;
+    sig.planes = PlaneGeneric | PlaneSuperblock;
+
+    std::vector<std::string> features;
+    appendFeatures(p, sig, features);
+
+    auto count = [&](const std::string &prefix) {
+        size_t n = 0;
+        for (const auto &f : features)
+            if (f.rfind(prefix, 0) == 0)
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(count("shape:"), 1u);
+    EXPECT_GE(count("pair:"), 1u);
+    EXPECT_EQ(count("depth:"), 1u);
+    EXPECT_EQ(count("plane:"), 2u);
+    EXPECT_NE(std::find(features.begin(), features.end(), "depth:2"),
+              features.end());
+    EXPECT_NE(std::find(features.begin(), features.end(),
+                        "plane:superblock"),
+              features.end());
+}
+
+TEST(FuzzCoverage, SetHashIsInsertionOrderIndependent)
+{
+    std::vector<std::string> features = {
+        "pair:IADD>IMUL", "shape:0000000000000001", "depth:3",
+        "plane:generic",  "pair:SHL>SHR",
+    };
+    CoverageSet fwd, rev;
+    for (const auto &f : features)
+        fwd.addFeature(f);
+    for (auto it = features.rbegin(); it != features.rend(); ++it)
+        rev.addFeature(*it);
+    EXPECT_EQ(fwd.size(), rev.size());
+    EXPECT_EQ(fwd.hash(), rev.hash());
+    EXPECT_EQ(fwd.serialize(), rev.serialize());
+
+    // Duplicates are rejected and leave the hash unchanged.
+    uint64_t before = fwd.hash();
+    EXPECT_FALSE(fwd.addFeature("depth:3"));
+    EXPECT_EQ(fwd.hash(), before);
+    EXPECT_TRUE(fwd.addFeature("depth:4"));
+    EXPECT_NE(fwd.hash(), before);
+}
+
+TEST(FuzzCoverage, MergeIsUnion)
+{
+    CoverageSet a, b;
+    a.addFeature("depth:1");
+    a.addFeature("plane:generic");
+    b.addFeature("depth:1");
+    b.addFeature("plane:simd");
+    a.merge(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_TRUE(a.covers("plane:simd"));
+}
+
+TEST(FuzzCoverage, OracleFillsTheDynamicHalf)
+{
+    // The uninstrumented sweep always exercises the generic
+    // interpreter, and its superblock configurations must light that
+    // plane up too. Tool planes stay dark without tools.
+    OracleOptions opt;
+    opt.withTools = false;
+    opt.threadCounts = {1};
+    FuzzProgram p = generateProgram(1, 0);
+    OracleReport r = runOracle(p, opt);
+    ASSERT_EQ(r.status, OracleStatus::Pass) << r.message;
+    EXPECT_TRUE(r.coverage.planes & PlaneGeneric);
+    EXPECT_TRUE(r.coverage.planes & PlaneSuperblock);
+    EXPECT_FALSE(r.coverage.planes & PlaneInlineHandler);
+    EXPECT_FALSE(r.coverage.planes & PlaneFiberHandler);
+    // The static half matches a direct computation.
+    CoverageSignature s = staticSignature(p);
+    EXPECT_EQ(r.coverage.cfgShape, s.cfgShape);
+    EXPECT_EQ(r.coverage.opcodePairs, s.opcodePairs);
+}
+
+} // namespace

@@ -1,46 +1,71 @@
 /**
  * @file
- * sassi_fuzz: the differential fuzzing driver.
+ * sassi_fuzz: the coverage-guided differential fuzzing driver.
  *
- * Generates constrained random SASS programs (src/fuzz/generator.h)
- * and checks each one across the full configuration matrix with the
- * differential oracle (src/fuzz/oracle.h). On a mismatch the failure
- * is minimized and written to the corpus directory as a replayable
- * reproducer.
+ * Runs worker-sharded campaigns (src/fuzz/campaign.h): constrained
+ * random SASS programs plus purity-preserving mutations of
+ * interesting corpus entries, each checked across the full
+ * configuration matrix by the differential oracle (src/fuzz/oracle.h).
+ * Mismatches are triaged into buckets; each bucket's first failure is
+ * minimized and written as a content-hash-keyed replayable
+ * reproducer. Campaign results are bit-identical for a given seed
+ * regardless of --jobs.
  *
  * Usage:
- *   sassi_fuzz [--seed S] [--iters N] [--out DIR]
- *              [--no-minimize] [--no-tools] [--emit-corpus DIR]
- *              [--replay FILE...]
+ *   sassi_fuzz [--seed S] [--iters N] [--jobs J] [--out DIR]
+ *              [--threads LIST] [--stats FILE] [--coverage-out FILE]
+ *              [--no-minimize] [--no-tools] [--no-mutate] [--gate]
+ *              [--emit-corpus DIR] [--replay FILE...]
  *
  *   --seed S        campaign seed (default 1)
- *   --iters N       programs to generate (default 25); 0 reads the
+ *   --iters N       programs to evaluate (default 25); 0 reads the
  *                   SASSI_FUZZ_ITERS environment variable and exits
  *                   with code 77 (the ctest skip code) when unset —
  *                   this is how the fuzz-long target stays opt-in
+ *   --jobs J        campaign worker shards (default: SASSI_FUZZ_JOBS
+ *                   when set, else 1)
  *   --out DIR       where minimized reproducers land
  *                   (default fuzz-corpus)
- *   --no-minimize   write the unshrunk failing program instead
+ *   --threads LIST  comma-separated oracle worker-thread sweep
+ *                   (default 1,2,8)
+ *   --stats FILE    merge-write a "fuzz_throughput" section with
+ *                   execs/sec, dedup rate, and coverage count into
+ *                   FILE (BENCH_simt.json schema)
+ *   --coverage-out FILE  campaign mode: write the coverage feature
+ *                   set; replay mode: write per-file coverage
+ *                   signatures (the coverage-replay baseline)
+ *   --no-minimize   write unshrunk failing programs instead
  *   --no-tools      restrict the matrix to uninstrumented configs
+ *   --no-mutate     disable corpus mutation (generator-only)
+ *   --gate          measure the jobs=1 -> jobs=J speedup and fail
+ *                   below SASSI_FUZZ_MIN_SPEEDUP (default 4); exits
+ *                   77 when the host has fewer hardware threads
+ *                   than J
  *   --emit-corpus DIR  write the generated programs as corpus files
  *                   without running the oracle (seeding a corpus)
  *   --replay FILE   replay corpus files through the oracle instead
  *                   of generating; every later argument is a file
  *
- * Exit codes: 0 all programs passed, 1 a mismatch was found (the
- * reproducer path is printed), 2 usage error, 77 skipped.
+ * Exit codes: 0 no mismatch, 1 mismatches found (reproducer paths
+ * are printed), 2 usage error, 77 skipped.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
+#include "fuzz/campaign.h"
 #include "fuzz/corpus.h"
 #include "fuzz/generator.h"
 #include "fuzz/minimizer.h"
 #include "fuzz/oracle.h"
+#include "simt/simd/simd_exec.h"
 
 using namespace sassi;
 using namespace sassi::fuzz;
@@ -50,56 +75,184 @@ namespace {
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: sassi_fuzz [--seed S] [--iters N] [--out DIR]"
-                 " [--no-minimize] [--no-tools]\n"
-                 "                  [--emit-corpus DIR]"
-                 " [--replay FILE...]\n");
+    std::fprintf(
+        stderr,
+        "usage: sassi_fuzz [--seed S] [--iters N] [--jobs J]"
+        " [--out DIR] [--threads LIST]\n"
+        "                  [--stats FILE] [--coverage-out FILE]"
+        " [--no-minimize] [--no-tools]\n"
+        "                  [--no-mutate] [--gate]"
+        " [--emit-corpus DIR] [--replay FILE...]\n");
     return 2;
 }
 
-/** Report one failing program: minimize, save, point at the file. */
-void
-reportFailure(const FuzzProgram &prog, const OracleReport &report,
-              const OracleOptions &oracle, const std::string &outDir,
-              bool minimize)
+std::vector<int>
+parseThreadList(const char *s)
 {
-    std::printf("MISMATCH: seed=%llu index=%llu\n%s\n",
-                static_cast<unsigned long long>(prog.seed),
-                static_cast<unsigned long long>(prog.index),
-                report.message.c_str());
-    FuzzProgram repro = prog;
-    if (minimize) {
-        std::printf("minimizing (%zu instructions)...\n",
-                    prog.kernel()->code.size());
-        MinimizeResult m = minimizeProgram(prog, oracle);
-        repro = std::move(m.program);
-        std::printf("minimized to %zu instructions "
-                    "(%d probes, %d accepted)\n",
-                    repro.kernel()->code.size(), m.probes, m.accepted);
+    std::vector<int> out;
+    for (const char *p = s; *p;) {
+        char *end = nullptr;
+        long v = std::strtol(p, &end, 10);
+        if (end == p || v <= 0) {
+            std::fprintf(stderr, "bad --threads list '%s'\n", s);
+            std::exit(2);
+        }
+        out.push_back(static_cast<int>(v));
+        p = (*end == ',') ? end + 1 : end;
     }
-    std::string path = outDir + "/seed" + std::to_string(prog.seed) +
-                       "-" + std::to_string(prog.index) + ".sass";
-    saveProgram(repro, path);
-    std::printf("reproducer written to %s\n", path.c_str());
+    if (out.empty()) {
+        std::fprintf(stderr, "empty --threads list\n");
+        std::exit(2);
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::filesystem::path fp(path);
+    if (fp.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(fp.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        std::exit(2);
+    }
+    out << content;
 }
 
 int
 replay(const std::vector<std::string> &files,
-       const OracleOptions &oracle)
+       const OracleOptions &oracle, const std::string &coverageOut)
 {
     int failures = 0;
+    std::string signatures =
+        std::string("avx2 ") +
+        (simt::simd::cpuHasAvx2() ? "1" : "0") + "\n";
     for (const auto &f : files) {
         FuzzProgram prog = loadProgram(f);
         OracleReport report = runOracle(prog, oracle);
-        std::printf("%s: %s\n", f.c_str(),
-                    oracleStatusName(report.status));
+        std::printf("%s: %s [%s]\n", f.c_str(),
+                    oracleStatusName(report.status),
+                    report.coverage.describe().c_str());
+        signatures += std::filesystem::path(f).filename().string() +
+                      " " + report.coverage.describe() + "\n";
         if (report.status == OracleStatus::Mismatch) {
             std::printf("%s\n", report.message.c_str());
             ++failures;
         }
     }
+    if (!coverageOut.empty())
+        writeFile(coverageOut, signatures);
     return failures ? 1 : 0;
+}
+
+CampaignResult
+campaign(CampaignOptions opt, bool quiet)
+{
+    if (!quiet) {
+        opt.progress = [](const std::string &msg) {
+            std::printf("%s\n", msg.c_str());
+        };
+    }
+    return runCampaign(opt);
+}
+
+void
+printSummary(const CampaignResult &res, int jobs)
+{
+    std::printf(
+        "campaign: planned=%llu executed=%llu (dedup=%llu, %.0f%%) "
+        "generated=%llu mutated=%llu jobs=%d\n",
+        static_cast<unsigned long long>(res.itersPlanned),
+        static_cast<unsigned long long>(res.executed),
+        static_cast<unsigned long long>(res.dedupSkipped),
+        res.dedupRate() * 100.0,
+        static_cast<unsigned long long>(res.generated),
+        static_cast<unsigned long long>(res.mutated), jobs);
+    std::printf(
+        "coverage: %zu features (%llu via mutation, %llu via "
+        "generation), corpus %zu entries (hash %016llx)\n",
+        res.coverage.size(),
+        static_cast<unsigned long long>(res.featuresFromMutation),
+        static_cast<unsigned long long>(res.featuresFromGeneration),
+        res.corpus.size(),
+        static_cast<unsigned long long>(res.corpusHash()));
+    std::printf(
+        "results: pass=%llu mismatch=%llu invalid=%llu "
+        "(%.2f execs/sec over %.2fs)\n",
+        static_cast<unsigned long long>(res.passes),
+        static_cast<unsigned long long>(res.mismatches),
+        static_cast<unsigned long long>(res.invalid),
+        res.execsPerSec(), res.wallSeconds);
+    for (const auto &[bucket, fb] : res.buckets) {
+        std::printf("bucket %s: %llu hit(s), first index %llu\n",
+                    bucket.c_str(),
+                    static_cast<unsigned long long>(fb.count),
+                    static_cast<unsigned long long>(fb.firstIndex));
+        if (!fb.reproPath.empty())
+            std::printf("  reproducer: %s\n", fb.reproPath.c_str());
+        else
+            std::printf("  %s\n", fb.message.c_str());
+    }
+}
+
+/** Jobs-scaling gate: execs/sec at J shards vs 1 shard. */
+int
+gate(CampaignOptions opt, int jobs, const std::string &statsPath)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw < static_cast<unsigned>(jobs)) {
+        std::printf("gate skipped: %u hardware threads < %d jobs\n",
+                    hw, jobs);
+        return 77;
+    }
+    double minSpeedup = 4.0;
+    if (const char *env = std::getenv("SASSI_FUZZ_MIN_SPEEDUP"))
+        minSpeedup = std::atof(env);
+
+    opt.reproDir.clear(); // Measurement runs don't write files.
+    opt.minimize = false;
+    opt.jobs = 1;
+    CampaignResult serial = campaign(opt, true);
+    opt.jobs = jobs;
+    CampaignResult sharded = campaign(opt, true);
+
+    if (serial.corpusHash() != sharded.corpusHash() ||
+        serial.coverage.hash() != sharded.coverage.hash() ||
+        serial.bucketsKey() != sharded.bucketsKey()) {
+        std::printf("gate FAILED: campaign results differ across "
+                    "jobs (determinism bug)\n");
+        return 1;
+    }
+    double speedup = serial.wallSeconds > 0 && sharded.wallSeconds > 0
+                         ? serial.wallSeconds / sharded.wallSeconds
+                         : 0.0;
+    std::printf("gate: jobs=1 %.2f execs/sec, jobs=%d %.2f execs/sec "
+                "(speedup %.2fx, need %.2fx)\n",
+                serial.execsPerSec(), jobs, sharded.execsPerSec(),
+                speedup, minSpeedup);
+    if (!statsPath.empty()) {
+        bench::BenchJson json("fuzz_throughput");
+        for (const CampaignResult *r : {&serial, &sharded}) {
+            bench::BenchRecord rec;
+            int j = (r == &serial) ? 1 : jobs;
+            rec.name = "gate/jobs=" + std::to_string(j);
+            rec.wallSeconds = r->wallSeconds;
+            rec.threads = j;
+            rec.extra.emplace_back("execs_per_sec", r->execsPerSec());
+            json.add(std::move(rec));
+        }
+        json.write(statsPath);
+    }
+    if (speedup < minSpeedup) {
+        std::printf("gate FAILED: speedup below threshold\n");
+        return 1;
+    }
+    std::printf("gate passed\n");
+    return 0;
 }
 
 } // namespace
@@ -107,13 +260,13 @@ replay(const std::vector<std::string> &files,
 int
 main(int argc, char **argv)
 {
-    uint64_t seed = 1;
-    uint64_t iters = 25;
+    CampaignOptions opt;
+    opt.seed = 1;
+    opt.iters = 25;
     bool itersExplicit = false;
-    std::string outDir = "fuzz-corpus";
-    std::string emitDir;
-    bool minimize = true;
-    OracleOptions oracle;
+    bool gateMode = false;
+    opt.reproDir = "fuzz-corpus";
+    std::string emitDir, statsPath, coverageOut;
     std::vector<std::string> replayFiles;
 
     for (int i = 1; i < argc; ++i) {
@@ -126,18 +279,30 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--seed") {
-            seed = std::strtoull(value(), nullptr, 0);
+            opt.seed = std::strtoull(value(), nullptr, 0);
         } else if (arg == "--iters") {
-            iters = std::strtoull(value(), nullptr, 0);
+            opt.iters = std::strtoull(value(), nullptr, 0);
             itersExplicit = true;
+        } else if (arg == "--jobs") {
+            opt.jobs = std::atoi(value());
         } else if (arg == "--out") {
-            outDir = value();
+            opt.reproDir = value();
+        } else if (arg == "--threads") {
+            opt.oracle.threadCounts = parseThreadList(value());
+        } else if (arg == "--stats") {
+            statsPath = value();
+        } else if (arg == "--coverage-out") {
+            coverageOut = value();
         } else if (arg == "--emit-corpus") {
             emitDir = value();
         } else if (arg == "--no-minimize") {
-            minimize = false;
+            opt.minimize = false;
         } else if (arg == "--no-tools") {
-            oracle.withTools = false;
+            opt.oracle.withTools = false;
+        } else if (arg == "--no-mutate") {
+            opt.mutate = false;
+        } else if (arg == "--gate") {
+            gateMode = true;
         } else if (arg == "--replay") {
             for (++i; i < argc; ++i)
                 replayFiles.push_back(argv[i]);
@@ -147,22 +312,22 @@ main(int argc, char **argv)
     }
 
     if (!replayFiles.empty())
-        return replay(replayFiles, oracle);
+        return replay(replayFiles, opt.oracle, coverageOut);
 
-    if (itersExplicit && iters == 0) {
+    if (itersExplicit && opt.iters == 0) {
         const char *env = std::getenv("SASSI_FUZZ_ITERS");
         if (!env || !*env) {
             std::printf("SASSI_FUZZ_ITERS not set; skipping\n");
             return 77;
         }
-        iters = std::strtoull(env, nullptr, 0);
+        opt.iters = std::strtoull(env, nullptr, 0);
     }
 
     if (!emitDir.empty()) {
-        for (uint64_t i = 0; i < iters; ++i) {
-            FuzzProgram prog = generateProgram(seed, i);
+        for (uint64_t i = 0; i < opt.iters; ++i) {
+            FuzzProgram prog = generateProgram(opt.seed, i);
             std::string path = emitDir + "/seed" +
-                               std::to_string(seed) + "-" +
+                               std::to_string(opt.seed) + "-" +
                                std::to_string(i) + ".sass";
             saveProgram(prog, path);
             std::printf("wrote %s\n", path.c_str());
@@ -170,25 +335,34 @@ main(int argc, char **argv)
         return 0;
     }
 
-    uint64_t invalid = 0;
-    for (uint64_t i = 0; i < iters; ++i) {
-        FuzzProgram prog = generateProgram(seed, i);
-        OracleReport report = runOracle(prog, oracle);
-        if (report.status == OracleStatus::Mismatch) {
-            reportFailure(prog, report, oracle, outDir, minimize);
-            return 1;
-        }
-        if (report.status == OracleStatus::InvalidProgram)
-            ++invalid;
-        if ((i + 1) % 25 == 0 || i + 1 == iters) {
-            std::printf("%llu/%llu programs ok (%llu uniform-fault)\n",
-                        static_cast<unsigned long long>(i + 1),
-                        static_cast<unsigned long long>(iters),
-                        static_cast<unsigned long long>(invalid));
-        }
+    if (gateMode) {
+        int jobs = opt.jobs > 0 ? opt.jobs : 8;
+        return gate(opt, jobs, statsPath);
     }
-    std::printf("campaign passed: seed=%llu iters=%llu\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(iters));
-    return 0;
+
+    const int jobs = resolveFuzzJobs(opt.jobs);
+    CampaignResult res = campaign(opt, false);
+    printSummary(res, jobs);
+
+    if (!coverageOut.empty())
+        writeFile(coverageOut, res.coverage.serialize());
+    if (!statsPath.empty()) {
+        bench::BenchJson json("fuzz_throughput");
+        bench::BenchRecord rec;
+        rec.name = "campaign/seed" + std::to_string(opt.seed) +
+                   "/iters" + std::to_string(opt.iters);
+        rec.wallSeconds = res.wallSeconds;
+        rec.threads = jobs;
+        rec.extra.emplace_back("execs_per_sec", res.execsPerSec());
+        rec.extra.emplace_back("dedup_rate", res.dedupRate());
+        rec.extra.emplace_back(
+            "coverage", static_cast<double>(res.coverage.size()));
+        rec.extra.emplace_back(
+            "corpus", static_cast<double>(res.corpus.size()));
+        rec.extra.emplace_back(
+            "mismatches", static_cast<double>(res.mismatches));
+        json.add(std::move(rec));
+        json.write(statsPath);
+    }
+    return res.mismatches ? 1 : 0;
 }
